@@ -1,0 +1,34 @@
+//! E2 bench — Corollary 13: Algorithm 1 stabilization cost (`n·ID_max`
+//! pulses), with and without the full Lemma 6–12 invariant monitors, to
+//! quantify the monitoring overhead.
+
+use co_core::runner;
+use co_net::{RingSpec, SchedulerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/by_n");
+    for n in [8u64, 32, 128, 512] {
+        let spec = RingSpec::oriented((1..=n).collect());
+        group.throughput(Throughput::Elements(n * n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| runner::run_alg1(spec, SchedulerKind::Fifo, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monitored(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1/monitored");
+    let spec = RingSpec::oriented((1..=32u64).collect());
+    group.bench_function("plain", |b| {
+        b.iter(|| runner::run_alg1(&spec, SchedulerKind::Random, 2))
+    });
+    group.bench_function("with_lemma_monitors", |b| {
+        b.iter(|| runner::run_alg1_monitored(&spec, SchedulerKind::Random, 2).expect("invariants"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_n, bench_monitored);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E9 bench — Corollary 5: the cost of election-then-computation pipelines.
+
+use co_compose::pipeline::{elect_then_aggregate, elect_then_ring_size};
+use co_net::{RingSpec, SchedulerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ring_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition/ring_size");
+    for n in [8u64, 32, 128] {
+        let spec = RingSpec::oriented((1..=n).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| elect_then_ring_size(spec, SchedulerKind::Fifo, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition/aggregate");
+    for n in [8u64, 32, 128] {
+        let spec = RingSpec::oriented((1..=n).collect());
+        let inputs: Vec<u64> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| elect_then_aggregate(spec, &inputs, SchedulerKind::Fifo, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_size, bench_aggregate);
+criterion_main!(benches);

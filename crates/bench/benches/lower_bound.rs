@@ -1,0 +1,31 @@
+//! E6/E7 bench — solitude-pattern extraction (Definition 21) and the
+//! pigeonhole analysis (Lemma 23 / Corollary 24) behind Theorem 4.
+
+use co_core::lower_bound::{max_prefix_group, solitude_pattern_alg2, SolitudePattern};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pattern_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound/solitude_pattern");
+    for id in [16u64, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            b.iter(|| solitude_pattern_alg2(id).expect("terminates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound/prefix_group");
+    let patterns: Vec<SolitudePattern> = (1..=256)
+        .map(|id| solitude_pattern_alg2(id).expect("terminates"))
+        .collect();
+    for n in [2usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| max_prefix_group(&patterns, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_extraction, bench_prefix_analysis);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E12 bench — cost of exhaustively model-checking Algorithm 2's schedule
+//! space as the instance grows (configurations grow combinatorially; the
+//! fingerprint-deduplication keeps it tractable).
+
+use co_core::{Alg2Node, Role};
+use co_net::explore::{explore, ExploreLimits};
+use co_net::{Protocol, RingSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn check(ids: &[u64]) -> usize {
+    let spec = RingSpec::oriented(ids.to_vec());
+    let report = explore(
+        &spec.wiring(),
+        || {
+            (0..spec.len())
+                .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                .collect()
+        },
+        |n| {
+            (
+                n.rho_cw(),
+                n.sigma_cw(),
+                n.rho_ccw(),
+                n.sigma_ccw(),
+                n.deferred_ccw(),
+                n.is_terminated(),
+                n.role() == Role::Leader,
+            )
+        },
+        |_| Ok(()),
+        |_| Ok(()),
+        ExploreLimits::default(),
+    );
+    assert!(report.complete && report.violations.is_empty());
+    report.configs
+}
+
+fn bench_model_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_check/alg2");
+    for ids in [vec![1u64, 2], vec![1, 2, 3], vec![2, 3, 4], vec![1, 2, 3, 4]] {
+        let label = format!("{ids:?}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ids, |b, ids| {
+            b.iter(|| check(ids))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_check);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Substrate microbenchmarks: raw delivery throughput of the simulator and
+//! the per-step cost of each scheduler, independent of any algorithm.
+
+use co_net::{Budget, Context, Port, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Relays every pulse clockwise forever (runs are bounded by the budget).
+#[derive(Clone, Debug)]
+struct Relay;
+
+impl Protocol<Pulse> for Relay {
+    type Output = ();
+    fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+        ctx.send(Port::One, Pulse);
+    }
+    fn on_message(&mut self, _p: Port, _m: Pulse, ctx: &mut Context<'_, Pulse>) {
+        ctx.send(Port::One, Pulse);
+    }
+    fn output(&self) -> Option<()> {
+        None
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/throughput");
+    const STEPS: u64 = 100_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for n in [4usize, 64, 1024] {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spec, |b, spec| {
+            b.iter(|| {
+                let nodes = vec![Relay; spec.len()];
+                let mut sim: Simulation<Pulse, Relay> =
+                    Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+                sim.run(Budget::steps(STEPS))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/scheduler_overhead");
+    const STEPS: u64 = 50_000;
+    group.throughput(Throughput::Elements(STEPS));
+    let spec = RingSpec::oriented((1..=64u64).collect());
+    for kind in SchedulerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let nodes = vec![Relay; spec.len()];
+                let mut sim: Simulation<Pulse, Relay> =
+                    Simulation::new(spec.wiring(), nodes, kind.build(7));
+                sim.run(Budget::steps(STEPS))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/trace_overhead");
+    const STEPS: u64 = 50_000;
+    let spec = RingSpec::oriented((1..=64u64).collect());
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let nodes = vec![Relay; spec.len()];
+            let mut sim: Simulation<Pulse, Relay> =
+                Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+            sim.run(Budget::steps(STEPS))
+        })
+    });
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            let nodes = vec![Relay; spec.len()];
+            let mut sim: Simulation<Pulse, Relay> =
+                Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+            sim.enable_trace(Some(1024));
+            sim.run(Budget::steps(STEPS))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_scheduler_overhead,
+    bench_trace_overhead
+);
+criterion_main!(benches);

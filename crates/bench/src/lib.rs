@@ -1,0 +1,18 @@
+//! # `co-bench` — the experiment harness
+//!
+//! Regenerates every quantitative claim of the paper as a table
+//! (experiments E0–E10, indexed in `DESIGN.md` §5). Each experiment is a
+//! pure function returning a [`Table`]; the `tables` binary prints them and
+//! the Criterion benches measure the wall-clock cost of representative
+//! configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+
+pub use experiments::{run_experiment, Experiment};
+pub use stats::Summary;
+pub use table::Table;

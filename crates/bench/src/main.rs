@@ -1,0 +1,60 @@
+//! `tables` — prints the experiment tables regenerating the paper's claims.
+//!
+//! ```sh
+//! cargo run -p co-bench --bin tables --release            # all experiments
+//! cargo run -p co-bench --bin tables --release -- --exp e1
+//! cargo run -p co-bench --bin tables --release -- --json  # JSON lines
+//! ```
+
+use co_bench::{run_experiment, Experiment};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selected: Vec<Experiment> = Vec::new();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("--exp requires an argument (e0..e10)");
+                    return ExitCode::FAILURE;
+                };
+                match Experiment::parse(name) {
+                    Some(e) => selected.push(e),
+                    None => {
+                        eprintln!("unknown experiment {name}; expected e0..e10");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: tables [--exp eN]... [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected = Experiment::ALL.to_vec();
+    }
+    for exp in selected {
+        let table = run_experiment(exp);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&table).expect("tables serialize")
+            );
+        } else {
+            println!("{table}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! Small numeric-summary helpers for experiment sweeps.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Summary statistics of a sample.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Summarises integer counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn of_counts(values: &[u64]) -> Summary {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&floats)
+    }
+}
+
+/// Linear-interpolation percentile of a pre-sorted sample, `q ∈ [0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} σ={:.1} min={:.0} p50={:.1} p95={:.1} max={:.0}",
+            self.count, self.mean, self.stddev, self.min, self.median, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.stddev - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::of(&[0.0, 10.0]);
+        assert!((s.median - 5.0).abs() < 1e-12);
+        assert!((s.p95 - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_helper() {
+        let s = Summary::of_counts(&[2, 4, 6]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert!(s.to_string().contains("n=2"));
+    }
+}

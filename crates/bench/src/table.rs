@@ -1,0 +1,108 @@
+//! Minimal aligned-text tables with JSON export.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A result table: title, column headers, string rows, and commentary.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment title, e.g. `"E1 — Theorem 1 message complexity"`.
+    pub title: String,
+    /// What the paper predicts, for the header block.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict appended under the table.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        claim: impl Into<String>,
+        headers: Vec<&str>,
+    ) -> Table {
+        Table {
+            title: title.into(),
+            claim: claim.into(),
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Sets the verdict line.
+    pub fn set_verdict(&mut self, verdict: impl Into<String>) {
+        self.verdict = verdict.into();
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        let widths = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "   {}", fmt_row(&self.headers))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "   {}", "-".repeat(total))?;
+        for row in &self.rows {
+            writeln!(f, "   {}", fmt_row(row))?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "   => {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("T", "c", vec!["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        t.set_verdict("ok");
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("long-header"));
+        assert!(s.contains("=> ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", "c", vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

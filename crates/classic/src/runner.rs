@@ -1,0 +1,175 @@
+//! Runners producing [`ElectionReport`]s for the classical baselines,
+//! shaped identically to `co_core::runner` so the bench harness can compare
+//! message complexities directly (experiment E8).
+
+use crate::chang_roberts::{ChangRobertsNode, CrMsg};
+use crate::franklin::{FranklinMsg, FranklinNode};
+use crate::hirschberg_sinclair::{HirschbergSinclairNode, HsMsg};
+use crate::peterson::{PetersonMsg, PetersonNode};
+use co_core::election::{unique_leader, ElectionReport, Role};
+use co_net::{Budget, Message, Protocol, RingSpec, SchedulerKind, Simulation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The classical baselines, enumerable for sweeps.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Baseline {
+    /// Chang–Roberts, unidirectional `O(n²)`.
+    ChangRoberts,
+    /// Hirschberg–Sinclair, bidirectional `O(n log n)`.
+    HirschbergSinclair,
+    /// Peterson, unidirectional `O(n log n)`.
+    Peterson,
+    /// Franklin, bidirectional `O(n log n)`.
+    Franklin,
+}
+
+impl Baseline {
+    /// All baselines in a fixed order.
+    pub const ALL: [Baseline; 4] = [
+        Baseline::ChangRoberts,
+        Baseline::HirschbergSinclair,
+        Baseline::Peterson,
+        Baseline::Franklin,
+    ];
+
+    /// Runs this baseline on the given ring.
+    #[must_use]
+    pub fn run(self, spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+        match self {
+            Baseline::ChangRoberts => run_chang_roberts(spec, scheduler, seed),
+            Baseline::HirschbergSinclair => run_hirschberg_sinclair(spec, scheduler, seed),
+            Baseline::Peterson => run_peterson(spec, scheduler, seed),
+            Baseline::Franklin => run_franklin(spec, scheduler, seed),
+        }
+    }
+
+    /// Whether this baseline is guaranteed to elect the maximum-ID node
+    /// (Peterson elects a unique leader, but not necessarily the maximum).
+    #[must_use]
+    pub fn elects_max(self) -> bool {
+        !matches!(self, Baseline::Peterson)
+    }
+}
+
+impl fmt::Display for Baseline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Baseline::ChangRoberts => "chang-roberts",
+            Baseline::HirschbergSinclair => "hirschberg-sinclair",
+            Baseline::Peterson => "peterson",
+            Baseline::Franklin => "franklin",
+        };
+        f.write_str(name)
+    }
+}
+
+fn run_generic<M, P>(spec: &RingSpec, nodes: Vec<P>, scheduler: SchedulerKind, seed: u64) -> ElectionReport
+where
+    M: Message,
+    P: Protocol<M, Output = Role>,
+{
+    let mut sim: Simulation<M, P> = Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    let run = sim.run(Budget::default());
+    let roles: Vec<Role> = sim
+        .nodes()
+        .iter()
+        .map(|n| n.output().unwrap_or(Role::NonLeader))
+        .collect();
+    ElectionReport {
+        outcome: run.outcome,
+        total_messages: run.total_sent,
+        steps: run.steps,
+        leader: unique_leader(&roles),
+        roles,
+        predicted_messages: None,
+    }
+}
+
+/// Runs Chang–Roberts on an oriented ring.
+#[must_use]
+pub fn run_chang_roberts(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+    let nodes: Vec<ChangRobertsNode> = (0..spec.len())
+        .map(|i| ChangRobertsNode::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    run_generic::<CrMsg, _>(spec, nodes, scheduler, seed)
+}
+
+/// Runs Hirschberg–Sinclair on an oriented ring.
+#[must_use]
+pub fn run_hirschberg_sinclair(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> ElectionReport {
+    let nodes: Vec<HirschbergSinclairNode> = (0..spec.len())
+        .map(|i| HirschbergSinclairNode::new(spec.id(i)))
+        .collect();
+    run_generic::<HsMsg, _>(spec, nodes, scheduler, seed)
+}
+
+/// Runs Peterson on an oriented ring.
+#[must_use]
+pub fn run_peterson(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+    let nodes: Vec<PetersonNode> = (0..spec.len())
+        .map(|i| PetersonNode::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    run_generic::<PetersonMsg, _>(spec, nodes, scheduler, seed)
+}
+
+/// Runs Franklin on an oriented ring.
+#[must_use]
+pub fn run_franklin(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+    let nodes: Vec<FranklinNode> = (0..spec.len())
+        .map(|i| FranklinNode::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    run_generic::<FranklinMsg, _>(spec, nodes, scheduler, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_baselines_elect_one_leader() {
+        let spec = RingSpec::oriented(vec![12, 5, 9, 3, 17, 8]);
+        for baseline in Baseline::ALL {
+            for kind in SchedulerKind::ALL {
+                let report = baseline.run(&spec, kind, 21);
+                let leader = report.leader.unwrap_or_else(|| {
+                    panic!("{baseline} under {kind}: no unique leader")
+                });
+                if baseline.elects_max() {
+                    assert_eq!(leader, 4, "{baseline} under {kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complexity_ordering_on_descending_ring() {
+        // On CR's worst case, the O(n log n) algorithms send fewer messages.
+        let n = 64u64;
+        let spec = RingSpec::oriented((1..=n).rev().collect());
+        let cr = run_chang_roberts(&spec, SchedulerKind::Fifo, 0).total_messages;
+        for baseline in [
+            Baseline::HirschbergSinclair,
+            Baseline::Peterson,
+            Baseline::Franklin,
+        ] {
+            let m = baseline.run(&spec, SchedulerKind::Fifo, 0).total_messages;
+            assert!(m < cr, "{baseline}: {m} >= CR's {cr}");
+        }
+    }
+
+    #[test]
+    fn degenerate_rings() {
+        for n in [1usize, 2] {
+            let spec = RingSpec::oriented((1..=n as u64).collect());
+            for baseline in Baseline::ALL {
+                let report = baseline.run(&spec, SchedulerKind::Random, 13);
+                assert!(report.leader.is_some(), "{baseline} n={n}");
+            }
+        }
+    }
+}

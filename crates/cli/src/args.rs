@@ -1,0 +1,378 @@
+//! Argument parsing for `co-ring` (dependency-free by design: the offline
+//! crate set justified in DESIGN.md has no CLI parser, and the grammar is
+//! small).
+
+use co_core::IdScheme;
+use co_net::SchedulerKind;
+use std::fmt;
+
+/// Options shared by every subcommand.
+#[derive(Clone, Debug)]
+pub struct CommonOpts {
+    /// Node IDs in clockwise order (`--ids 5,2,9`), or `--n N` for 1..=N.
+    pub ids: Vec<u64>,
+    /// Delivery adversary.
+    pub scheduler: SchedulerKind,
+    /// RNG seed for scheduler / sampling.
+    pub seed: u64,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for CommonOpts {
+    fn default() -> CommonOpts {
+        CommonOpts {
+            ids: (1..=8).collect(),
+            scheduler: SchedulerKind::Random,
+            seed: 0,
+            json: false,
+        }
+    }
+}
+
+/// A parsed `co-ring` invocation.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Shared options.
+    pub opts: CommonOpts,
+}
+
+/// `co-ring` subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run Algorithm 2 (quiescently terminating election).
+    Elect,
+    /// Run Algorithm 1 (stabilizing election).
+    Stabilize,
+    /// Run Algorithm 3 on a randomly port-scrambled ring.
+    Orient {
+        /// Virtual-ID scheme.
+        scheme: IdScheme,
+    },
+    /// Run an anonymous-ring election (Algorithm 4 + Algorithm 3).
+    Anonymous {
+        /// Ring size.
+        n: usize,
+        /// The paper's `c` parameter.
+        c: f64,
+        /// Number of trials.
+        trials: u64,
+    },
+    /// Elect, then compute the ring size at every node (Corollary 5).
+    Compose,
+    /// Print solitude patterns (Definition 21) for a range of IDs.
+    Solitude {
+        /// Largest ID to extract.
+        max_id: u64,
+    },
+    /// Run a classical baseline for comparison.
+    Baseline {
+        /// Which baseline.
+        which: co_classic::runner::Baseline,
+    },
+    /// Run the content-oblivious flood-echo wave on a general graph.
+    Echo {
+        /// Graph description (e.g. `ring:8`, `complete:5`, `path:4`).
+        graph: GraphSpec,
+        /// Root node of the wave.
+        root: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A parsed `--graph` description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// The cycle `C_n`.
+    Ring(usize),
+    /// The complete graph `K_n`.
+    Complete(usize),
+    /// The path `P_n` (has bridges — the wave still floods it).
+    Path(usize),
+}
+
+impl GraphSpec {
+    /// Builds the multigraph.
+    #[must_use]
+    pub fn build(&self) -> co_net::graph::MultiGraph {
+        use co_net::graph::MultiGraph;
+        match *self {
+            GraphSpec::Ring(n) => MultiGraph::ring(n),
+            GraphSpec::Complete(n) => {
+                let mut g = MultiGraph::new(n);
+                for u in 0..n {
+                    for v in u + 1..n {
+                        g.add_edge(u, v);
+                    }
+                }
+                g
+            }
+            GraphSpec::Path(n) => MultiGraph::path(n),
+        }
+    }
+
+    fn parse(s: &str) -> Result<GraphSpec, ParseError> {
+        let (kind, n) = s
+            .split_once(':')
+            .ok_or_else(|| err(format!("bad graph '{s}'; expected kind:N")))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| err(format!("bad graph size in '{s}'")))?;
+        if n == 0 {
+            return Err(err("graph needs at least one node"));
+        }
+        match kind {
+            "ring" => Ok(GraphSpec::Ring(n)),
+            "complete" | "k" => Ok(GraphSpec::Complete(n)),
+            "path" => Ok(GraphSpec::Path(n)),
+            other => Err(err(format!("unknown graph kind '{other}'"))),
+        }
+    }
+}
+
+/// A CLI parsing failure (message for the user).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+fn parse_scheduler(s: &str) -> Result<SchedulerKind, ParseError> {
+    SchedulerKind::ALL
+        .into_iter()
+        .find(|k| k.to_string() == s)
+        .ok_or_else(|| {
+            let names: Vec<String> = SchedulerKind::ALL.iter().map(ToString::to_string).collect();
+            err(format!("unknown scheduler '{s}'; one of: {}", names.join(", ")))
+        })
+}
+
+impl Cli {
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the offending argument.
+    pub fn parse<I, S>(args: I) -> Result<Cli, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        let mut it = args.iter().peekable();
+        let Some(cmd) = it.next() else {
+            return Ok(Cli {
+                command: Command::Help,
+                opts: CommonOpts::default(),
+            });
+        };
+
+        let mut opts = CommonOpts::default();
+        let mut scheme = IdScheme::Improved;
+        let mut n: Option<usize> = None;
+        let mut c = 1.0f64;
+        let mut trials = 100u64;
+        let mut max_id = 16u64;
+        let mut which = co_classic::runner::Baseline::ChangRoberts;
+        let mut graph = GraphSpec::Ring(8);
+        let mut root = 0usize;
+
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, ParseError> {
+                it.next().ok_or_else(|| err(format!("{name} requires a value")))
+            };
+            match flag.as_str() {
+                "--ids" => {
+                    opts.ids = value("--ids")?
+                        .split(',')
+                        .map(|p| p.trim().parse::<u64>().map_err(|_| err(format!("bad ID '{p}'"))))
+                        .collect::<Result<_, _>>()?;
+                    if opts.ids.is_empty() || opts.ids.contains(&0) {
+                        return Err(err("--ids needs positive integers"));
+                    }
+                }
+                "--n" => {
+                    let parsed: usize = value("--n")?
+                        .parse()
+                        .map_err(|_| err("--n must be a positive integer"))?;
+                    if parsed == 0 {
+                        return Err(err("--n must be positive"));
+                    }
+                    opts.ids = (1..=parsed as u64).collect();
+                    n = Some(parsed);
+                }
+                "--scheduler" => opts.scheduler = parse_scheduler(value("--scheduler")?)?,
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| err("--seed must be an integer"))?;
+                }
+                "--json" => opts.json = true,
+                "--scheme" => {
+                    scheme = match value("--scheme")?.as_str() {
+                        "doubled" => IdScheme::Doubled,
+                        "improved" => IdScheme::Improved,
+                        other => return Err(err(format!("unknown scheme '{other}'"))),
+                    };
+                }
+                "--c" => {
+                    c = value("--c")?.parse().map_err(|_| err("--c must be a float"))?;
+                    if c <= 0.0 {
+                        return Err(err("--c must be positive"));
+                    }
+                }
+                "--trials" => {
+                    trials = value("--trials")?
+                        .parse()
+                        .map_err(|_| err("--trials must be an integer"))?;
+                }
+                "--max-id" => {
+                    max_id = value("--max-id")?
+                        .parse()
+                        .map_err(|_| err("--max-id must be an integer"))?;
+                }
+                "--graph" => graph = GraphSpec::parse(value("--graph")?)?,
+                "--root" => {
+                    root = value("--root")?
+                        .parse()
+                        .map_err(|_| err("--root must be a node index"))?;
+                }
+                "--algo" => {
+                    use co_classic::runner::Baseline;
+                    which = match value("--algo")?.as_str() {
+                        "chang-roberts" | "cr" => Baseline::ChangRoberts,
+                        "hirschberg-sinclair" | "hs" => Baseline::HirschbergSinclair,
+                        "peterson" => Baseline::Peterson,
+                        "franklin" => Baseline::Franklin,
+                        other => return Err(err(format!("unknown baseline '{other}'"))),
+                    };
+                }
+                other => return Err(err(format!("unknown flag '{other}'"))),
+            }
+        }
+
+        let command = match cmd.as_str() {
+            "elect" => Command::Elect,
+            "stabilize" => Command::Stabilize,
+            "orient" => Command::Orient { scheme },
+            "anonymous" => Command::Anonymous {
+                n: n.unwrap_or(8),
+                c,
+                trials,
+            },
+            "compose" => Command::Compose,
+            "solitude" => Command::Solitude { max_id },
+            "baseline" => Command::Baseline { which },
+            "echo" => Command::Echo { graph, root },
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(err(format!("unknown command '{other}'; try 'help'"))),
+        };
+        Ok(Cli { command, opts })
+    }
+}
+
+/// The usage text printed by `co-ring help`.
+#[must_use]
+pub fn usage() -> String {
+    "co-ring — content-oblivious leader election on rings (DISC 2024)
+
+USAGE: co-ring <COMMAND> [OPTIONS]
+
+COMMANDS:
+  elect       Algorithm 2: quiescently terminating election (Theorem 1)
+  stabilize   Algorithm 1: quiescently stabilizing election
+  orient      Algorithm 3: elect + orient a port-scrambled ring (Theorem 2)
+  anonymous   Algorithm 4 + 3: anonymous ring, random IDs (Theorem 3)
+  compose     Corollary 5: elect, then all nodes learn the ring size
+  solitude    Definition 21: print solitude patterns per ID
+  baseline    Run a classical content-carrying baseline
+  echo        Flood-echo wave on a general graph (§7 groundwork)
+  help        This text
+
+OPTIONS:
+  --ids a,b,c         node IDs clockwise            (default 1..=8)
+  --n N               shorthand for --ids 1,...,N
+  --scheduler NAME    fifo|solitude|lifo|random|round-robin|
+                      starve-cw|starve-ccw|longest-queue  (default random)
+  --seed S            adversary / sampling seed      (default 0)
+  --json              machine-readable output
+  --scheme S          orient: doubled|improved       (default improved)
+  --c X  --trials T   anonymous: parameter and trial count
+  --max-id K          solitude: largest ID
+  --algo A            baseline: cr|hs|peterson|franklin
+  --graph G --root R  echo: ring:N | complete:N | path:N, wave root
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_elect_with_ids() {
+        let cli = Cli::parse(["elect", "--ids", "5,2,9", "--scheduler", "lifo", "--seed", "7"])
+            .expect("parses");
+        assert_eq!(cli.command, Command::Elect);
+        assert_eq!(cli.opts.ids, vec![5, 2, 9]);
+        assert_eq!(cli.opts.scheduler, SchedulerKind::Lifo);
+        assert_eq!(cli.opts.seed, 7);
+    }
+
+    #[test]
+    fn parses_n_shorthand() {
+        let cli = Cli::parse(["stabilize", "--n", "5"]).expect("parses");
+        assert_eq!(cli.opts.ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parses_orient_scheme() {
+        let cli = Cli::parse(["orient", "--scheme", "doubled"]).expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Orient {
+                scheme: IdScheme::Doubled
+            }
+        );
+    }
+
+    #[test]
+    fn parses_anonymous() {
+        let cli =
+            Cli::parse(["anonymous", "--n", "16", "--c", "2.0", "--trials", "50"]).expect("parses");
+        match cli.command {
+            Command::Anonymous { n, c, trials } => {
+                assert_eq!((n, trials), (16, 50));
+                assert!((c - 2.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cli::parse(["elect", "--ids", "0,1"]).is_err());
+        assert!(Cli::parse(["elect", "--scheduler", "bogus"]).is_err());
+        assert!(Cli::parse(["frobnicate"]).is_err());
+        assert!(Cli::parse(["elect", "--seed"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        let cli = Cli::parse(Vec::<String>::new()).expect("parses");
+        assert_eq!(cli.command, Command::Help);
+        assert!(usage().contains("co-ring"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Command implementations for `co-ring`.
+
+use crate::args::{usage, Cli, Command, CommonOpts};
+use co_compose::pipeline::elect_then_ring_size;
+use co_core::anonymous::{success_rate, SamplingConfig};
+use co_core::lower_bound::solitude_pattern_alg2;
+use co_core::{runner, IdScheme, Role};
+use co_net::RingSpec;
+use serde::Serialize;
+
+/// Output of a command: human text plus an optional JSON value.
+#[derive(Clone, Debug)]
+pub struct CommandOutput {
+    /// Human-readable report.
+    pub text: String,
+    /// JSON document (pretty-printed when `--json`).
+    pub json: serde_json::Value,
+    /// Process exit code.
+    pub code: i32,
+}
+
+fn ok<T: Serialize>(text: String, value: &T) -> CommandOutput {
+    CommandOutput {
+        text,
+        json: serde_json::to_value(value).unwrap_or(serde_json::Value::Null),
+        code: 0,
+    }
+}
+
+/// Executes a parsed invocation and returns its output.
+#[must_use]
+pub fn run(cli: &Cli) -> CommandOutput {
+    match &cli.command {
+        Command::Help => CommandOutput {
+            text: usage(),
+            json: serde_json::Value::Null,
+            code: 0,
+        },
+        Command::Elect => elect(&cli.opts),
+        Command::Stabilize => stabilize(&cli.opts),
+        Command::Orient { scheme } => orient(&cli.opts, *scheme),
+        Command::Anonymous { n, c, trials } => anonymous(&cli.opts, *n, *c, *trials),
+        Command::Compose => compose(&cli.opts),
+        Command::Solitude { max_id } => solitude(*max_id),
+        Command::Baseline { which } => baseline(&cli.opts, *which),
+        Command::Echo { graph, root } => echo(&cli.opts, graph, *root),
+    }
+}
+
+fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
+    roles
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mark = if *r == Role::Leader { " <== leader" } else { "" };
+            format!("  node {i} (ID {:>3}): {r}{mark}\n", spec.id(i))
+        })
+        .collect()
+}
+
+fn elect(opts: &CommonOpts) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let report = runner::run_alg2(&spec, opts.scheduler, opts.seed);
+    let text = format!(
+        "Algorithm 2 on {spec} under {} (seed {})\noutcome: {}\n{}pulses: {} (Theorem 1 predicts {})\n",
+        opts.scheduler,
+        opts.seed,
+        report.outcome,
+        describe_roles(&spec, &report.roles),
+        report.total_messages,
+        report.predicted_messages.unwrap_or(0),
+    );
+    ok(text, &report)
+}
+
+fn stabilize(opts: &CommonOpts) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let report = runner::run_alg1(&spec, opts.scheduler, opts.seed);
+    let text = format!(
+        "Algorithm 1 on {spec} under {} (seed {})\noutcome: {} (stabilizing: nodes never terminate)\n{}pulses: {} (Corollary 13 predicts {})\n",
+        opts.scheduler,
+        opts.seed,
+        report.outcome,
+        describe_roles(&spec, &report.roles),
+        report.total_messages,
+        report.predicted_messages.unwrap_or(0),
+    );
+    ok(text, &report)
+}
+
+fn orient(opts: &CommonOpts, scheme: IdScheme) -> CommandOutput {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let spec = RingSpec::random_flips(opts.ids.clone(), &mut rng);
+    let out = runner::run_alg3(&spec, scheme, opts.scheduler, opts.seed);
+    let ports: String = out
+        .cw_ports
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            format!(
+                "  node {i}: claims CW = {}\n",
+                p.map_or("undecided".to_owned(), |p| p.to_string())
+            )
+        })
+        .collect();
+    let text = format!(
+        "Algorithm 3 ({scheme}) on {spec}\noutcome: {}\n{}{}orientation consistent: {}\npulses: {} (predicted {})\n",
+        out.report.outcome,
+        describe_roles(&spec, &out.report.roles),
+        ports,
+        out.orientation_consistent,
+        out.report.total_messages,
+        out.report.predicted_messages.unwrap_or(0),
+    );
+    ok(text, &out)
+}
+
+fn anonymous(opts: &CommonOpts, n: usize, c: f64, trials: u64) -> CommandOutput {
+    // 16-bit cap keeps the heavy geometric tail simulatable interactively;
+    // see SamplingConfig::max_bits for the (documented) deviation.
+    let cfg = SamplingConfig::new(c).with_max_bits(16);
+    let stats = success_rate(n, &cfg, opts.scheduler, trials, opts.seed);
+    let text = format!(
+        "Anonymous ring n={n}, c={c}, {trials} trials (Theorem 3)\n\
+         success:     {:.1}% (failures are exactly tied maxima)\n\
+         unique max:  {:.1}%\n\
+         mean ID_max: {:.1}   largest ID_max: {}\n\
+         max pulses:  {}\n",
+        100.0 * stats.rate(),
+        100.0 * stats.unique_max as f64 / trials as f64,
+        stats.mean_id_max,
+        stats.max_id_max,
+        stats.max_messages,
+    );
+    ok(text, &stats)
+}
+
+fn compose(opts: &CommonOpts) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let out = elect_then_ring_size(&spec, opts.scheduler, opts.seed);
+    #[derive(Serialize)]
+    struct ComposeJson {
+        quiescently_terminated: bool,
+        leader: Option<usize>,
+        ring_size_answers: Vec<Option<u64>>,
+        total_messages: u64,
+        election_messages: u64,
+    }
+    let json = ComposeJson {
+        quiescently_terminated: out.quiescently_terminated,
+        leader: out.leader,
+        ring_size_answers: out.outputs.clone(),
+        total_messages: out.total_messages,
+        election_messages: out.election_messages,
+    };
+    let text = format!(
+        "Corollary 5 on {spec}: elect (Algorithm 2), then every node computes n\n\
+         quiescent termination: {}\nleader: position {:?}\n\
+         answers: {:?}\npulses: {} total ({} for the election)\n",
+        out.quiescently_terminated,
+        out.leader,
+        out.outputs,
+        out.total_messages,
+        out.election_messages,
+    );
+    ok(text, &json)
+}
+
+fn solitude(max_id: u64) -> CommandOutput {
+    #[derive(Serialize)]
+    struct PatternRow {
+        id: u64,
+        pattern: String,
+        length: usize,
+    }
+    let rows: Vec<PatternRow> = (1..=max_id)
+        .map(|id| {
+            let p = solitude_pattern_alg2(id).expect("Algorithm 2 terminates in solitude");
+            PatternRow {
+                id,
+                length: p.len(),
+                pattern: p.to_string(),
+            }
+        })
+        .collect();
+    let mut text = format!("Solitude patterns of Algorithm 2 (Definition 21), IDs 1..={max_id}\n");
+    for r in &rows {
+        text.push_str(&format!("  ID {:>4}: {} (len {})\n", r.id, r.pattern, r.length));
+    }
+    text.push_str("All patterns are pairwise distinct (Lemma 22).\n");
+    ok(text, &rows)
+}
+
+fn baseline(opts: &CommonOpts, which: co_classic::runner::Baseline) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let report = which.run(&spec, opts.scheduler, opts.seed);
+    let text = format!(
+        "{which} (content-carrying baseline) on {spec}\noutcome: {}\n{}messages: {}\n\
+         NOTE: this algorithm reads message content and cannot run on\n\
+         defective channels; see `co-ring elect` for the content-oblivious one.\n",
+        report.outcome,
+        describe_roles(&spec, &report.roles),
+        report.total_messages,
+    );
+    ok(text, &report)
+}
+
+fn echo(opts: &CommonOpts, graph: &crate::args::GraphSpec, root: usize) -> CommandOutput {
+    use co_core::general::{EchoNode, EchoState};
+    use co_net::multiport::{GraphSim, GraphWiring};
+    use co_net::Pulse;
+
+    let g = graph.build();
+    let n = g.vertex_count();
+    if root >= n {
+        return CommandOutput {
+            text: format!("error: --root {root} out of range for {n} nodes\n"),
+            json: serde_json::Value::Null,
+            code: 1,
+        };
+    }
+    let wiring = GraphWiring::from_graph(&g);
+    let nodes = (0..n).map(|v| EchoNode::new(v == root)).collect();
+    let mut sim: GraphSim<Pulse, EchoNode> =
+        GraphSim::new(wiring, nodes, opts.scheduler.build(opts.seed));
+    let report = sim.run(10_000_000);
+    let done = (0..n).filter(|&v| sim.node(v).state() == EchoState::Done).count();
+
+    #[derive(Serialize)]
+    struct EchoJson {
+        nodes: usize,
+        edges: usize,
+        two_edge_connected: bool,
+        bridges: Vec<usize>,
+        outcome: String,
+        pulses: u64,
+        nodes_done: usize,
+    }
+    let json = EchoJson {
+        nodes: n,
+        edges: g.edge_count(),
+        two_edge_connected: g.is_two_edge_connected(),
+        bridges: g.bridges(),
+        outcome: report.outcome.to_string(),
+        pulses: report.total_sent,
+        nodes_done: done,
+    };
+    let text = format!(
+        "flood-echo wave on {graph:?} (root {root}) under {}\n\
+         n = {n}, m = {}, 2-edge-connected = {} (bridges: {:?})\n\
+         outcome: {} | pulses: {} (2m = {}) | nodes done: {done}/{n}\n",
+        opts.scheduler,
+        g.edge_count(),
+        g.is_two_edge_connected(),
+        g.bridges(),
+        report.outcome,
+        report.total_sent,
+        2 * g.edge_count(),
+    );
+    ok(text, &json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn run_line(line: &[&str]) -> CommandOutput {
+        run(&Cli::parse(line.iter().copied()).expect("parses"))
+    }
+
+    #[test]
+    fn elect_reports_theorem1() {
+        let out = run_line(&["elect", "--ids", "3,9,5", "--scheduler", "fifo"]);
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("quiescent termination"));
+        assert!(out.text.contains("57")); // 3 * (2*9 + 1)
+        assert!(out.json.get("total_messages").is_some());
+    }
+
+    #[test]
+    fn stabilize_reports_quiescence() {
+        let out = run_line(&["stabilize", "--n", "4", "--scheduler", "fifo"]);
+        assert!(out.text.contains("quiescence without termination"));
+        assert!(out.text.contains("16")); // 4 * ID_max(4)
+    }
+
+    #[test]
+    fn orient_reports_consistency() {
+        let out = run_line(&["orient", "--ids", "2,8,5", "--seed", "3"]);
+        assert!(out.text.contains("orientation consistent: true"));
+    }
+
+    #[test]
+    fn anonymous_reports_rates() {
+        let out = run_line(&[
+            "anonymous", "--n", "6", "--trials", "10", "--c", "0.5", "--seed", "1",
+        ]);
+        assert!(out.text.contains("success"));
+    }
+
+    #[test]
+    fn compose_reports_ring_size() {
+        let out = run_line(&["compose", "--n", "5", "--scheduler", "fifo"]);
+        assert!(out.text.contains("Some(5)"));
+    }
+
+    #[test]
+    fn solitude_prints_patterns() {
+        let out = run_line(&["solitude", "--max-id", "3"]);
+        assert!(out.text.contains("0001111"));
+    }
+
+    #[test]
+    fn baseline_runs() {
+        let out = run_line(&["baseline", "--algo", "hs", "--n", "6"]);
+        assert!(out.text.contains("hirschberg-sinclair"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_line(&["help"]);
+        assert!(out.text.contains("USAGE"));
+    }
+
+    #[test]
+    fn echo_runs_on_graphs() {
+        let out = run_line(&["echo", "--graph", "complete:5", "--root", "2"]);
+        assert!(out.text.contains("pulses: 20 (2m = 20)"));
+        assert!(out.text.contains("nodes done: 5/5"));
+        let out = run_line(&["echo", "--graph", "path:4"]);
+        assert!(out.text.contains("2-edge-connected = false"));
+        assert!(out.text.contains("nodes done: 4/4"));
+    }
+
+    #[test]
+    fn echo_rejects_bad_root() {
+        let out = run_line(&["echo", "--graph", "ring:3", "--root", "9"]);
+        assert_eq!(out.code, 1);
+    }
+}

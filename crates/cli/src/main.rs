@@ -1,0 +1,27 @@
+//! `co-ring` — run the paper's algorithms from the shell.
+
+use co_cli::{run, Cli};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try: co-ring help");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = cli.opts.json;
+    let output = run(&cli);
+    if json && !output.json.is_null() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output.json).expect("serializable output")
+        );
+    } else {
+        print!("{}", output.text);
+    }
+    ExitCode::from(u8::try_from(output.code).unwrap_or(1))
+}

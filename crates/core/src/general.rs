@@ -1,0 +1,267 @@
+//! Beyond rings: content-oblivious primitives on general graphs.
+//!
+//! The paper's concluding open problem asks whether content-oblivious
+//! leader election is possible in arbitrary 2-edge-connected networks.
+//! This module provides first stepping stones on the general-graph
+//! substrate ([`co_net::multiport`]):
+//!
+//! * [`EchoNode`] — the classic flood-echo wave, which turns out to be
+//!   content-oblivious *as is*: every edge carries exactly one pulse in
+//!   each direction, so nodes only ever count pulses per port. A rooted
+//!   wave quiescently terminates at every node and detects global
+//!   completion at the root using exactly `2m` pulses (`m` = number of
+//!   edges). This is the rooted broadcast/termination primitive that the
+//!   compiler of Censor-Hillel et al. presupposes, reproduced in the
+//!   defective model.
+//!
+//! A *leaderless* general-graph election remains open — exactly the
+//! paper's conjecture — but the substrate and this wave make the gap
+//! concrete: what is missing is a way to break symmetry without a root.
+
+use co_net::multiport::{GraphContext, GraphProtocol};
+use co_net::Pulse;
+use std::fmt;
+
+/// State of an [`EchoNode`] in the flood-echo wave.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EchoState {
+    /// Not yet reached by the wave.
+    Idle,
+    /// Reached; waiting for one pulse on every non-parent port.
+    Waiting,
+    /// Echo sent (or, at the root, all echoes collected); done.
+    Done,
+}
+
+/// The flood-echo wave (content-oblivious broadcast with termination
+/// detection at the root).
+///
+/// The root sends one pulse on every port. A non-root adopts the first
+/// pulse's port as its parent, floods all other ports, and waits until
+/// every non-parent port has delivered exactly one pulse (its neighbours'
+/// floods or echoes — indistinguishable, and it does not matter); then it
+/// echoes to the parent and terminates. The root terminates when all its
+/// ports have delivered. Total pulses: exactly one per directed edge,
+/// `2m`.
+///
+/// ```rust
+/// use co_core::general::EchoNode;
+/// use co_net::graph::MultiGraph;
+/// use co_net::multiport::{GraphSim, GraphWiring, GraphOutcome};
+/// use co_net::sched::FifoScheduler;
+///
+/// let g = MultiGraph::ring(5);
+/// let wiring = GraphWiring::from_graph(&g);
+/// let nodes = (0..5).map(|v| EchoNode::new(v == 2)).collect();
+/// let mut sim: GraphSim<co_net::Pulse, EchoNode> =
+///     GraphSim::new(wiring, nodes, Box::new(FifoScheduler::new()));
+/// let report = sim.run(10_000);
+/// assert_eq!(report.outcome, GraphOutcome::QuiescentTerminated);
+/// assert_eq!(report.total_sent, 2 * 5); // 2m pulses
+/// ```
+#[derive(Clone, Debug)]
+pub struct EchoNode {
+    is_root: bool,
+    state: EchoState,
+    parent: Option<usize>,
+    received: Vec<bool>,
+    terminated: bool,
+}
+
+impl EchoNode {
+    /// Creates a node; exactly one node must be the root.
+    #[must_use]
+    pub fn new(is_root: bool) -> EchoNode {
+        EchoNode {
+            is_root,
+            state: EchoState::Idle,
+            parent: None,
+            received: Vec::new(),
+            terminated: false,
+        }
+    }
+
+    /// The node's wave state.
+    #[must_use]
+    pub fn state(&self) -> EchoState {
+        self.state
+    }
+
+    /// The port toward the root (None at the root or before the wave).
+    #[must_use]
+    pub fn parent(&self) -> Option<usize> {
+        self.parent
+    }
+
+    fn pending_ports(&self) -> usize {
+        self.received
+            .iter()
+            .enumerate()
+            .filter(|&(p, &r)| !r && Some(p) != self.parent)
+            .count()
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut GraphContext<'_, Pulse>) {
+        if self.state == EchoState::Waiting && self.pending_ports() == 0 {
+            self.state = EchoState::Done;
+            if let Some(parent) = self.parent {
+                ctx.send(parent, Pulse);
+            }
+            self.terminated = true;
+        }
+    }
+}
+
+impl GraphProtocol<Pulse> for EchoNode {
+    type Output = EchoState;
+
+    fn on_start(&mut self, ctx: &mut GraphContext<'_, Pulse>) {
+        self.received = vec![false; ctx.degree()];
+        if self.is_root {
+            self.state = EchoState::Waiting;
+            for p in 0..ctx.degree() {
+                ctx.send(p, Pulse);
+            }
+            // A degree-0 root (single node, no edges) is trivially done.
+            self.maybe_finish(ctx);
+        }
+    }
+
+    fn on_message(&mut self, port: usize, _msg: Pulse, ctx: &mut GraphContext<'_, Pulse>) {
+        debug_assert!(!self.received[port], "an edge never carries two pulses one way");
+        self.received[port] = true;
+        if self.state == EchoState::Idle {
+            // First contact: adopt the parent, flood the rest.
+            self.state = EchoState::Waiting;
+            self.parent = Some(port);
+            for p in (0..ctx.degree()).filter(|&p| p != port) {
+                ctx.send(p, Pulse);
+            }
+        }
+        self.maybe_finish(ctx);
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn output(&self) -> Option<EchoState> {
+        (self.state == EchoState::Done).then_some(self.state)
+    }
+}
+
+impl fmt::Display for EchoNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "echo({:?}{}, parent={:?})",
+            self.state,
+            if self.is_root { ", root" } else { "" },
+            self.parent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_net::graph::MultiGraph;
+    use co_net::multiport::{GraphOutcome, GraphSim, GraphWiring};
+    use co_net::SchedulerKind;
+
+    fn run(graph: &MultiGraph, root: usize, kind: SchedulerKind, seed: u64) -> (GraphSim<Pulse, EchoNode>, GraphOutcome, u64) {
+        let wiring = GraphWiring::from_graph(graph);
+        let nodes = (0..graph.vertex_count()).map(|v| EchoNode::new(v == root)).collect();
+        let mut sim = GraphSim::new(wiring, nodes, kind.build(seed));
+        let report = sim.run(1_000_000);
+        (sim, report.outcome, report.total_sent)
+    }
+
+    #[test]
+    fn echo_on_rings_uses_exactly_2m_pulses() {
+        for n in [1usize, 2, 3, 8, 17] {
+            let g = MultiGraph::ring(n);
+            for kind in SchedulerKind::ALL {
+                let (sim, outcome, sent) = run(&g, 0, kind, 5);
+                assert_eq!(outcome, GraphOutcome::QuiescentTerminated, "n={n} {kind}");
+                assert_eq!(sent, 2 * n as u64, "n={n} {kind}");
+                for v in 0..n {
+                    assert_eq!(sim.node(v).state(), EchoState::Done, "n={n} {kind} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn echo_on_theta_and_complete_graphs() {
+        // Theta graph.
+        let mut theta = MultiGraph::new(5);
+        theta.add_edge(0, 1);
+        theta.add_edge(0, 2);
+        theta.add_edge(2, 1);
+        theta.add_edge(0, 3);
+        theta.add_edge(3, 4);
+        theta.add_edge(4, 1);
+        let (_, outcome, sent) = run(&theta, 4, SchedulerKind::Random, 3);
+        assert_eq!(outcome, GraphOutcome::QuiescentTerminated);
+        assert_eq!(sent, 2 * 6);
+
+        // K5.
+        let mut k5 = MultiGraph::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                k5.add_edge(u, v);
+            }
+        }
+        let (_, outcome, sent) = run(&k5, 2, SchedulerKind::Lifo, 1);
+        assert_eq!(outcome, GraphOutcome::QuiescentTerminated);
+        assert_eq!(sent, 2 * 10);
+    }
+
+    #[test]
+    fn echo_parent_pointers_form_a_tree_toward_the_root() {
+        let mut g = MultiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        g.add_edge(1, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 2);
+        let root = 0;
+        let (sim, outcome, _) = run(&g, root, SchedulerKind::Random, 9);
+        assert_eq!(outcome, GraphOutcome::QuiescentTerminated);
+        let wiring = GraphWiring::from_graph(&g);
+        // Follow parent pointers from every node; they must reach the root
+        // without cycles.
+        for start in 0..6 {
+            let mut v = start;
+            let mut hops = 0;
+            while v != root {
+                let parent_port = sim.node(v).parent().expect("non-root has a parent");
+                let (next, _) = wiring.endpoint(v, parent_port);
+                v = next;
+                hops += 1;
+                assert!(hops <= 6, "cycle in parent pointers from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn echo_single_node_no_edges() {
+        let g = MultiGraph::new(1);
+        let (sim, outcome, sent) = run(&g, 0, SchedulerKind::Fifo, 0);
+        assert_eq!(outcome, GraphOutcome::QuiescentTerminated);
+        assert_eq!(sent, 0);
+        assert_eq!(sim.node(0).state(), EchoState::Done);
+    }
+
+    #[test]
+    fn echo_self_loop_root() {
+        let mut g = MultiGraph::new(1);
+        g.add_edge(0, 0);
+        let (_, outcome, sent) = run(&g, 0, SchedulerKind::Fifo, 0);
+        assert_eq!(outcome, GraphOutcome::QuiescentTerminated);
+        assert_eq!(sent, 2);
+    }
+}

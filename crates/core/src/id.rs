@@ -1,0 +1,159 @@
+//! Node ID assignments.
+//!
+//! The paper allows IDs to be *any* set of distinct positive integers — the
+//! whole point of Theorems 1 and 4 is that the message complexity is governed
+//! by `ID_max`, not by `n`. The generators here produce the assignment
+//! families the experiment harness sweeps over.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A family of ID assignments for a ring of `n` nodes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IdAssignment {
+    /// IDs `1..=n` in clockwise position order (best case: `ID_max = n`).
+    Contiguous,
+    /// A random permutation of `1..=n`.
+    Shuffled,
+    /// `n` distinct IDs drawn uniformly from `1..=id_max`.
+    SparseUniform {
+        /// Upper bound of the ID universe; must satisfy `id_max >= n`.
+        id_max: u64,
+    },
+    /// IDs `1..=n-1` plus a single `id_max` at a random position — the
+    /// adversarial case where one huge ID dominates the complexity.
+    SingleBig {
+        /// The dominating ID; must satisfy `id_max >= n`.
+        id_max: u64,
+    },
+    /// IDs `1..=n` in *counterclockwise* position order: the node that
+    /// absorbs first sits immediately clockwise of the next absorber,
+    /// maximising pulse travel before each absorption.
+    Descending,
+}
+
+impl IdAssignment {
+    /// Generates an assignment for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if the variant carries an `id_max < n` (there
+    /// must be enough IDs for `n` distinct nodes).
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Vec<u64> {
+        assert!(n > 0, "a ring needs at least one node");
+        let n64 = n as u64;
+        match self {
+            IdAssignment::Contiguous => (1..=n64).collect(),
+            IdAssignment::Shuffled => {
+                let mut ids: Vec<u64> = (1..=n64).collect();
+                ids.shuffle(rng);
+                ids
+            }
+            IdAssignment::SparseUniform { id_max } => {
+                assert!(id_max >= n64, "need id_max >= n distinct IDs");
+                let mut set = BTreeSet::new();
+                while set.len() < n {
+                    set.insert(rng.gen_range(1..=id_max));
+                }
+                let mut ids: Vec<u64> = set.into_iter().collect();
+                ids.shuffle(rng);
+                ids
+            }
+            IdAssignment::SingleBig { id_max } => {
+                assert!(id_max >= n64, "need id_max >= n");
+                let mut ids: Vec<u64> = (1..n64).collect();
+                ids.push(id_max);
+                ids.shuffle(rng);
+                ids
+            }
+            IdAssignment::Descending => (1..=n64).rev().collect(),
+        }
+    }
+}
+
+impl fmt::Display for IdAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdAssignment::Contiguous => f.write_str("contiguous"),
+            IdAssignment::Shuffled => f.write_str("shuffled"),
+            IdAssignment::SparseUniform { id_max } => write!(f, "sparse(max={id_max})"),
+            IdAssignment::SingleBig { id_max } => write!(f, "single-big(max={id_max})"),
+            IdAssignment::Descending => f.write_str("descending"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn assert_valid(ids: &[u64], n: usize) {
+        assert_eq!(ids.len(), n);
+        assert!(ids.iter().all(|&id| id >= 1));
+        let set: BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(set.len(), n, "IDs must be distinct: {ids:?}");
+    }
+
+    #[test]
+    fn contiguous_is_identity() {
+        assert_eq!(
+            IdAssignment::Contiguous.generate(4, &mut rng()),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn descending_reverses() {
+        assert_eq!(
+            IdAssignment::Descending.generate(4, &mut rng()),
+            vec![4, 3, 2, 1]
+        );
+    }
+
+    #[test]
+    fn shuffled_is_a_permutation() {
+        let ids = IdAssignment::Shuffled.generate(16, &mut rng());
+        assert_valid(&ids, 16);
+        assert_eq!(*ids.iter().max().unwrap(), 16);
+    }
+
+    #[test]
+    fn sparse_uniform_distinct_and_bounded() {
+        let ids = IdAssignment::SparseUniform { id_max: 1000 }.generate(10, &mut rng());
+        assert_valid(&ids, 10);
+        assert!(ids.iter().all(|&id| id <= 1000));
+    }
+
+    #[test]
+    fn single_big_has_exactly_one_large_id() {
+        let ids = IdAssignment::SingleBig { id_max: 500 }.generate(8, &mut rng());
+        assert_valid(&ids, 8);
+        assert_eq!(ids.iter().filter(|&&id| id == 500).count(), 1);
+        assert_eq!(ids.iter().filter(|&&id| id < 8).count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "id_max >= n")]
+    fn sparse_uniform_requires_room() {
+        let _ = IdAssignment::SparseUniform { id_max: 3 }.generate(10, &mut rng());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IdAssignment::Contiguous.to_string(), "contiguous");
+        assert_eq!(
+            IdAssignment::SparseUniform { id_max: 9 }.to_string(),
+            "sparse(max=9)"
+        );
+    }
+}

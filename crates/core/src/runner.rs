@@ -1,0 +1,317 @@
+//! High-level election runners.
+//!
+//! Convenience wrappers that wire a [`RingSpec`] to the right protocol,
+//! drive the simulation to completion, and package the result as an
+//! [`ElectionReport`] with the paper's predicted message complexity
+//! attached. All the examples, integration tests, and benches go through
+//! these entry points.
+
+use crate::alg1::Alg1Node;
+use crate::alg2::Alg2Node;
+use crate::alg3::{Alg3Node, Alg3Output, IdScheme};
+use crate::election::{unique_leader, ElectionReport, Role};
+use crate::invariants::{Alg2Monitor, CwMonitor, InvariantViolation};
+use co_net::{Budget, Direction, Port, Pulse, RingSpec, RunReport, SchedulerKind, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// Runs Algorithm 1 (stabilizing, oriented) to quiescence.
+///
+/// The ring may be non-oriented as a wiring, but each node is told its
+/// clockwise port — Algorithm 1 is defined for oriented rings.
+#[must_use]
+pub fn run_alg1(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+    let nodes = (0..spec.len())
+        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    let mut sim: Simulation<Pulse, Alg1Node> =
+        Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    let run = sim.run(Budget::default());
+    let roles: Vec<Role> = (0..spec.len()).map(|i| sim.node(i).role()).collect();
+    report_from(spec, &run, roles, Some(spec.len() as u64 * spec.id_max()))
+}
+
+/// Runs Algorithm 1 with the Lemma 6–12 monitors checked after every step.
+///
+/// # Errors
+///
+/// Returns the first [`InvariantViolation`] observed, if any.
+pub fn run_alg1_monitored(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> Result<ElectionReport, InvariantViolation> {
+    let nodes = (0..spec.len())
+        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    let mut sim: Simulation<Pulse, Alg1Node> =
+        Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    let mut monitor = CwMonitor::new();
+    let mut first_violation: Option<InvariantViolation> = None;
+    let run = sim.run_with(Budget::default(), |sim, _| {
+        if first_violation.is_none() {
+            let in_flight = sim.in_flight_direction(Direction::Cw);
+            if let Err(v) = monitor.check(sim.nodes(), in_flight) {
+                first_violation = Some(v);
+            }
+        }
+    });
+    if let Some(v) = first_violation {
+        return Err(v);
+    }
+    monitor.check_final(sim.nodes())?;
+    let roles: Vec<Role> = (0..spec.len()).map(|i| sim.node(i).role()).collect();
+    Ok(report_from(
+        spec,
+        &run,
+        roles,
+        Some(spec.len() as u64 * spec.id_max()),
+    ))
+}
+
+/// Runs Algorithm 2 (quiescently terminating, oriented; Theorem 1).
+#[must_use]
+pub fn run_alg2(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+    run_alg2_scheduler(spec, scheduler.build(seed))
+}
+
+/// Runs Algorithm 2 under an arbitrary (possibly custom) scheduler.
+#[must_use]
+pub fn run_alg2_scheduler(
+    spec: &RingSpec,
+    scheduler: Box<dyn co_net::Scheduler>,
+) -> ElectionReport {
+    let nodes = alg2_nodes(spec);
+    let mut sim: Simulation<Pulse, Alg2Node> = Simulation::new(spec.wiring(), nodes, scheduler);
+    let run = sim.run(Budget::default());
+    let roles = alg2_roles(&sim, spec.len());
+    report_from(spec, &run, roles, Some(predicted_alg2(spec)))
+}
+
+/// Runs Algorithm 2 with all §3 invariant monitors checked every step.
+///
+/// # Errors
+///
+/// Returns the first [`InvariantViolation`] observed, if any.
+pub fn run_alg2_monitored(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> Result<ElectionReport, InvariantViolation> {
+    let nodes = alg2_nodes(spec);
+    let mut sim: Simulation<Pulse, Alg2Node> =
+        Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    let mut monitor = Alg2Monitor::new();
+    let mut first_violation: Option<InvariantViolation> = None;
+    let run = sim.run_with(Budget::default(), |sim, _| {
+        if first_violation.is_none() {
+            let cw_in_flight = sim.in_flight_direction(Direction::Cw);
+            if let Err(v) = monitor.check(sim.nodes(), cw_in_flight) {
+                first_violation = Some(v);
+            }
+        }
+    });
+    if let Some(v) = first_violation {
+        return Err(v);
+    }
+    monitor.cw().check_final(sim.nodes())?;
+    let roles = alg2_roles(&sim, spec.len());
+    Ok(report_from(spec, &run, roles, Some(predicted_alg2(spec))))
+}
+
+/// Theorem 1's exact complexity for a ring: `n(2·ID_max + 1)`.
+#[must_use]
+pub fn predicted_alg2(spec: &RingSpec) -> u64 {
+    spec.len() as u64 * (2 * spec.id_max() + 1)
+}
+
+fn alg2_nodes(spec: &RingSpec) -> Vec<Alg2Node> {
+    (0..spec.len())
+        .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+        .collect()
+}
+
+fn alg2_roles(sim: &Simulation<Pulse, Alg2Node>, n: usize) -> Vec<Role> {
+    (0..n).map(|i| sim.node(i).role()).collect()
+}
+
+/// Result of an Algorithm 3 run: election report plus orientation data.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Alg3Report {
+    /// The election outcome.
+    pub report: ElectionReport,
+    /// Each node's claimed clockwise port (position order); `None` if the
+    /// node never reached the output guard.
+    pub cw_ports: Vec<Option<Port>>,
+    /// Whether the orientation claims form one consistent global walk.
+    pub orientation_consistent: bool,
+}
+
+/// Runs Algorithm 3 on a (possibly non-oriented) ring to quiescence.
+#[must_use]
+pub fn run_alg3(
+    spec: &RingSpec,
+    scheme: IdScheme,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> Alg3Report {
+    let nodes = (0..spec.len())
+        .map(|i| Alg3Node::new(spec.id(i), scheme))
+        .collect();
+    run_alg3_nodes(spec, scheme, nodes, scheduler, seed)
+}
+
+/// Runs Algorithm 3 with Proposition 19 ID resampling enabled.
+///
+/// Returns the report plus each node's final (resampled) ID.
+#[must_use]
+pub fn run_alg3_resampling(
+    spec: &RingSpec,
+    scheme: IdScheme,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> (Alg3Report, Vec<u64>) {
+    let nodes = (0..spec.len())
+        .map(|i| Alg3Node::with_resampling(spec.id(i), scheme, seed ^ (i as u64) << 32 | i as u64))
+        .collect::<Vec<_>>();
+    let spec_clone = spec.clone();
+    let mut sim: Simulation<Pulse, Alg3Node> =
+        Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    let run = sim.run(Budget::default());
+    let final_ids: Vec<u64> = (0..spec.len()).map(|i| sim.node(i).id()).collect();
+    let report = alg3_report_from(&spec_clone, scheme, &sim, &run);
+    (report, final_ids)
+}
+
+fn run_alg3_nodes(
+    spec: &RingSpec,
+    scheme: IdScheme,
+    nodes: Vec<Alg3Node>,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> Alg3Report {
+    let mut sim: Simulation<Pulse, Alg3Node> =
+        Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    let run = sim.run(Budget::default());
+    alg3_report_from(spec, scheme, &sim, &run)
+}
+
+fn alg3_report_from(
+    spec: &RingSpec,
+    scheme: IdScheme,
+    sim: &Simulation<Pulse, Alg3Node>,
+    run: &RunReport,
+) -> Alg3Report {
+    let outputs: Vec<Option<Alg3Output>> = (0..spec.len()).map(|i| sim.node(i).output()).collect();
+    let roles: Vec<Role> = outputs
+        .iter()
+        .map(|o| o.map_or(Role::NonLeader, |o| o.role))
+        .collect();
+    let cw_ports: Vec<Option<Port>> = outputs.iter().map(|o| o.map(|o| o.cw_port)).collect();
+    let decided = outputs.iter().all(Option::is_some);
+    let all_cw = decided && (0..spec.len()).all(|i| cw_ports[i] == Some(spec.cw_port(i)));
+    let all_ccw = decided && (0..spec.len()).all(|i| cw_ports[i] == Some(spec.ccw_port(i)));
+    let report = report_from(
+        spec,
+        run,
+        roles,
+        Some(scheme.predicted_messages(spec.len() as u64, spec.id_max())),
+    );
+    Alg3Report {
+        report,
+        cw_ports,
+        orientation_consistent: all_cw || all_ccw,
+    }
+}
+
+fn report_from(
+    _spec: &RingSpec,
+    run: &RunReport,
+    roles: Vec<Role>,
+    predicted: Option<u64>,
+) -> ElectionReport {
+    ElectionReport {
+        outcome: run.outcome,
+        total_messages: run.total_sent,
+        steps: run.steps,
+        leader: unique_leader(&roles),
+        roles,
+        predicted_messages: predicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::IdAssignment;
+    use co_net::Outcome;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn run_alg1_stabilizes_and_predicts() {
+        let spec = RingSpec::oriented(vec![2, 6, 3]);
+        let report = run_alg1(&spec, SchedulerKind::Fifo, 0);
+        assert_eq!(report.outcome, Outcome::Quiescent);
+        assert_eq!(report.leader, Some(1));
+        assert_eq!(report.total_messages, report.predicted_messages.unwrap());
+        report.validate(&spec).expect("valid election");
+    }
+
+    #[test]
+    fn run_alg2_terminates_and_predicts() {
+        let spec = RingSpec::oriented(vec![2, 6, 3]);
+        let report = run_alg2(&spec, SchedulerKind::Random, 11);
+        assert!(report.quiescently_terminated());
+        assert_eq!(report.total_messages, 3 * 13);
+        assert_eq!(report.predicted_messages, Some(39));
+        report.validate(&spec).expect("valid election");
+    }
+
+    #[test]
+    fn monitored_runs_pass_over_scheduler_family() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1usize, 2, 3, 5, 9] {
+            let ids = IdAssignment::Shuffled.generate(n, &mut rng);
+            let spec = RingSpec::oriented(ids);
+            for kind in SchedulerKind::ALL {
+                run_alg1_monitored(&spec, kind, 17).expect("Alg1 invariants");
+                let report = run_alg2_monitored(&spec, kind, 17).expect("Alg2 invariants");
+                report.validate(&spec).expect("valid election");
+            }
+        }
+    }
+
+    #[test]
+    fn run_alg3_reports_orientation() {
+        let spec = RingSpec::with_flips(vec![3, 8, 1, 5], vec![true, false, false, true]);
+        let out = run_alg3(&spec, IdScheme::Improved, SchedulerKind::Random, 2);
+        assert!(out.report.reached_quiescence());
+        assert!(out.orientation_consistent);
+        assert_eq!(out.report.leader, Some(1));
+        assert_eq!(out.report.total_messages, 4 * 17);
+    }
+
+    #[test]
+    fn custom_scheduler_entry_point() {
+        use co_net::sched::BoundedDelayScheduler;
+        // Partial synchrony is just another adversary: Theorem 1 unchanged.
+        let spec = RingSpec::oriented(vec![4, 7, 2, 5]);
+        for bound in [0u64, 1, 5, 50] {
+            let report =
+                run_alg2_scheduler(&spec, Box::new(BoundedDelayScheduler::new(bound, 3)));
+            assert!(report.quiescently_terminated(), "bound {bound}");
+            assert_eq!(report.leader, Some(1), "bound {bound}");
+            assert_eq!(report.total_messages, 4 * (2 * 7 + 1), "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn resampling_returns_final_ids() {
+        let spec = RingSpec::oriented(vec![2, 2, 7, 2]);
+        let (out, ids) = run_alg3_resampling(&spec, IdScheme::Improved, SchedulerKind::Fifo, 3);
+        assert!(out.report.reached_quiescence());
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[2], 7, "the max node keeps its ID");
+        assert!(ids.iter().all(|&id| id >= 1));
+    }
+}

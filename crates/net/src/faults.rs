@@ -1,0 +1,114 @@
+//! Model-violating channel faults: drops, duplications, injections.
+//!
+//! The paper's model (§2) states *"Pulses cannot be dropped or injected by
+//! the channel"* — and its algorithms are exactly as fragile as that
+//! assumption implies: a single lost or spurious pulse permanently corrupts
+//! the counter-based reasoning of Lemmas 6–12. This module lets the
+//! harness *violate* the model deliberately and observe the consequences
+//! (experiment E11), empirically demonstrating that the assumption is
+//! load-bearing rather than cosmetic:
+//!
+//! * **drop** — the algorithms deadlock short of their target counts: the
+//!   network reaches quiescence with nodes still waiting (Lemma 9's
+//!   equivalence breaks);
+//! * **duplicate / inject** — counters overshoot, violating Corollary 14
+//!   and electing the wrong node or multiple nodes.
+//!
+//! Faults are scheduled by **global send sequence number**, which is
+//! deterministic for a given scheduler and seed, making every fault
+//! scenario reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A plan of channel faults to apply during a simulation.
+///
+/// ```rust
+/// use co_net::faults::FaultPlan;
+/// let plan = FaultPlan::new().drop_seq(7).duplicate_seq(12);
+/// assert!(plan.should_drop(7));
+/// assert!(!plan.should_drop(8));
+/// assert!(plan.should_duplicate(12));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    drops: BTreeSet<u64>,
+    duplicates: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Drop the message with global send sequence `seq` (it is counted as
+    /// sent but never delivered).
+    #[must_use]
+    pub fn drop_seq(mut self, seq: u64) -> FaultPlan {
+        self.drops.insert(seq);
+        self
+    }
+
+    /// Duplicate the message with global send sequence `seq` (the copy is
+    /// enqueued right behind the original, as channel noise would).
+    #[must_use]
+    pub fn duplicate_seq(mut self, seq: u64) -> FaultPlan {
+        self.duplicates.insert(seq);
+        self
+    }
+
+    /// Whether the given send should be dropped.
+    #[must_use]
+    pub fn should_drop(&self, seq: u64) -> bool {
+        self.drops.contains(&seq)
+    }
+
+    /// Whether the given send should be duplicated.
+    #[must_use]
+    pub fn should_duplicate(&self, seq: u64) -> bool {
+        self.duplicates.contains(&seq)
+    }
+
+    /// Whether the plan contains any fault.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty() && self.duplicates.is_empty()
+    }
+}
+
+/// Counters of faults actually applied during a run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Messages silently discarded.
+    pub dropped: u64,
+    /// Spurious copies enqueued by duplication.
+    pub duplicated: u64,
+    /// Spurious messages injected via
+    /// [`Simulation::inject`](crate::Simulation::inject).
+    pub injected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders() {
+        let plan = FaultPlan::new().drop_seq(1).drop_seq(5).duplicate_seq(5);
+        assert!(plan.should_drop(1));
+        assert!(plan.should_drop(5));
+        assert!(plan.should_duplicate(5));
+        assert!(!plan.should_duplicate(1));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let plan = FaultPlan::new().drop_seq(3).duplicate_seq(9);
+        let json = serde_json::to_string(&plan).expect("serialize");
+        assert_eq!(serde_json::from_str::<FaultPlan>(&json).expect("deserialize"), plan);
+    }
+}

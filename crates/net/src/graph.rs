@@ -1,0 +1,288 @@
+//! Topology analysis: 2-edge-connectivity.
+//!
+//! Censor-Hillel, Cohen, Gelles & Sela proved that nontrivial
+//! content-oblivious computation is possible **iff** the network is
+//! 2-edge-connected (no bridges): a pulse crossing a bridge carries no
+//! information about *which* of the far side's algorithms sent it, and a
+//! single cut edge cannot carry the echo structure their compiler needs.
+//! Rings are exactly the minimal 2-edge-connected graphs, which is why the
+//! paper focuses on them (§1).
+//!
+//! This module provides a general undirected multigraph with bridge
+//! detection (Tarjan's low-link algorithm, iterative), used by the harness
+//! to validate topologies and to document the boundary of the model:
+//! [`RingSpec`](crate::RingSpec) wirings are always 2-edge-connected; a
+//! path is not.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected multigraph on vertices `0..n`, allowing parallel edges and
+/// self-loops (both occur in degenerate rings).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiGraph {
+    n: usize,
+    /// Edge list; parallel edges are distinct entries.
+    edges: Vec<(usize, usize)>,
+}
+
+impl MultiGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> MultiGraph {
+        MultiGraph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds the cycle graph `C_n` (a ring), using a double edge for
+    /// `n = 2` and a self-loop for `n = 1` — matching
+    /// [`RingSpec::wiring`](crate::RingSpec::wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn ring(n: usize) -> MultiGraph {
+        assert!(n > 0, "a ring needs at least one node");
+        let mut g = MultiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// Builds the path graph `P_n` (which has `n − 1` bridges).
+    #[must_use]
+    pub fn path(n: usize) -> MultiGraph {
+        let mut g = MultiGraph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// Adds an undirected edge (parallel edges and self-loops allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        self.edges.push((u, v));
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (parallel edges counted separately).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints of edge `e`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= self.edge_count()`.
+    #[must_use]
+    pub fn edge(&self, e: usize) -> (usize, usize) {
+        self.edges[e]
+    }
+
+    /// Degree of a vertex (self-loops count twice, as usual).
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .map(|&(a, b)| usize::from(a == v) + usize::from(b == v))
+            .sum()
+    }
+
+    /// Whether every vertex is reachable from vertex 0 (vacuously true for
+    /// the empty graph).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Adjacency lists carrying edge indices (needed to distinguish
+    /// parallel edges during bridge detection).
+    fn adjacency(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for (idx, &(u, v)) in self.edges.iter().enumerate() {
+            adj[u].push((v, idx));
+            if u != v {
+                adj[v].push((u, idx));
+            }
+        }
+        adj
+    }
+
+    /// The bridges (cut edges) of the graph, as indices into the edge list,
+    /// via an iterative Tarjan low-link traversal. A parallel edge is never
+    /// a bridge; a self-loop is never a bridge.
+    #[must_use]
+    pub fn bridges(&self) -> Vec<usize> {
+        let adj = self.adjacency();
+        let mut disc = vec![usize::MAX; self.n];
+        let mut low = vec![usize::MAX; self.n];
+        let mut timer = 0usize;
+        let mut bridges = Vec::new();
+
+        for root in 0..self.n {
+            if disc[root] != usize::MAX {
+                continue;
+            }
+            // Iterative DFS frame: (vertex, parent edge index, next child
+            // position in adj[vertex]).
+            let mut stack: Vec<(usize, usize, usize)> = vec![(root, usize::MAX, 0)];
+            disc[root] = timer;
+            low[root] = timer;
+            timer += 1;
+            while let Some(top) = stack.last_mut() {
+                let (u, parent_edge) = (top.0, top.1);
+                if top.2 < adj[u].len() {
+                    let (v, edge) = adj[u][top.2];
+                    top.2 += 1;
+                    if edge == parent_edge || v == u {
+                        continue; // don't re-use the tree edge; skip loops
+                    }
+                    if disc[v] == usize::MAX {
+                        disc[v] = timer;
+                        low[v] = timer;
+                        timer += 1;
+                        stack.push((v, edge, 0));
+                    } else {
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _, _)) = stack.last() {
+                        low[p] = low[p].min(low[u]);
+                        if low[u] > disc[p] {
+                            bridges.push(parent_edge);
+                        }
+                    }
+                }
+            }
+        }
+        bridges.sort_unstable();
+        bridges
+    }
+
+    /// Whether the graph is 2-edge-connected: connected, at least one
+    /// vertex, and bridgeless — the exact precondition for nontrivial
+    /// content-oblivious computation.
+    #[must_use]
+    pub fn is_two_edge_connected(&self) -> bool {
+        self.n >= 1 && self.is_connected() && self.bridges().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_are_two_edge_connected() {
+        for n in [1usize, 2, 3, 5, 16] {
+            let g = MultiGraph::ring(n);
+            assert!(g.is_two_edge_connected(), "C_{n}");
+            assert!(g.bridges().is_empty(), "C_{n}");
+        }
+    }
+
+    #[test]
+    fn paths_are_all_bridges() {
+        for n in [2usize, 3, 7] {
+            let g = MultiGraph::path(n);
+            assert!(!g.is_two_edge_connected(), "P_{n}");
+            assert_eq!(g.bridges().len(), n - 1, "P_{n}");
+        }
+    }
+
+    #[test]
+    fn single_vertex_self_loop() {
+        let g = MultiGraph::ring(1);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.is_two_edge_connected());
+    }
+
+    #[test]
+    fn parallel_edges_kill_the_bridge() {
+        // A single edge between two vertices is a bridge...
+        let mut g = MultiGraph::new(2);
+        g.add_edge(0, 1);
+        assert_eq!(g.bridges(), vec![0]);
+        // ...but doubling it (the n = 2 "ring") removes it.
+        g.add_edge(0, 1);
+        assert!(g.bridges().is_empty());
+        assert!(g.is_two_edge_connected());
+    }
+
+    #[test]
+    fn barbell_has_one_bridge() {
+        // Two triangles joined by one edge: exactly that edge is a bridge.
+        let mut g = MultiGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        g.add_edge(2, 3); // the bridge, edge index 6
+        assert_eq!(g.bridges(), vec![6]);
+        assert!(!g.is_two_edge_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(!g.is_connected());
+        assert!(!g.is_two_edge_connected());
+    }
+
+    #[test]
+    fn theta_graph_bridgeless() {
+        // Two vertices joined by three parallel paths.
+        let mut g = MultiGraph::new(5);
+        g.add_edge(0, 1); // direct
+        g.add_edge(0, 2);
+        g.add_edge(2, 1);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 1);
+        assert!(g.is_two_edge_connected());
+    }
+
+    #[test]
+    fn degree_counts_loops_twice() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Message types carried by network channels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Anything a channel can carry.
+///
+/// Blanket-implemented for every `Clone + Debug + Send + 'static` type, so
+/// protocols can use plain enums or structs as payloads. The
+/// content-oblivious model is obtained by instantiating the network with
+/// [`Pulse`], which carries no information at all.
+pub trait Message: Clone + fmt::Debug + Send + 'static {}
+
+impl<T: Clone + fmt::Debug + Send + 'static> Message for T {}
+
+/// A fully defective message: content erased by noise, length zero.
+///
+/// In the fully defective network model of Censor-Hillel, Cohen, Gelles, and
+/// Sela (Distributed Computing 2023), adopted by the paper, *every* message is
+/// corrupted into an empty message whose only observable property is its
+/// existence. Algorithms built over `Pulse` are content-oblivious by
+/// construction: there is no content to read.
+///
+/// ```rust
+/// use co_net::Pulse;
+/// // A pulse has no fields and conveys no information beyond arrival.
+/// let p = Pulse;
+/// assert_eq!(p, Pulse::default());
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pulse;
+
+impl fmt::Display for Pulse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("pulse")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<Pulse>(), 0);
+    }
+
+    #[test]
+    fn pulse_displays() {
+        assert_eq!(Pulse.to_string(), "pulse");
+        assert_eq!(format!("{Pulse:?}"), "Pulse");
+    }
+
+    #[test]
+    fn arbitrary_payloads_are_messages() {
+        fn assert_message<M: Message>() {}
+        assert_message::<Pulse>();
+        assert_message::<u64>();
+        assert_message::<(u32, bool)>();
+    }
+}

@@ -1,0 +1,466 @@
+//! General-graph substrate: asynchronous defective networks beyond rings.
+//!
+//! The paper's concluding open problem asks for content-oblivious leader
+//! election in arbitrary 2-edge-connected networks. This module provides
+//! the simulation substrate for that line of work: nodes of arbitrary
+//! degree ([`GraphProtocol`], ports are `usize`), wired from a
+//! [`MultiGraph`](crate::graph::MultiGraph), driven by the same adversarial
+//! [`Scheduler`](crate::Scheduler) machinery and accounting as the ring
+//! simulator.
+//!
+//! `co-core::general` builds a first content-oblivious algorithm on top
+//! (the flood-echo wave); the ring-specific [`Simulation`](crate::Simulation)
+//! remains the optimized engine for the paper's own algorithms.
+
+use crate::graph::MultiGraph;
+use crate::message::Message;
+use crate::sched::{ChannelView, Scheduler};
+use crate::topology::ChannelId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An event-driven node of arbitrary degree.
+///
+/// The general-graph analogue of [`Protocol`](crate::Protocol): ports are
+/// dense indices `0..degree`, assigned per node in edge-insertion order of
+/// the underlying [`MultiGraph`].
+pub trait GraphProtocol<M: Message> {
+    /// The node's decision, if any.
+    type Output: Clone + fmt::Debug;
+
+    /// Called once at start-up.
+    fn on_start(&mut self, ctx: &mut GraphContext<'_, M>);
+
+    /// Called when a message is delivered to `port`.
+    fn on_message(&mut self, port: usize, msg: M, ctx: &mut GraphContext<'_, M>);
+
+    /// Whether the node has terminated (then it ignores all messages).
+    fn is_terminated(&self) -> bool {
+        false
+    }
+
+    /// The node's current output.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Send capability for [`GraphProtocol`] events.
+#[derive(Debug)]
+pub struct GraphContext<'a, M: Message> {
+    node: usize,
+    degree: usize,
+    outbox: &'a mut Vec<(usize, M)>,
+}
+
+impl<M: Message> GraphContext<'_, M> {
+    /// Sends `msg` out of `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree`.
+    pub fn send(&mut self, port: usize, msg: M) {
+        assert!(port < self.degree, "port {port} out of range");
+        self.outbox.push((port, msg));
+    }
+
+    /// This node's index.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// This node's degree (number of ports).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+/// Compiled channel table of a general graph.
+#[derive(Clone, Debug)]
+pub struct GraphWiring {
+    n: usize,
+    /// `port_base[v]` = first flat channel index of node `v`'s out-ports;
+    /// `port_base[n]` = total channel count.
+    port_base: Vec<usize>,
+    /// `endpoints[flat]` = destination `(node, port)`.
+    endpoints: Vec<(usize, usize)>,
+}
+
+impl GraphWiring {
+    /// Compiles a multigraph into a channel table. Each undirected edge
+    /// becomes one port at each endpoint (two consecutive ports for a
+    /// self-loop) and two directed FIFO channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no vertices.
+    #[must_use]
+    pub fn from_graph(graph: &MultiGraph) -> GraphWiring {
+        let n = graph.vertex_count();
+        assert!(n > 0, "network must have at least one node");
+        // Assign ports in edge-insertion order.
+        let mut ports: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (peer, peer_port)
+        for e in 0..graph.edge_count() {
+            let (u, v) = graph.edge(e);
+            let pu = ports[u].len();
+            let pv = if u == v { pu + 1 } else { ports[v].len() };
+            ports[u].push((v, pv));
+            if u == v {
+                ports[u].push((u, pu));
+            } else {
+                ports[v].push((u, pu));
+            }
+        }
+        let mut port_base = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        for p in &ports {
+            port_base.push(acc);
+            acc += p.len();
+        }
+        port_base.push(acc);
+        let mut endpoints = vec![(0usize, 0usize); acc];
+        for (v, plist) in ports.iter().enumerate() {
+            for (p, &(peer, peer_port)) in plist.iter().enumerate() {
+                endpoints[port_base[v] + p] = (peer, peer_port);
+            }
+        }
+        GraphWiring {
+            n,
+            port_base,
+            endpoints,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the network is empty (never true for a valid wiring).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Degree of a node.
+    #[must_use]
+    pub fn degree(&self, node: usize) -> usize {
+        self.port_base[node + 1] - self.port_base[node]
+    }
+
+    /// Total directed channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        *self.port_base.last().expect("non-empty")
+    }
+
+    fn flat(&self, node: usize, port: usize) -> usize {
+        debug_assert!(port < self.degree(node));
+        self.port_base[node] + port
+    }
+
+    /// Destination `(node, port)` of the channel leaving `(node, port)`.
+    #[must_use]
+    pub fn endpoint(&self, node: usize, port: usize) -> (usize, usize) {
+        self.endpoints[self.flat(node, port)]
+    }
+}
+
+/// How a general-graph run ended (same semantics as
+/// [`Outcome`](crate::Outcome)).
+pub use crate::sim::Outcome as GraphOutcome;
+
+/// Result of [`GraphSim::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphRunReport {
+    /// How the run ended.
+    pub outcome: GraphOutcome,
+    /// Total messages sent.
+    pub total_sent: u64,
+    /// Deliveries performed.
+    pub steps: u64,
+}
+
+/// Discrete-event simulation over an arbitrary multigraph.
+pub struct GraphSim<M: Message, P: GraphProtocol<M>> {
+    wiring: GraphWiring,
+    nodes: Vec<P>,
+    terminated: Vec<bool>,
+    queues: Vec<VecDeque<(M, u64)>>,
+    nonempty: Vec<usize>,
+    scheduler: Box<dyn Scheduler>,
+    send_seq: u64,
+    total_sent: u64,
+    steps: u64,
+    delivered_to_terminated: u64,
+    started: bool,
+    outbox: Vec<(usize, M)>,
+    ready_buf: Vec<ChannelView>,
+}
+
+impl<M: Message, P: GraphProtocol<M>> GraphSim<M, P> {
+    /// Creates a simulation with one protocol instance per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the wiring's node count.
+    #[must_use]
+    pub fn new(wiring: GraphWiring, nodes: Vec<P>, scheduler: Box<dyn Scheduler>) -> GraphSim<M, P> {
+        assert_eq!(nodes.len(), wiring.len(), "one protocol per node");
+        let channels = wiring.channel_count();
+        let n = wiring.len();
+        GraphSim {
+            wiring,
+            nodes,
+            terminated: vec![false; n],
+            queues: (0..channels).map(|_| VecDeque::new()).collect(),
+            nonempty: Vec::new(),
+            scheduler,
+            send_seq: 0,
+            total_sent: 0,
+            steps: 0,
+            delivered_to_terminated: 0,
+            started: false,
+            outbox: Vec::new(),
+            ready_buf: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self, node: usize, outbox: &mut Vec<(usize, M)>) {
+        for (port, msg) in outbox.drain(..) {
+            let flat = self.wiring.flat(node, port);
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            self.total_sent += 1;
+            if self.queues[flat].is_empty() {
+                if let Err(at) = self.nonempty.binary_search(&flat) {
+                    self.nonempty.insert(at, flat);
+                }
+            }
+            self.queues[flat].push_back((msg, seq));
+        }
+    }
+
+    fn event<F: FnOnce(&mut P, &mut GraphContext<'_, M>)>(&mut self, node: usize, f: F) {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        {
+            let mut ctx = GraphContext {
+                node,
+                degree: self.wiring.degree(node),
+                outbox: &mut outbox,
+            };
+            f(&mut self.nodes[node], &mut ctx);
+        }
+        self.flush(node, &mut outbox);
+        self.outbox = outbox;
+        if !self.terminated[node] && self.nodes[node].is_terminated() {
+            self.terminated[node] = true;
+        }
+    }
+
+    /// Runs every `on_start` (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.nodes.len() {
+            self.event(node, |p, ctx| p.on_start(ctx));
+        }
+    }
+
+    /// Delivers one message; `None` when quiescent.
+    pub fn step(&mut self) -> Option<()> {
+        self.start();
+        self.ready_buf.clear();
+        for &flat in &self.nonempty {
+            let head_seq = self.queues[flat].front().expect("nonempty set is accurate").1;
+            self.ready_buf.push(ChannelView {
+                id: ChannelId::from_index(flat),
+                queue_len: self.queues[flat].len(),
+                head_seq,
+                direction: None,
+            });
+        }
+        if self.ready_buf.is_empty() {
+            return None;
+        }
+        let pick = self.scheduler.pick(&self.ready_buf);
+        let flat = self.ready_buf[pick].id.index();
+        let (msg, _seq) = self.queues[flat].pop_front().expect("picked non-empty");
+        if self.queues[flat].is_empty() {
+            if let Ok(at) = self.nonempty.binary_search(&flat) {
+                self.nonempty.remove(at);
+            }
+        }
+        // Reverse-map the flat source channel to its destination.
+        let (src_node, src_port) = self.unflatten(flat);
+        let (dst, dst_port) = self.wiring.endpoint(src_node, src_port);
+        self.steps += 1;
+        if self.terminated[dst] {
+            self.delivered_to_terminated += 1;
+        } else {
+            self.event(dst, |p, ctx| p.on_message(dst_port, msg, ctx));
+        }
+        Some(())
+    }
+
+    fn unflatten(&self, flat: usize) -> (usize, usize) {
+        // The node owning `flat` is the last one whose base is ≤ flat
+        // (duplicated bases from zero-degree nodes are skipped naturally).
+        let node = self.wiring.port_base.partition_point(|&b| b <= flat) - 1;
+        (node, flat - self.wiring.port_base[node])
+    }
+
+    /// Runs to quiescence or budget exhaustion.
+    pub fn run(&mut self, max_steps: u64) -> GraphRunReport {
+        self.start();
+        let mut executed = 0;
+        while executed < max_steps && self.step().is_some() {
+            executed += 1;
+        }
+        let in_flight: usize = self.queues.iter().map(VecDeque::len).sum();
+        let outcome = if in_flight > 0 {
+            GraphOutcome::BudgetExhausted
+        } else if self.terminated.iter().all(|&t| t) {
+            if self.delivered_to_terminated == 0 {
+                GraphOutcome::QuiescentTerminated
+            } else {
+                GraphOutcome::TerminatedNonQuiescent
+            }
+        } else {
+            GraphOutcome::Quiescent
+        };
+        GraphRunReport {
+            outcome,
+            total_sent: self.total_sent,
+            steps: self.steps,
+        }
+    }
+
+    /// A node's protocol instance.
+    #[must_use]
+    pub fn node(&self, node: usize) -> &P {
+        &self.nodes[node]
+    }
+
+    /// All outputs, in node order.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Option<P::Output>> {
+        self.nodes.iter().map(GraphProtocol::output).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::FifoScheduler;
+
+    /// Relays the first pulse it sees to all other ports.
+    #[derive(Debug)]
+    struct FloodOnce {
+        source: bool,
+        reached: bool,
+    }
+
+    impl GraphProtocol<crate::Pulse> for FloodOnce {
+        type Output = bool;
+        fn on_start(&mut self, ctx: &mut GraphContext<'_, crate::Pulse>) {
+            if self.source {
+                self.reached = true;
+                for p in 0..ctx.degree() {
+                    ctx.send(p, crate::Pulse);
+                }
+            }
+        }
+        fn on_message(&mut self, port: usize, _m: crate::Pulse, ctx: &mut GraphContext<'_, crate::Pulse>) {
+            if !self.reached {
+                self.reached = true;
+                for p in (0..ctx.degree()).filter(|&p| p != port) {
+                    ctx.send(p, crate::Pulse);
+                }
+            }
+        }
+        fn output(&self) -> Option<bool> {
+            Some(self.reached)
+        }
+    }
+
+    fn flood(graph: &MultiGraph, source: usize) -> (GraphRunReport, Vec<bool>) {
+        let wiring = GraphWiring::from_graph(graph);
+        let nodes = (0..graph.vertex_count())
+            .map(|v| FloodOnce {
+                source: v == source,
+                reached: false,
+            })
+            .collect();
+        let mut sim: GraphSim<crate::Pulse, FloodOnce> =
+            GraphSim::new(wiring, nodes, Box::new(FifoScheduler::new()));
+        let report = sim.run(1_000_000);
+        let reached = (0..graph.vertex_count())
+            .map(|v| sim.node(v).reached)
+            .collect();
+        (report, reached)
+    }
+
+    #[test]
+    fn flood_reaches_every_node_on_a_ring() {
+        let g = MultiGraph::ring(6);
+        let (report, reached) = flood(&g, 0);
+        assert_eq!(report.outcome, GraphOutcome::Quiescent);
+        assert!(reached.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn flood_reaches_every_node_on_a_theta_graph() {
+        let mut g = MultiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(2, 1);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 1);
+        let (report, reached) = flood(&g, 3);
+        assert_eq!(report.outcome, GraphOutcome::Quiescent);
+        assert!(reached.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn flood_stops_at_components() {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let (_, reached) = flood(&g, 0);
+        assert_eq!(reached, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn wiring_degrees_and_endpoints() {
+        let mut g = MultiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 0); // self-loop: two ports at node 0
+        let w = GraphWiring::from_graph(&g);
+        assert_eq!(w.degree(0), 3);
+        assert_eq!(w.degree(1), 2);
+        assert_eq!(w.degree(2), 1);
+        assert_eq!(w.channel_count(), 6);
+        // Self-loop ports point at each other.
+        assert_eq!(w.endpoint(0, 1), (0, 2));
+        assert_eq!(w.endpoint(0, 2), (0, 1));
+        // Regular edge round-trips.
+        let (v, p) = w.endpoint(1, 1);
+        assert_eq!(w.endpoint(v, p), (1, 1));
+    }
+
+    #[test]
+    fn self_loop_delivery_works() {
+        let mut g = MultiGraph::new(1);
+        g.add_edge(0, 0);
+        let (report, reached) = flood(&g, 0);
+        assert_eq!(report.outcome, GraphOutcome::Quiescent);
+        assert!(reached[0]);
+        assert_eq!(report.total_sent, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Ports and ring directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the two ports of a ring node.
+///
+/// Each node in a ring communicates with its two neighbours via `Port::Zero`
+/// and `Port::One` (the paper's `Port_0` / `Port_1`). In an *oriented* ring
+/// the convention (matching the paper's Section 2) is that `Port::One` is the
+/// clockwise port — pulses sent from it travel clockwise — while clockwise
+/// pulses *arrive* at `Port::Zero`. In a non-oriented ring the assignment is
+/// arbitrary per node and algorithms may not rely on it.
+///
+/// ```rust
+/// use co_net::Port;
+/// assert_eq!(Port::Zero.opposite(), Port::One);
+/// assert_eq!(Port::One.index(), 1);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Port {
+    /// The paper's `Port_0`; the counterclockwise port in an oriented ring.
+    Zero,
+    /// The paper's `Port_1`; the clockwise port in an oriented ring.
+    One,
+}
+
+impl Port {
+    /// Both ports, in index order.
+    pub const ALL: [Port; 2] = [Port::Zero, Port::One];
+
+    /// Returns the other port of the same node.
+    #[must_use]
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::Zero => Port::One,
+            Port::One => Port::Zero,
+        }
+    }
+
+    /// Returns the port's numeric index (0 or 1).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Port::Zero => 0,
+            Port::One => 1,
+        }
+    }
+
+    /// Converts an index into a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Port {
+        match index {
+            0 => Port::Zero,
+            1 => Port::One,
+            _ => panic!("port index out of range: {index}"),
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Port_{}", self.index())
+    }
+}
+
+/// Global travel direction of a pulse on a ring, used for instrumentation.
+///
+/// *Clockwise* is defined (paper, Section 2) via a pulse that is re-sent from
+/// the clockwise port of every node it visits and passes through all edges.
+/// Nodes in non-oriented rings cannot observe this label; it exists purely for
+/// the harness's accounting (message counters per direction, invariant
+/// monitors, scheduler adversaries that starve one direction).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// Clockwise: along increasing ring position.
+    Cw,
+    /// Counterclockwise: along decreasing ring position.
+    Ccw,
+}
+
+impl Direction {
+    /// Both directions, clockwise first.
+    pub const ALL: [Direction; 2] = [Direction::Cw, Direction::Ccw];
+
+    /// Returns the opposite direction.
+    #[must_use]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Cw => Direction::Ccw,
+            Direction::Ccw => Direction::Cw,
+        }
+    }
+
+    /// Returns 0 for clockwise, 1 for counterclockwise.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::Cw => 0,
+            Direction::Ccw => 1,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Cw => f.write_str("CW"),
+            Direction::Ccw => f.write_str("CCW"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for p in Port::ALL {
+            assert_eq!(p.opposite().opposite(), p);
+        }
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for p in Port::ALL {
+            assert_eq!(Port::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "port index out of range")]
+    fn from_index_rejects_large() {
+        let _ = Port::from_index(2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Port::Zero.to_string(), "Port_0");
+        assert_eq!(Direction::Ccw.to_string(), "CCW");
+    }
+}

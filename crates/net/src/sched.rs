@@ -1,0 +1,729 @@
+//! Adversarial delivery schedulers.
+//!
+//! In the paper's asynchronous model, channel delays are chosen by an
+//! adversary: unbounded but always finite, with per-channel FIFO order.
+//! A [`Scheduler`] is that adversary — at every simulation step it picks
+//! which non-empty channel delivers its *head* message next (FIFO within a
+//! channel is enforced by the simulator itself).
+//!
+//! Correctness claims in the paper quantify over *all* schedules; the test
+//! suites approximate this by running every algorithm under the whole
+//! [`SchedulerKind`] family plus many random seeds.
+
+use crate::port::Direction;
+use crate::topology::ChannelId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A read-only view of one non-empty channel offered to the scheduler.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChannelView {
+    /// Which channel.
+    pub id: ChannelId,
+    /// How many messages are queued on it.
+    pub queue_len: usize,
+    /// Global send sequence number of the head (oldest) message.
+    pub head_seq: u64,
+    /// Direction tag of the channel, if the topology is a ring.
+    pub direction: Option<Direction>,
+}
+
+/// The asynchrony adversary: picks which ready channel delivers next.
+///
+/// Implementations must return an index into `ready` (not a [`ChannelId`]).
+/// `ready` is always non-empty and sorted by channel index.
+///
+/// Any implementation yields *some* valid asynchronous schedule: per-channel
+/// FIFO is enforced by the simulator and every message is eventually
+/// delivered as long as the run continues (delays are finite because runs
+/// are finite).
+pub trait Scheduler: fmt::Debug {
+    /// Chooses the next channel to deliver from; returns an index into `ready`.
+    fn pick(&mut self, ready: &[ChannelView]) -> usize;
+}
+
+/// Globally FIFO: always delivers the oldest in-flight message.
+///
+/// This is the "synchronous-looking" schedule and also the canonical
+/// scheduler of the paper's Definition 21 (solitude patterns) when combined
+/// with its CW-first tie-break — see [`SolitudeScheduler`].
+///
+/// ```rust
+/// use co_net::sched::{FifoScheduler, Scheduler};
+/// use co_net::{ChannelId, ChannelView};
+///
+/// let ready = [
+///     ChannelView { id: ChannelId::from_index(0), queue_len: 1, head_seq: 9, direction: None },
+///     ChannelView { id: ChannelId::from_index(1), queue_len: 1, head_seq: 2, direction: None },
+/// ];
+/// assert_eq!(FifoScheduler::new().pick(&ready), 1); // oldest send first
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FifoScheduler(());
+
+impl FifoScheduler {
+    /// Creates a new FIFO scheduler.
+    #[must_use]
+    pub fn new() -> FifoScheduler {
+        FifoScheduler(())
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| v.head_seq)
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+}
+
+/// The canonical scheduler of Definition 21: delivers messages one by one in
+/// the order they were sent, breaking ties by prioritising clockwise pulses.
+///
+/// Ties can only occur between messages sent during the same event; the
+/// direction tag orders those (CW before CCW, untagged last).
+#[derive(Clone, Debug, Default)]
+pub struct SolitudeScheduler(());
+
+impl SolitudeScheduler {
+    /// Creates the canonical Definition-21 scheduler.
+    #[must_use]
+    pub fn new() -> SolitudeScheduler {
+        SolitudeScheduler(())
+    }
+}
+
+impl Scheduler for SolitudeScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| {
+                let dir_rank = match v.direction {
+                    Some(Direction::Cw) => 0u8,
+                    Some(Direction::Ccw) => 1,
+                    None => 2,
+                };
+                (v.head_seq, dir_rank)
+            })
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+}
+
+/// Adversarially anti-FIFO: always delivers the *youngest* head message,
+/// maximally delaying old messages (while respecting per-channel FIFO).
+#[derive(Clone, Debug, Default)]
+pub struct LifoScheduler(());
+
+impl LifoScheduler {
+    /// Creates a new anti-FIFO scheduler.
+    #[must_use]
+    pub fn new() -> LifoScheduler {
+        LifoScheduler(())
+    }
+}
+
+impl Scheduler for LifoScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.head_seq)
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+}
+
+/// Uniformly random delivery, seeded for reproducibility.
+///
+/// ```rust
+/// use co_net::sched::{RandomScheduler, Scheduler};
+/// use co_net::{ChannelId, ChannelView};
+///
+/// let ready = [
+///     ChannelView { id: ChannelId::from_index(0), queue_len: 1, head_seq: 0, direction: None },
+///     ChannelView { id: ChannelId::from_index(1), queue_len: 1, head_seq: 1, direction: None },
+/// ];
+/// let mut a = RandomScheduler::seeded(7);
+/// let mut b = RandomScheduler::seeded(7);
+/// // Same seed, same schedule — adversaries are reproducible.
+/// assert_eq!(a.pick(&ready), b.pick(&ready));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> RandomScheduler {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        self.rng.gen_range(0..ready.len())
+    }
+}
+
+/// Round-robin over channel indices: fair but staggered delivery.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a new round-robin scheduler.
+    #[must_use]
+    pub fn new() -> RoundRobinScheduler {
+        RoundRobinScheduler { cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        // Deliver from the first ready channel whose index is >= cursor,
+        // wrapping around; then advance the cursor past it.
+        let pick = ready
+            .iter()
+            .position(|v| v.id.index() >= self.cursor)
+            .unwrap_or(0);
+        self.cursor = ready[pick].id.index() + 1;
+        pick
+    }
+}
+
+/// Starves one direction: messages travelling `starved` are delivered only
+/// when no other channel is ready.
+///
+/// This is the adversary that maximally desynchronises the paper's two
+/// parallel executions of Algorithm 1 (Algorithms 2 and 3): one direction
+/// races arbitrarily far ahead of the other.
+#[derive(Clone, Debug)]
+pub struct StarveDirectionScheduler {
+    starved: Direction,
+}
+
+impl StarveDirectionScheduler {
+    /// Creates a scheduler that starves the given direction.
+    #[must_use]
+    pub fn new(starved: Direction) -> StarveDirectionScheduler {
+        StarveDirectionScheduler { starved }
+    }
+}
+
+impl Scheduler for StarveDirectionScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| {
+                let starved = v.direction == Some(self.starved);
+                (starved, v.head_seq)
+            })
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+}
+
+/// Starves a single node: channels *toward* the victim deliver only when
+/// nothing else is ready, simulating one maximally slow process.
+#[derive(Clone, Debug)]
+pub struct StarveNodeScheduler {
+    victim: usize,
+    victims_channels: Vec<ChannelId>,
+}
+
+impl StarveNodeScheduler {
+    /// Creates a scheduler starving deliveries to node `victim`.
+    ///
+    /// `incoming` must list the channels whose endpoint is the victim (the
+    /// simulator's [`crate::Wiring`] provides this).
+    #[must_use]
+    pub fn new(victim: usize, incoming: Vec<ChannelId>) -> StarveNodeScheduler {
+        StarveNodeScheduler {
+            victim,
+            victims_channels: incoming,
+        }
+    }
+
+    /// The starved node.
+    #[must_use]
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+}
+
+impl Scheduler for StarveNodeScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| {
+                let starved = self.victims_channels.contains(&v.id);
+                (starved, v.head_seq)
+            })
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+}
+
+/// Drains the longest queue first — a bursty, congestion-like schedule.
+#[derive(Clone, Debug, Default)]
+pub struct LongestQueueScheduler(());
+
+impl LongestQueueScheduler {
+    /// Creates a new longest-queue-first scheduler.
+    #[must_use]
+    pub fn new() -> LongestQueueScheduler {
+        LongestQueueScheduler(())
+    }
+}
+
+impl Scheduler for LongestQueueScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| (v.queue_len, std::cmp::Reverse(v.head_seq)))
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+}
+
+/// Partial synchrony: adversarial (seeded-random) delivery, but no message
+/// may be overtaken more than `bound` times — once the head of a channel
+/// has waited through `bound` picks, it is delivered next.
+///
+/// The paper's asynchronous model allows unbounded (finite) delays;
+/// `BoundedDelayScheduler` interpolates between fully synchronous
+/// (`bound = 0`, which degenerates to FIFO) and nearly unconstrained
+/// adversaries, and is used to study how schedule skew affects *time*-like
+/// metrics even though message complexity stays fixed.
+#[derive(Clone, Debug)]
+pub struct BoundedDelayScheduler {
+    bound: u64,
+    rng: StdRng,
+    picks: u64,
+    /// `deadline[channel] = picks-count by which its head must deliver`.
+    deadlines: std::collections::HashMap<ChannelId, u64>,
+}
+
+impl BoundedDelayScheduler {
+    /// Creates a scheduler that delays no head message by more than
+    /// `bound` deliveries.
+    #[must_use]
+    pub fn new(bound: u64, seed: u64) -> BoundedDelayScheduler {
+        BoundedDelayScheduler {
+            bound,
+            rng: StdRng::seed_from_u64(seed),
+            picks: 0,
+            deadlines: std::collections::HashMap::new(),
+        }
+    }
+}
+
+impl Scheduler for BoundedDelayScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        self.picks += 1;
+        // Register deadlines for newly seen heads and drop stale entries.
+        let bound = self.bound;
+        let picks = self.picks;
+        self.deadlines
+            .retain(|id, _| ready.iter().any(|v| v.id == *id));
+        for v in ready {
+            self.deadlines.entry(v.id).or_insert(picks + bound);
+        }
+        // Deliver any overdue head first (oldest deadline).
+        if let Some((&id, _)) = self
+            .deadlines
+            .iter()
+            .filter(|(_, &d)| d <= picks)
+            .min_by_key(|(_, &d)| d)
+        {
+            let at = ready
+                .iter()
+                .position(|v| v.id == id)
+                .expect("deadline entries are ready");
+            self.deadlines.remove(&id);
+            return at;
+        }
+        let at = self.rng.gen_range(0..ready.len());
+        self.deadlines.remove(&ready[at].id);
+        at
+    }
+}
+
+/// Replays an explicit schedule: at each step, delivers from the recorded
+/// [`ChannelId`] if it is ready, falling back to FIFO otherwise (and after
+/// the recording is exhausted).
+///
+/// Combined with [`RecordingScheduler`], this reproduces any previously
+/// observed execution exactly — the tool behind regression-pinning an
+/// adversarial interleaving.
+#[derive(Clone, Debug)]
+pub struct ReplayScheduler {
+    script: Vec<ChannelId>,
+    cursor: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler replaying `script`.
+    #[must_use]
+    pub fn new(script: Vec<ChannelId>) -> ReplayScheduler {
+        ReplayScheduler { script, cursor: 0 }
+    }
+
+    /// How many scripted picks have been consumed.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        if let Some(&want) = self.script.get(self.cursor) {
+            self.cursor += 1;
+            if let Some(at) = ready.iter().position(|v| v.id == want) {
+                return at;
+            }
+        }
+        FifoScheduler::new().pick(ready)
+    }
+}
+
+/// Wraps another scheduler and records every picked [`ChannelId`] into a
+/// shared log, for later replay with [`ReplayScheduler`].
+#[derive(Debug)]
+pub struct RecordingScheduler {
+    inner: Box<dyn Scheduler>,
+    log: std::rc::Rc<std::cell::RefCell<Vec<ChannelId>>>,
+}
+
+impl RecordingScheduler {
+    /// Wraps `inner`; returns the scheduler and a handle to the growing log.
+    #[must_use]
+    pub fn new(
+        inner: Box<dyn Scheduler>,
+    ) -> (RecordingScheduler, std::rc::Rc<std::cell::RefCell<Vec<ChannelId>>>) {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        (
+            RecordingScheduler {
+                inner,
+                log: std::rc::Rc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl Scheduler for RecordingScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        let at = self.inner.pick(ready);
+        self.log.borrow_mut().push(ready[at].id);
+        at
+    }
+}
+
+/// Switches from one adversary to another after a fixed number of
+/// deliveries — e.g. FIFO while the CW instance races ahead, then LIFO to
+/// torture the CCW tail.
+#[derive(Debug)]
+pub struct PhaseSwitchScheduler {
+    first: Box<dyn Scheduler>,
+    second: Box<dyn Scheduler>,
+    switch_after: u64,
+    delivered: u64,
+}
+
+impl PhaseSwitchScheduler {
+    /// Uses `first` for the first `switch_after` deliveries, `second` after.
+    #[must_use]
+    pub fn new(
+        first: Box<dyn Scheduler>,
+        second: Box<dyn Scheduler>,
+        switch_after: u64,
+    ) -> PhaseSwitchScheduler {
+        PhaseSwitchScheduler {
+            first,
+            second,
+            switch_after,
+            delivered: 0,
+        }
+    }
+}
+
+impl Scheduler for PhaseSwitchScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        let pick = if self.delivered < self.switch_after {
+            self.first.pick(ready)
+        } else {
+            self.second.pick(ready)
+        };
+        self.delivered += 1;
+        pick
+    }
+}
+
+/// Enumerable family of schedulers used by the test and bench harnesses.
+///
+/// Iterate [`SchedulerKind::ALL`] to quantify a test over a representative
+/// set of adversaries:
+///
+/// ```rust
+/// use co_net::SchedulerKind;
+///
+/// for kind in SchedulerKind::ALL {
+///     let mut scheduler = kind.build(42);
+///     // ... hand `scheduler` to a Simulation ...
+/// #   let _ = &mut scheduler;
+/// }
+/// assert_eq!(SchedulerKind::ALL.len(), 8);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Globally FIFO delivery.
+    Fifo,
+    /// Definition-21 canonical (FIFO, CW-first tie-break).
+    Solitude,
+    /// Anti-FIFO (youngest head first).
+    Lifo,
+    /// Seeded uniform random.
+    Random,
+    /// Round-robin across channels.
+    RoundRobin,
+    /// Starve clockwise traffic.
+    StarveCw,
+    /// Starve counterclockwise traffic.
+    StarveCcw,
+    /// Longest queue first.
+    LongestQueue,
+}
+
+impl SchedulerKind {
+    /// All kinds, in a fixed order.
+    pub const ALL: [SchedulerKind; 8] = [
+        SchedulerKind::Fifo,
+        SchedulerKind::Solitude,
+        SchedulerKind::Lifo,
+        SchedulerKind::Random,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::StarveCw,
+        SchedulerKind::StarveCcw,
+        SchedulerKind::LongestQueue,
+    ];
+
+    /// Instantiates the scheduler; `seed` only affects [`SchedulerKind::Random`].
+    #[must_use]
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerKind::Solitude => Box::new(SolitudeScheduler::new()),
+            SchedulerKind::Lifo => Box::new(LifoScheduler::new()),
+            SchedulerKind::Random => Box::new(RandomScheduler::seeded(seed)),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulerKind::StarveCw => Box::new(StarveDirectionScheduler::new(Direction::Cw)),
+            SchedulerKind::StarveCcw => Box::new(StarveDirectionScheduler::new(Direction::Ccw)),
+            SchedulerKind::LongestQueue => Box::new(LongestQueueScheduler::new()),
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SchedulerKind::Fifo => "fifo",
+            SchedulerKind::Solitude => "solitude",
+            SchedulerKind::Lifo => "lifo",
+            SchedulerKind::Random => "random",
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::StarveCw => "starve-cw",
+            SchedulerKind::StarveCcw => "starve-ccw",
+            SchedulerKind::LongestQueue => "longest-queue",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: usize, queue_len: usize, head_seq: u64, direction: Option<Direction>) -> ChannelView {
+        ChannelView {
+            id: ChannelId::from_index(id),
+            queue_len,
+            head_seq,
+            direction,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_oldest() {
+        let mut s = FifoScheduler::new();
+        let ready = [view(0, 1, 9, None), view(1, 1, 3, None), view(2, 1, 5, None)];
+        assert_eq!(s.pick(&ready), 1);
+    }
+
+    #[test]
+    fn solitude_breaks_ties_cw_first() {
+        let mut s = SolitudeScheduler::new();
+        let ready = [
+            view(0, 1, 3, Some(Direction::Ccw)),
+            view(1, 1, 3, Some(Direction::Cw)),
+        ];
+        assert_eq!(s.pick(&ready), 1);
+    }
+
+    #[test]
+    fn lifo_picks_youngest() {
+        let mut s = LifoScheduler::new();
+        let ready = [view(0, 1, 9, None), view(1, 1, 3, None)];
+        assert_eq!(s.pick(&ready), 0);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let ready = [view(0, 1, 0, None), view(1, 1, 1, None), view(2, 1, 2, None)];
+        let picks_a: Vec<usize> = {
+            let mut s = RandomScheduler::seeded(7);
+            (0..16).map(|_| s.pick(&ready)).collect()
+        };
+        let picks_b: Vec<usize> = {
+            let mut s = RandomScheduler::seeded(7);
+            (0..16).map(|_| s.pick(&ready)).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobinScheduler::new();
+        let ready = [view(0, 1, 0, None), view(2, 1, 1, None), view(5, 1, 2, None)];
+        assert_eq!(s.pick(&ready), 0);
+        assert_eq!(s.pick(&ready), 1);
+        assert_eq!(s.pick(&ready), 2);
+        assert_eq!(s.pick(&ready), 0); // wraps
+    }
+
+    #[test]
+    fn starve_direction_defers_victim() {
+        let mut s = StarveDirectionScheduler::new(Direction::Ccw);
+        let ready = [
+            view(0, 1, 0, Some(Direction::Ccw)),
+            view(1, 1, 5, Some(Direction::Cw)),
+        ];
+        // CCW is older but starved; CW wins.
+        assert_eq!(s.pick(&ready), 1);
+        // Only CCW ready: it must be delivered (finite delays).
+        let only = [view(0, 1, 0, Some(Direction::Ccw))];
+        assert_eq!(s.pick(&only), 0);
+    }
+
+    #[test]
+    fn starve_node_defers_incoming() {
+        let incoming = vec![ChannelId::from_index(0)];
+        let mut s = StarveNodeScheduler::new(0, incoming);
+        assert_eq!(s.victim(), 0);
+        let ready = [view(0, 1, 0, None), view(3, 1, 9, None)];
+        assert_eq!(s.pick(&ready), 1);
+    }
+
+    #[test]
+    fn longest_queue_first() {
+        let mut s = LongestQueueScheduler::new();
+        let ready = [view(0, 2, 0, None), view(1, 7, 5, None)];
+        assert_eq!(s.pick(&ready), 1);
+    }
+
+    #[test]
+    fn bounded_delay_eventually_delivers_the_oldest() {
+        // With bound 2, a head can be skipped at most ~twice before being
+        // forced out.
+        let ready = [
+            view(0, 1, 0, None),
+            view(1, 1, 1, None),
+            view(2, 1, 2, None),
+        ];
+        let mut s = BoundedDelayScheduler::new(2, 42);
+        // Track how long channel 0 survives without being picked.
+        let mut survived = 0;
+        for _ in 0..16 {
+            let p = s.pick(&ready);
+            if p == 0 {
+                break;
+            }
+            survived += 1;
+        }
+        assert!(survived <= 3, "channel 0 skipped {survived} times");
+    }
+
+    #[test]
+    fn bounded_delay_zero_acts_promptly() {
+        let ready = [view(0, 1, 0, None), view(1, 1, 1, None)];
+        let mut s = BoundedDelayScheduler::new(0, 1);
+        // After the first pick, every remaining head is immediately overdue.
+        let first = s.pick(&ready);
+        let second = s.pick(&ready);
+        assert!(first < 2 && second < 2);
+    }
+
+    #[test]
+    fn replay_follows_script_with_fifo_fallback() {
+        let ready = [view(0, 1, 5, None), view(2, 1, 3, None)];
+        let mut s = ReplayScheduler::new(vec![
+            ChannelId::from_index(2),
+            ChannelId::from_index(9), // not ready: falls back to FIFO
+        ]);
+        assert_eq!(s.pick(&ready), 1); // scripted: channel 2
+        assert_eq!(s.pick(&ready), 1); // fallback FIFO: oldest head (seq 3)
+        assert_eq!(s.consumed(), 2);
+        assert_eq!(s.pick(&ready), 1); // script exhausted: FIFO
+    }
+
+    #[test]
+    fn recording_then_replay_reproduces_picks() {
+        let ready = [view(0, 1, 5, None), view(2, 1, 3, None), view(4, 1, 9, None)];
+        let (mut rec, log) = RecordingScheduler::new(Box::new(LifoScheduler::new()));
+        let original: Vec<usize> = (0..4).map(|_| rec.pick(&ready)).collect();
+        let mut replay = ReplayScheduler::new(log.borrow().clone());
+        let replayed: Vec<usize> = (0..4).map(|_| replay.pick(&ready)).collect();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn phase_switch_changes_adversary() {
+        let ready = [view(0, 1, 1, None), view(1, 1, 9, None)];
+        let mut s = PhaseSwitchScheduler::new(
+            Box::new(FifoScheduler::new()),
+            Box::new(LifoScheduler::new()),
+            2,
+        );
+        assert_eq!(s.pick(&ready), 0); // FIFO: oldest
+        assert_eq!(s.pick(&ready), 0);
+        assert_eq!(s.pick(&ready), 1); // switched to LIFO: youngest
+    }
+
+    #[test]
+    fn kind_family_builds() {
+        let ready = [view(0, 1, 0, Some(Direction::Cw)), view(1, 1, 1, None)];
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build(123);
+            let pick = s.pick(&ready);
+            assert!(pick < ready.len(), "{kind} returned invalid index");
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,809 @@
+//! Discrete-event simulation of an asynchronous, fully defective network.
+//!
+//! The simulator realises the paper's model exactly:
+//!
+//! * nodes are **event-driven**: they act once at start-up and thereafter
+//!   only when a message is delivered to them ([`Protocol`]);
+//! * channels are **FIFO per channel** with adversarial finite delays — at
+//!   every step the [`Scheduler`](crate::Scheduler) picks which non-empty
+//!   channel delivers its head message;
+//! * message **content is irrelevant**: for content-oblivious algorithms the
+//!   message type is [`Pulse`](crate::Pulse), which has no content;
+//! * a **terminated** node ignores all further messages and never sends
+//!   again (the simulator enforces this; such deliveries void quiescent
+//!   termination and are reported in the [`RunReport`]).
+//!
+//! The run loop is exposed one step at a time ([`Simulation::step`]) so that
+//! invariant monitors (executable Lemmas 6–12 in `co-core`) can inspect the
+//! global state between events.
+
+use crate::faults::{FaultPlan, FaultStats};
+use crate::message::Message;
+use crate::port::{Direction, Port};
+use crate::sched::{ChannelView, Scheduler};
+use crate::topology::{ChannelId, NodeIndex, Wiring};
+use crate::trace::{Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An event-driven node program.
+///
+/// Implementations correspond to the per-node pseudocode of the paper's
+/// algorithms. A node may send any number of messages during `on_start` and
+/// each `on_message`; it can never block, read clocks, or observe anything
+/// but its own state and the in-port of the delivered message.
+pub trait Protocol<M: Message> {
+    /// The node's decision (e.g. `Leader` / `NonLeader`), if any yet.
+    type Output: Clone + fmt::Debug;
+
+    /// Called once before any delivery; the paper's "act once right in the
+    /// beginning of the computation".
+    fn on_start(&mut self, ctx: &mut Context<'_, M>);
+
+    /// Called when a message is delivered to `port`.
+    fn on_message(&mut self, port: Port, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Whether the node has entered a terminating state.
+    ///
+    /// Once `true`, the simulator never calls [`Protocol::on_message`] again:
+    /// the node ignores all incoming messages and sends no new ones, matching
+    /// the paper's definition of (process) termination. Defaults to `false`
+    /// for stabilizing algorithms, which never terminate.
+    fn is_terminated(&self) -> bool {
+        false
+    }
+
+    /// The node's current output, if decided.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Send capability handed to a [`Protocol`] during an event.
+///
+/// Sends are buffered and enqueued by the simulator when the event handler
+/// returns, in call order (preserving per-channel FIFO).
+#[derive(Debug)]
+pub struct Context<'a, M: Message> {
+    node: NodeIndex,
+    outbox: &'a mut Vec<(Port, M)>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    pub(crate) fn new_internal(node: NodeIndex, outbox: &'a mut Vec<(Port, M)>) -> Context<'a, M> {
+        Context { node, outbox }
+    }
+
+    /// Creates a context that buffers sends into `outbox` without any
+    /// attached network.
+    ///
+    /// This is for harnesses that interpose on a protocol's sends — e.g.
+    /// the universal ring simulator, which feeds a protocol's events
+    /// manually and re-encodes its outgoing messages as pulse trains.
+    /// Within a [`Simulation`] the context is provided by the engine;
+    /// ordinary protocol code never needs this.
+    #[must_use]
+    pub fn buffered(node: NodeIndex, outbox: &'a mut Vec<(Port, M)>) -> Context<'a, M> {
+        Context { node, outbox }
+    }
+
+    /// Sends `msg` out of `port`.
+    pub fn send(&mut self, port: Port, msg: M) {
+        self.outbox.push((port, msg));
+    }
+
+    /// The index of the node executing the event (positions are opaque to
+    /// paper algorithms; exposed for instrumentation and baselines).
+    #[must_use]
+    pub fn node(&self) -> NodeIndex {
+        self.node
+    }
+}
+
+/// Step/message budget bounding a run.
+///
+/// The paper's algorithms all reach quiescence in finite time; the budget
+/// exists to turn a would-be hang (a bug) into a reported
+/// [`Outcome::BudgetExhausted`] instead of an endless loop.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum number of deliveries before aborting.
+    pub max_steps: u64,
+}
+
+impl Budget {
+    /// A budget of `max_steps` deliveries.
+    #[must_use]
+    pub fn steps(max_steps: u64) -> Budget {
+        Budget { max_steps }
+    }
+}
+
+impl Default for Budget {
+    /// 50 million deliveries — far above `n(2·ID_max + 1)` for every
+    /// configuration exercised in this repository.
+    fn default() -> Budget {
+        Budget {
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Every node terminated, and no message was ever delivered to (or left
+    /// queued toward) a terminated node — the paper's *quiescent
+    /// termination*.
+    QuiescentTerminated,
+    /// Every node terminated but some messages were still in transit when
+    /// nodes terminated (they were delivered and ignored).
+    TerminatedNonQuiescent,
+    /// No messages remain in transit but at least one node has not
+    /// terminated — *quiescence*, the guarantee of stabilizing algorithms.
+    Quiescent,
+    /// The step budget ran out with messages still in transit.
+    BudgetExhausted,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::QuiescentTerminated => "quiescent termination",
+            Outcome::TerminatedNonQuiescent => "termination (non-quiescent)",
+            Outcome::Quiescent => "quiescence without termination",
+            Outcome::BudgetExhausted => "budget exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate counters of a simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total messages sent (= the paper's message complexity when the run
+    /// reaches quiescence).
+    pub total_sent: u64,
+    /// Total messages delivered to live nodes.
+    pub total_delivered: u64,
+    /// Messages delivered to terminated nodes and ignored.
+    pub delivered_to_terminated: u64,
+    /// Deliveries performed (steps executed).
+    pub steps: u64,
+    /// Sent counts by direction tag: `[CW, CCW]` (untagged channels are not
+    /// counted here).
+    pub sent_by_direction: [u64; 2],
+    /// Per node: messages sent from each port, indexed `[node][port]`.
+    pub sent_by_port: Vec<[u64; 2]>,
+    /// Per node: messages received (processed) at each port.
+    pub recv_by_port: Vec<[u64; 2]>,
+}
+
+impl SimStats {
+    fn new(n: usize) -> SimStats {
+        SimStats {
+            sent_by_port: vec![[0; 2]; n],
+            recv_by_port: vec![[0; 2]; n],
+            ..SimStats::default()
+        }
+    }
+
+    /// Total messages sent by one node.
+    #[must_use]
+    pub fn sent_by_node(&self, node: NodeIndex) -> u64 {
+        self.sent_by_port[node].iter().sum()
+    }
+
+    /// Total messages received (processed) by one node.
+    #[must_use]
+    pub fn recv_by_node(&self, node: NodeIndex) -> u64 {
+        self.recv_by_port[node].iter().sum()
+    }
+}
+
+/// Result of [`Simulation::run`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Total messages sent — the paper's *message complexity* of the
+    /// execution.
+    pub total_sent: u64,
+    /// Deliveries performed.
+    pub steps: u64,
+    /// Messages still in transit at the end (0 unless the budget ran out).
+    pub in_flight: u64,
+}
+
+/// One delivery, as reported by [`Simulation::step`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StepInfo {
+    /// The channel that delivered.
+    pub channel: ChannelId,
+    /// The receiving node.
+    pub node: NodeIndex,
+    /// The in-port the message arrived at.
+    pub port: Port,
+    /// Global send sequence number of the delivered message.
+    pub seq: u64,
+    /// Direction tag of the channel, if any.
+    pub direction: Option<Direction>,
+    /// Whether the receiver had already terminated (message ignored).
+    pub ignored: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Envelope<M> {
+    msg: M,
+    seq: u64,
+}
+
+/// Discrete-event simulation of a network of [`Protocol`] nodes.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulation<M: Message, P: Protocol<M>> {
+    wiring: Wiring,
+    nodes: Vec<P>,
+    terminated: Vec<bool>,
+    queues: Vec<VecDeque<Envelope<M>>>,
+    scheduler: Box<dyn Scheduler>,
+    stats: SimStats,
+    send_seq: u64,
+    started: bool,
+    trace: Option<Trace>,
+    outbox: Vec<(Port, M)>,
+    ready_buf: Vec<ChannelView>,
+    /// Indices of non-empty channels, kept sorted — maintained
+    /// incrementally so a step costs O(#active channels), not O(n). With a
+    /// single pulse circulating (the common tail of the paper's
+    /// algorithms) a step is O(1).
+    nonempty: Vec<usize>,
+    faults: FaultPlan,
+    fault_stats: FaultStats,
+}
+
+impl<M: Message, P: Protocol<M>> Simulation<M, P> {
+    /// Creates a simulation over `wiring` with one protocol instance per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the wiring's node count.
+    #[must_use]
+    pub fn new(wiring: Wiring, nodes: Vec<P>, scheduler: Box<dyn Scheduler>) -> Simulation<M, P> {
+        assert_eq!(
+            nodes.len(),
+            wiring.len(),
+            "one protocol instance per node required"
+        );
+        let n = wiring.len();
+        let channels = wiring.channel_count();
+        Simulation {
+            wiring,
+            nodes,
+            terminated: vec![false; n],
+            queues: (0..channels).map(|_| VecDeque::new()).collect(),
+            scheduler,
+            stats: SimStats::new(n),
+            send_seq: 0,
+            started: false,
+            trace: None,
+            outbox: Vec::new(),
+            ready_buf: Vec::new(),
+            nonempty: Vec::new(),
+            faults: FaultPlan::new(),
+            fault_stats: FaultStats::default(),
+        }
+    }
+
+    /// Installs a plan of model-violating channel faults (experiment E11).
+    ///
+    /// The paper's model forbids drops and injections; use this to observe
+    /// what that assumption buys. Must be called before the run starts.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Counters of faults actually applied so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Injects a spurious message into a channel, as forbidden channel
+    /// noise would (experiment E11). Counted in [`Simulation::fault_stats`]
+    /// but *not* in `total_sent` — no node sent it.
+    pub fn inject(&mut self, channel: ChannelId, msg: M) {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.fault_stats.injected += 1;
+        self.enqueue(channel, Envelope { msg, seq });
+    }
+
+    fn enqueue(&mut self, ch: ChannelId, envelope: Envelope<M>) {
+        if self.queues[ch.index()].is_empty() {
+            if let Err(at) = self.nonempty.binary_search(&ch.index()) {
+                self.nonempty.insert(at, ch.index());
+            }
+        }
+        self.queues[ch.index()].push_back(envelope);
+    }
+
+    /// Enables event tracing (unbounded if `cap` is `None`).
+    pub fn enable_trace(&mut self, cap: Option<usize>) {
+        self.trace = Some(match cap {
+            Some(c) => Trace::with_capacity(c),
+            None => Trace::new(),
+        });
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Runs every node's `on_start` (in node order). Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.nodes.len() {
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Start { node });
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            {
+                let mut ctx = Context {
+                    node,
+                    outbox: &mut outbox,
+                };
+                self.nodes[node].on_start(&mut ctx);
+            }
+            self.flush_outbox(node, &mut outbox);
+            self.outbox = outbox;
+            self.note_termination(node);
+        }
+    }
+
+    fn flush_outbox(&mut self, node: NodeIndex, outbox: &mut Vec<(Port, M)>) {
+        for (port, msg) in outbox.drain(..) {
+            let ch = ChannelId::new(node, port);
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            self.stats.total_sent += 1;
+            self.stats.sent_by_port[node][port.index()] += 1;
+            let direction = self.wiring.direction(ch);
+            if let Some(d) = direction {
+                self.stats.sent_by_direction[d.index()] += 1;
+            }
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Send {
+                    node,
+                    port,
+                    seq,
+                    direction,
+                });
+            }
+            if self.faults.should_drop(seq) {
+                self.fault_stats.dropped += 1;
+                continue;
+            }
+            if self.faults.should_duplicate(seq) {
+                self.fault_stats.duplicated += 1;
+                let dup_seq = self.send_seq;
+                self.send_seq += 1;
+                self.enqueue(ch, Envelope { msg: msg.clone(), seq });
+                self.enqueue(ch, Envelope { msg, seq: dup_seq });
+            } else {
+                self.enqueue(ch, Envelope { msg, seq });
+            }
+        }
+    }
+
+    fn note_termination(&mut self, node: NodeIndex) {
+        if !self.terminated[node] && self.nodes[node].is_terminated() {
+            self.terminated[node] = true;
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Terminate { node });
+            }
+        }
+    }
+
+    /// Delivers one message chosen by the scheduler.
+    ///
+    /// Starts the simulation if [`Simulation::start`] has not run yet.
+    /// Returns `None` when the network is quiescent (no messages in transit).
+    pub fn step(&mut self) -> Option<StepInfo> {
+        self.start();
+        self.ready_buf.clear();
+        for &ch in &self.nonempty {
+            let head = self.queues[ch].front().expect("nonempty set is accurate");
+            let id = ChannelId::from_index(ch);
+            self.ready_buf.push(ChannelView {
+                id,
+                queue_len: self.queues[ch].len(),
+                head_seq: head.seq,
+                direction: self.wiring.direction(id),
+            });
+        }
+        if self.ready_buf.is_empty() {
+            return None;
+        }
+        let pick = self.scheduler.pick(&self.ready_buf);
+        assert!(
+            pick < self.ready_buf.len(),
+            "scheduler returned out-of-range index {pick}"
+        );
+        let channel = self.ready_buf[pick].id;
+        let direction = self.ready_buf[pick].direction;
+        let envelope = self.queues[channel.index()]
+            .pop_front()
+            .expect("picked channel is non-empty");
+        if self.queues[channel.index()].is_empty() {
+            if let Ok(at) = self.nonempty.binary_search(&channel.index()) {
+                self.nonempty.remove(at);
+            }
+        }
+        let (node, port) = self.wiring.endpoint(channel);
+        self.stats.steps += 1;
+
+        let ignored = self.terminated[node];
+        if ignored {
+            self.stats.delivered_to_terminated += 1;
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::DeliverIgnored {
+                    node,
+                    port,
+                    seq: envelope.seq,
+                });
+            }
+        } else {
+            self.stats.total_delivered += 1;
+            self.stats.recv_by_port[node][port.index()] += 1;
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Deliver {
+                    node,
+                    port,
+                    seq: envelope.seq,
+                    direction,
+                });
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            {
+                let mut ctx = Context {
+                    node,
+                    outbox: &mut outbox,
+                };
+                self.nodes[node].on_message(port, envelope.msg, &mut ctx);
+            }
+            self.flush_outbox(node, &mut outbox);
+            self.outbox = outbox;
+            self.note_termination(node);
+        }
+
+        Some(StepInfo {
+            channel,
+            node,
+            port,
+            seq: envelope.seq,
+            direction,
+            ignored,
+        })
+    }
+
+    /// Runs until quiescence or budget exhaustion.
+    pub fn run(&mut self, budget: Budget) -> RunReport {
+        self.run_with(budget, |_, _| {})
+    }
+
+    /// Runs until quiescence or budget exhaustion, invoking `hook` after
+    /// every delivery with the post-event simulation state.
+    ///
+    /// The hook is how `co-core`'s invariant monitors (executable
+    /// Lemmas 6–12) observe every intermediate configuration:
+    ///
+    /// ```rust
+    /// # use co_net::{Budget, Context, Port, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
+    /// # #[derive(Debug)]
+    /// # struct Quiet;
+    /// # impl Protocol<Pulse> for Quiet {
+    /// #     type Output = ();
+    /// #     fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) { ctx.send(Port::One, Pulse); }
+    /// #     fn on_message(&mut self, _p: Port, _m: Pulse, _c: &mut Context<'_, Pulse>) {}
+    /// #     fn output(&self) -> Option<()> { None }
+    /// # }
+    /// # let spec = RingSpec::oriented(vec![1, 2]);
+    /// # let nodes = vec![Quiet, Quiet];
+    /// # let mut sim: Simulation<Pulse, Quiet> =
+    /// #     Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+    /// let mut max_in_flight = 0;
+    /// sim.run_with(Budget::default(), |sim, _step| {
+    ///     max_in_flight = max_in_flight.max(sim.in_flight());
+    /// });
+    /// assert!(max_in_flight <= 2);
+    /// ```
+    pub fn run_with<F>(&mut self, budget: Budget, mut hook: F) -> RunReport
+    where
+        F: FnMut(&Simulation<M, P>, &StepInfo),
+    {
+        self.start();
+        let mut executed: u64 = 0;
+        while executed < budget.max_steps {
+            // `step` borrows self mutably; copy the info out for the hook.
+            let Some(info) = self.step() else { break };
+            executed += 1;
+            hook(self, &info);
+        }
+        let in_flight = self.in_flight();
+        let outcome = if in_flight > 0 {
+            Outcome::BudgetExhausted
+        } else if self.terminated.iter().all(|&t| t) {
+            if self.stats.delivered_to_terminated == 0 {
+                Outcome::QuiescentTerminated
+            } else {
+                Outcome::TerminatedNonQuiescent
+            }
+        } else {
+            Outcome::Quiescent
+        };
+        RunReport {
+            outcome,
+            total_sent: self.stats.total_sent,
+            steps: self.stats.steps,
+            in_flight,
+        }
+    }
+
+    /// Number of messages currently in transit.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Number of in-transit messages on channels tagged `direction`.
+    #[must_use]
+    pub fn in_flight_direction(&self, direction: Direction) -> u64 {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(ch, _)| {
+                self.wiring.direction(ChannelId::from_index(*ch)) == Some(direction)
+            })
+            .map(|(_, q)| q.len() as u64)
+            .sum()
+    }
+
+    /// Whether no messages are in transit.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Whether the given node has terminated.
+    #[must_use]
+    pub fn is_terminated(&self, node: NodeIndex) -> bool {
+        self.terminated[node]
+    }
+
+    /// The protocol instance of a node (for state inspection by monitors).
+    #[must_use]
+    pub fn node(&self, node: NodeIndex) -> &P {
+        &self.nodes[node]
+    }
+
+    /// All protocol instances, in node order.
+    #[must_use]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Every node's current output.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Option<P::Output>> {
+        self.nodes.iter().map(Protocol::output).collect()
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The network wiring.
+    #[must_use]
+    pub fn wiring(&self) -> &Wiring {
+        &self.wiring
+    }
+
+    /// Consumes the simulation, returning the protocol instances.
+    #[must_use]
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+impl<M: Message, P: Protocol<M> + fmt::Debug> fmt::Debug for Simulation<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.wiring.len())
+            .field("in_flight", &self.in_flight())
+            .field("stats", &self.stats)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Pulse;
+    use crate::sched::{FifoScheduler, SchedulerKind};
+    use crate::topology::RingSpec;
+
+    /// Sends `budget` pulses clockwise, one per received pulse.
+    #[derive(Debug)]
+    struct Ticker {
+        budget: u64,
+        seen: u64,
+        done: bool,
+    }
+
+    impl Ticker {
+        fn new(budget: u64) -> Ticker {
+            Ticker {
+                budget,
+                seen: 0,
+                done: false,
+            }
+        }
+    }
+
+    impl Protocol<Pulse> for Ticker {
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+            if self.budget > 0 {
+                ctx.send(Port::One, Pulse);
+            }
+        }
+        fn on_message(&mut self, _port: Port, _msg: Pulse, ctx: &mut Context<'_, Pulse>) {
+            self.seen += 1;
+            if self.seen < self.budget {
+                ctx.send(Port::One, Pulse);
+            } else {
+                self.done = true;
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.done
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.seen)
+        }
+    }
+
+    fn ring_sim(n: usize, budget: u64) -> Simulation<Pulse, Ticker> {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let nodes = (0..n).map(|_| Ticker::new(budget)).collect();
+        Simulation::new(spec.wiring(), nodes, Box::new(FifoScheduler::new()))
+    }
+
+    #[test]
+    fn tickers_reach_quiescent_termination() {
+        let mut sim = ring_sim(4, 5);
+        let report = sim.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+        // 4 initial + each node relays 4 times (the 5th receipt terminates).
+        assert_eq!(report.total_sent, 4 + 4 * 4);
+        assert!(sim.is_quiescent());
+        for i in 0..4 {
+            assert!(sim.is_terminated(i));
+            assert_eq!(sim.node(i).output(), Some(5));
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Infinite relay: each pulse regenerates forever.
+        let mut sim = ring_sim(3, u64::MAX);
+        let report = sim.run(Budget::steps(100));
+        assert_eq!(report.outcome, Outcome::BudgetExhausted);
+        assert_eq!(report.steps, 100);
+        assert!(report.in_flight > 0);
+    }
+
+    #[test]
+    fn self_loop_delivers_to_self() {
+        let mut sim = ring_sim(1, 3);
+        let report = sim.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+        assert_eq!(sim.node(0).output(), Some(3));
+        // 1 initial + 2 relays.
+        assert_eq!(report.total_sent, 3);
+    }
+
+    #[test]
+    fn stats_account_every_message() {
+        let mut sim = ring_sim(4, 5);
+        sim.enable_trace(None);
+        let report = sim.run(Budget::default());
+        let stats = sim.stats();
+        assert_eq!(stats.total_sent, report.total_sent);
+        assert_eq!(stats.total_delivered + stats.delivered_to_terminated, report.steps);
+        assert_eq!(stats.sent_by_direction[Direction::Cw.index()], report.total_sent);
+        assert_eq!(stats.sent_by_direction[Direction::Ccw.index()], 0);
+        let per_node: u64 = (0..4).map(|i| stats.sent_by_node(i)).sum();
+        assert_eq!(per_node, report.total_sent);
+        // Trace recorded one Send per sent message and a start per node.
+        let trace = sim.trace().expect("trace enabled");
+        let sends = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count() as u64;
+        assert_eq!(sends, report.total_sent);
+    }
+
+    #[test]
+    fn run_with_hook_sees_every_step() {
+        let mut sim = ring_sim(3, 4);
+        let mut seen = 0u64;
+        let report = sim.run_with(Budget::default(), |_, _| seen += 1);
+        assert_eq!(seen, report.steps);
+    }
+
+    #[test]
+    fn all_schedulers_drive_to_completion() {
+        for kind in SchedulerKind::ALL {
+            let spec = RingSpec::oriented(vec![1, 2, 3, 4, 5]);
+            let nodes = (0..5).map(|_| Ticker::new(7)).collect();
+            let mut sim: Simulation<Pulse, Ticker> =
+                Simulation::new(spec.wiring(), nodes, kind.build(99));
+            let report = sim.run(Budget::default());
+            assert_eq!(
+                report.outcome,
+                Outcome::QuiescentTerminated,
+                "scheduler {kind} failed"
+            );
+            assert_eq!(report.total_sent, 5 + 5 * 6, "scheduler {kind} count");
+        }
+    }
+
+    #[test]
+    fn messages_to_terminated_nodes_are_ignored_and_counted() {
+        /// Node 0 sends two pulses at start; every node terminates after one
+        /// receipt, so the second pulse reaches a terminated node.
+        #[derive(Debug)]
+        struct Flooder {
+            id: usize,
+            got: bool,
+        }
+        impl Protocol<Pulse> for Flooder {
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+                if self.id == 0 {
+                    ctx.send(Port::One, Pulse);
+                    ctx.send(Port::One, Pulse);
+                }
+            }
+            fn on_message(&mut self, _p: Port, _m: Pulse, _ctx: &mut Context<'_, Pulse>) {
+                self.got = true;
+            }
+            fn is_terminated(&self) -> bool {
+                self.got
+            }
+            fn output(&self) -> Option<()> {
+                self.got.then_some(())
+            }
+        }
+        let spec = RingSpec::oriented(vec![1, 2]);
+        let nodes = vec![Flooder { id: 0, got: false }, Flooder { id: 1, got: false }];
+        let mut sim: Simulation<Pulse, Flooder> =
+            Simulation::new(spec.wiring(), nodes, Box::new(FifoScheduler::new()));
+        let report = sim.run(Budget::default());
+        // Node 1 terminates after the first pulse; the second is ignored.
+        // Node 0 never receives anything, so it never terminates: quiescent
+        // only after both deliveries.
+        assert_eq!(sim.stats().delivered_to_terminated, 1);
+        assert_eq!(report.outcome, Outcome::Quiescent);
+    }
+}

@@ -1,0 +1,327 @@
+//! Threaded runtime: the same protocols on real OS threads.
+//!
+//! Each node runs on its own thread; each directed channel is a crossbeam
+//! FIFO channel. Delays come from genuine OS scheduling nondeterminism
+//! (optionally amplified by random jitter), demonstrating that the
+//! algorithms' guarantees are not artifacts of the discrete-event simulator.
+//!
+//! Quiescence of a *stabilizing* algorithm cannot be detected from inside
+//! the asynchronous system (that is exactly the paper's point about
+//! non-termination); the harness detects it from the outside with a global
+//! sent/delivered counter pair — a privileged observer position that the
+//! nodes themselves do not have.
+
+use crate::message::Message;
+use crate::port::Port;
+use crate::sim::{Context, Protocol};
+use crate::topology::{ChannelId, NodeIndex, Wiring};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Options for a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedOptions {
+    /// Hard wall-clock limit for the whole run.
+    pub timeout: Duration,
+    /// Number of consecutive idle polls required to declare quiescence.
+    pub quiescence_polls: u32,
+    /// Interval between watchdog polls.
+    pub poll_interval: Duration,
+    /// If nonzero, each node sleeps up to this many microseconds (seeded by
+    /// node index) before processing each message, perturbing schedules.
+    pub max_jitter_us: u64,
+}
+
+impl Default for ThreadedOptions {
+    fn default() -> ThreadedOptions {
+        ThreadedOptions {
+            timeout: Duration::from_secs(30),
+            quiescence_polls: 3,
+            poll_interval: Duration::from_millis(2),
+            max_jitter_us: 0,
+        }
+    }
+}
+
+/// How a threaded run ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ThreadedOutcome {
+    /// Every node terminated on its own.
+    AllTerminated,
+    /// The network went quiescent (sent == delivered, all threads idle).
+    Quiescent,
+    /// The wall-clock timeout fired first.
+    TimedOut,
+}
+
+/// Result of [`run_threaded`].
+#[derive(Clone, Debug)]
+pub struct ThreadedReport<P> {
+    /// How the run ended.
+    pub outcome: ThreadedOutcome,
+    /// Total messages sent across all nodes.
+    pub total_sent: u64,
+    /// Total messages delivered (processed) across all nodes.
+    pub total_delivered: u64,
+    /// The final protocol instances, in node order.
+    pub nodes: Vec<P>,
+}
+
+struct NodeHarness<M> {
+    rx: [Receiver<M>; 2],
+    tx: [Sender<M>; 2],
+}
+
+/// Runs one protocol instance per node on dedicated OS threads.
+///
+/// Returns when every node terminates, the network is detected quiescent, or
+/// the timeout fires. Terminated nodes stop consuming messages (matching the
+/// paper's semantics: a terminated node ignores incoming pulses).
+///
+/// # Panics
+///
+/// Panics if `nodes.len()` differs from the wiring's node count or if a node
+/// thread panics.
+pub fn run_threaded<M, P>(wiring: &Wiring, nodes: Vec<P>, opts: &ThreadedOptions) -> ThreadedReport<P>
+where
+    M: Message,
+    P: Protocol<M> + Send + 'static,
+{
+    assert_eq!(nodes.len(), wiring.len(), "one protocol per node");
+    let n = wiring.len();
+
+    // One crossbeam channel per directed network channel. senders[c] feeds
+    // the queue of channel c; the receiver lives at the channel's endpoint.
+    let mut senders: Vec<Sender<M>> = Vec::with_capacity(2 * n);
+    let mut receivers: Vec<Option<Receiver<M>>> = Vec::with_capacity(2 * n);
+    for _ in 0..2 * n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    // rx_at[(v, q)] = receiver of the channel whose endpoint is (v, q):
+    // the channel leaving (u, p) where endpoint(u, p) == (v, q). Because the
+    // endpoint map is an involution, that channel is exactly the one leaving
+    // (v, q)'s link partner, i.e. endpoint(v, q) read backwards.
+    let mut harnesses: Vec<NodeHarness<M>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let rx = [Port::Zero, Port::One].map(|q| {
+            let (u, p) = wiring.endpoint(ChannelId::new(v, q));
+            receivers[ChannelId::new(u, p).index()]
+                .take()
+                .expect("each channel has exactly one consumer")
+        });
+        let tx = [Port::Zero, Port::One].map(|p| senders[ChannelId::new(v, p).index()].clone());
+        harnesses.push(NodeHarness { rx, tx });
+    }
+
+    let sent = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let busy = Arc::new(AtomicUsize::new(0));
+    let terminated_count = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::with_capacity(n);
+    for (v, (mut proto, harness)) in nodes.into_iter().zip(harnesses).enumerate() {
+        let sent = Arc::clone(&sent);
+        let delivered = Arc::clone(&delivered);
+        let busy = Arc::clone(&busy);
+        let terminated_count = Arc::clone(&terminated_count);
+        let stop = Arc::clone(&stop);
+        let max_jitter_us = opts.max_jitter_us;
+        let handle = std::thread::Builder::new()
+            .name(format!("co-node-{v}"))
+            .spawn(move || {
+                let mut outbox: Vec<(Port, M)> = Vec::new();
+                busy.fetch_add(1, Ordering::SeqCst);
+                {
+                    let mut ctx = Context::for_threaded(v, &mut outbox);
+                    proto.on_start(&mut ctx);
+                }
+                for (port, msg) in outbox.drain(..) {
+                    sent.fetch_add(1, Ordering::SeqCst);
+                    let _ = harness.tx[port.index()].send(msg);
+                }
+                busy.fetch_sub(1, Ordering::SeqCst);
+
+                let mut jitter_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (v as u64);
+                let mut terminated = proto.is_terminated();
+                if terminated {
+                    terminated_count.fetch_add(1, Ordering::SeqCst);
+                }
+                while !stop.load(Ordering::SeqCst) && !terminated {
+                    let received = crossbeam::channel::select! {
+                        recv(harness.rx[0]) -> m => m.ok().map(|m| (Port::Zero, m)),
+                        recv(harness.rx[1]) -> m => m.ok().map(|m| (Port::One, m)),
+                        default(Duration::from_millis(1)) => None,
+                    };
+                    let Some((port, msg)) = received else { continue };
+                    busy.fetch_add(1, Ordering::SeqCst);
+                    if max_jitter_us > 0 {
+                        // xorshift jitter: cheap, deterministic per node.
+                        jitter_state ^= jitter_state << 13;
+                        jitter_state ^= jitter_state >> 7;
+                        jitter_state ^= jitter_state << 17;
+                        let us = jitter_state % max_jitter_us;
+                        if us > 0 {
+                            std::thread::sleep(Duration::from_micros(us));
+                        }
+                    }
+                    {
+                        let mut ctx = Context::for_threaded(v, &mut outbox);
+                        proto.on_message(port, msg, &mut ctx);
+                    }
+                    for (out_port, out_msg) in outbox.drain(..) {
+                        sent.fetch_add(1, Ordering::SeqCst);
+                        let _ = harness.tx[out_port.index()].send(out_msg);
+                    }
+                    delivered.fetch_add(1, Ordering::SeqCst);
+                    busy.fetch_sub(1, Ordering::SeqCst);
+                    if proto.is_terminated() {
+                        terminated = true;
+                        terminated_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                proto
+            })
+            .expect("spawn node thread");
+        handles.push(handle);
+    }
+
+    // Watchdog: declare quiescence when sent == delivered and no thread is
+    // processing, stable across several polls.
+    let deadline = Instant::now() + opts.timeout;
+    let mut stable_polls = 0;
+    let outcome = loop {
+        if terminated_count.load(Ordering::SeqCst) == n {
+            break ThreadedOutcome::AllTerminated;
+        }
+        if Instant::now() >= deadline {
+            break ThreadedOutcome::TimedOut;
+        }
+        let s = sent.load(Ordering::SeqCst);
+        let d = delivered.load(Ordering::SeqCst);
+        let b = busy.load(Ordering::SeqCst);
+        if s == d && b == 0 {
+            stable_polls += 1;
+            if stable_polls >= opts.quiescence_polls {
+                break ThreadedOutcome::Quiescent;
+            }
+        } else {
+            stable_polls = 0;
+        }
+        std::thread::sleep(opts.poll_interval);
+    };
+
+    stop.store(true, Ordering::SeqCst);
+    let nodes: Vec<P> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+
+    ThreadedReport {
+        outcome,
+        total_sent: sent.load(Ordering::SeqCst),
+        total_delivered: delivered.load(Ordering::SeqCst),
+        nodes,
+    }
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// Internal constructor used by the threaded runtime.
+    pub(crate) fn for_threaded(node: NodeIndex, outbox: &'a mut Vec<(Port, M)>) -> Context<'a, M> {
+        Context::new_internal(node, outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Pulse;
+    use crate::topology::RingSpec;
+
+    /// Relays each pulse once around the ring `laps` times, then terminates.
+    #[derive(Debug)]
+    struct LapCounter {
+        laps: u64,
+        seen: u64,
+        done: bool,
+    }
+
+    impl Protocol<Pulse> for LapCounter {
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+            ctx.send(Port::One, Pulse);
+        }
+        fn on_message(&mut self, _port: Port, _msg: Pulse, ctx: &mut Context<'_, Pulse>) {
+            self.seen += 1;
+            if self.seen < self.laps {
+                ctx.send(Port::One, Pulse);
+            } else {
+                self.done = true;
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.done
+        }
+        fn output(&self) -> Option<u64> {
+            Some(self.seen)
+        }
+    }
+
+    #[test]
+    fn threaded_ring_terminates() {
+        let spec = RingSpec::oriented(vec![1, 2, 3, 4]);
+        let nodes = (0..4)
+            .map(|_| LapCounter {
+                laps: 6,
+                seen: 0,
+                done: false,
+            })
+            .collect();
+        let report = run_threaded(&spec.wiring(), nodes, &ThreadedOptions::default());
+        assert_eq!(report.outcome, ThreadedOutcome::AllTerminated);
+        for node in &report.nodes {
+            assert_eq!(node.seen, 6);
+        }
+        assert_eq!(report.total_sent, 4 + 4 * 5);
+    }
+
+    /// A pure relay network with no initial sends goes quiescent immediately.
+    #[derive(Debug)]
+    struct Silent;
+
+    impl Protocol<Pulse> for Silent {
+        type Output = ();
+        fn on_start(&mut self, _ctx: &mut Context<'_, Pulse>) {}
+        fn on_message(&mut self, _p: Port, _m: Pulse, _ctx: &mut Context<'_, Pulse>) {}
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn threaded_detects_quiescence() {
+        let spec = RingSpec::oriented(vec![1, 2, 3]);
+        let nodes = vec![Silent, Silent, Silent];
+        let report = run_threaded(&spec.wiring(), nodes, &ThreadedOptions::default());
+        assert_eq!(report.outcome, ThreadedOutcome::Quiescent);
+        assert_eq!(report.total_sent, 0);
+    }
+
+    #[test]
+    fn threaded_self_loop() {
+        let spec = RingSpec::oriented(vec![9]);
+        let nodes = vec![LapCounter {
+            laps: 10,
+            seen: 0,
+            done: false,
+        }];
+        let report = run_threaded(&spec.wiring(), nodes, &ThreadedOptions::default());
+        assert_eq!(report.outcome, ThreadedOutcome::AllTerminated);
+        assert_eq!(report.nodes[0].seen, 10);
+    }
+}

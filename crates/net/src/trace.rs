@@ -1,0 +1,192 @@
+//! Execution traces for debugging and analysis.
+//!
+//! A [`Trace`] is an append-only log of network events. Traces are optional
+//! (off by default) because the paper's algorithms exchange up to
+//! `n · ID_max` pulses; when enabled, the trace can be capped to a maximum
+//! length and exported as JSON lines through `serde`.
+
+use crate::port::{Direction, Port};
+use crate::topology::NodeIndex;
+use serde::{Deserialize, Serialize};
+
+/// One observable network event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A node executed its initialisation step.
+    Start {
+        /// The node.
+        node: NodeIndex,
+    },
+    /// A node sent a message.
+    Send {
+        /// Sending node.
+        node: NodeIndex,
+        /// Out-port used.
+        port: Port,
+        /// Global send sequence number of the message.
+        seq: u64,
+        /// Direction tag of the channel, if any.
+        direction: Option<Direction>,
+    },
+    /// A message was delivered to (and processed by) a node.
+    Deliver {
+        /// Receiving node.
+        node: NodeIndex,
+        /// In-port the message arrived at.
+        port: Port,
+        /// Global send sequence number of the message.
+        seq: u64,
+        /// Direction tag of the channel, if any.
+        direction: Option<Direction>,
+    },
+    /// A message arrived at a node that had already terminated and was
+    /// ignored (this voids quiescent termination).
+    DeliverIgnored {
+        /// Receiving (terminated) node.
+        node: NodeIndex,
+        /// In-port the message arrived at.
+        port: Port,
+        /// Global send sequence number of the message.
+        seq: u64,
+    },
+    /// A node entered its terminating state.
+    Terminate {
+        /// The node.
+        node: NodeIndex,
+    },
+}
+
+/// An append-only, optionally capped log of [`TraceEvent`]s.
+///
+/// ```rust
+/// use co_net::{Trace, TraceEvent};
+/// let mut trace = Trace::with_capacity(2);
+/// trace.push(TraceEvent::Start { node: 0 });
+/// trace.push(TraceEvent::Terminate { node: 0 });
+/// trace.push(TraceEvent::Start { node: 1 }); // dropped: cap reached
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.dropped(), 1);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: Option<usize>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates an unbounded trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Creates a trace that retains at most `cap` events (later events are
+    /// counted but dropped).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            cap: Some(cap),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, honouring the cap.
+    pub fn push(&mut self, event: TraceEvent) {
+        match self.cap {
+            Some(cap) if self.events.len() >= cap => self.dropped += 1,
+            _ => self.events.push(event),
+        }
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped due to the cap.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sequence of delivery directions, in order — the encoding used by the
+    /// paper's Definition 21 (solitude patterns): `Cw ↦ 0`, `Ccw ↦ 1`.
+    #[must_use]
+    pub fn delivery_directions(&self) -> Vec<Direction> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Deliver { direction, .. } => *direction,
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_trace_keeps_everything() {
+        let mut t = Trace::new();
+        for i in 0..100 {
+            t.push(TraceEvent::Start { node: i });
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn delivery_directions_filters_and_orders() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Start { node: 0 });
+        t.push(TraceEvent::Deliver {
+            node: 0,
+            port: Port::Zero,
+            seq: 0,
+            direction: Some(Direction::Cw),
+        });
+        t.push(TraceEvent::Send {
+            node: 0,
+            port: Port::One,
+            seq: 1,
+            direction: Some(Direction::Cw),
+        });
+        t.push(TraceEvent::Deliver {
+            node: 0,
+            port: Port::One,
+            seq: 1,
+            direction: Some(Direction::Ccw),
+        });
+        assert_eq!(
+            t.delivery_directions(),
+            vec![Direction::Cw, Direction::Ccw]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = Trace::with_capacity(8);
+        t.push(TraceEvent::Terminate { node: 3 });
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: Trace = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.events(), t.events());
+    }
+}

@@ -1,0 +1,16 @@
+//! # `content-oblivious` — facade crate
+//!
+//! Re-exports the whole workspace so examples and integration tests can use
+//! a single dependency. See the individual crates for full documentation:
+//!
+//! * [`net`] — asynchronous fully-defective network substrate;
+//! * [`core`] — the paper's algorithms (content-oblivious leader election);
+//! * [`classic`] — content-carrying baselines;
+//! * [`compose`] — content-oblivious computation after election (Corollary 5).
+
+#![forbid(unsafe_code)]
+
+pub use co_classic as classic;
+pub use co_compose as compose;
+pub use co_core as core;
+pub use co_net as net;

@@ -1,0 +1,165 @@
+//! Extended cross-crate coverage: content-carrying protocols on the
+//! threaded runtime, compositions under randomized configurations,
+//! phase-switching adversaries, and a deeper (ignored-by-default) model
+//! check.
+
+use content_oblivious::classic::chang_roberts::{ChangRobertsNode, CrMsg};
+use content_oblivious::compose::pipeline::elect_then_replicate;
+use content_oblivious::core::{runner, Role};
+use content_oblivious::net::sched::{
+    LifoScheduler, PhaseSwitchScheduler, RecordingScheduler, ReplayScheduler,
+    StarveDirectionScheduler,
+};
+use content_oblivious::net::threaded::{run_threaded, ThreadedOptions, ThreadedOutcome};
+use content_oblivious::net::{
+    Budget, Direction, Protocol, Pulse, RingSpec, SchedulerKind, Simulation,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[test]
+fn chang_roberts_runs_on_real_threads() {
+    // The threaded runtime is generic over message types, not just pulses.
+    let spec = RingSpec::oriented(vec![4, 11, 2, 8]);
+    let nodes: Vec<ChangRobertsNode> = (0..4)
+        .map(|i| ChangRobertsNode::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    let report = run_threaded::<CrMsg, _>(
+        &spec.wiring(),
+        nodes,
+        &ThreadedOptions {
+            max_jitter_us: 30,
+            ..ThreadedOptions::default()
+        },
+    );
+    assert_eq!(report.outcome, ThreadedOutcome::AllTerminated);
+    let roles: Vec<Option<Role>> = report.nodes.iter().map(Protocol::output).collect();
+    assert_eq!(roles[1], Some(Role::Leader));
+    for i in [0usize, 2, 3] {
+        assert_eq!(roles[i], Some(Role::NonLeader), "node {i}");
+    }
+}
+
+#[test]
+fn phase_switch_adversary_preserves_theorem1() {
+    // Torture schedule: FIFO while the CW instance races, then starve CW
+    // entirely; Theorem 1 must be unaffected.
+    let spec = RingSpec::oriented(vec![5, 12, 3, 9]);
+    for switch_at in [0u64, 5, 25, 100] {
+        let scheduler = Box::new(PhaseSwitchScheduler::new(
+            Box::new(LifoScheduler::new()),
+            Box::new(StarveDirectionScheduler::new(Direction::Cw)),
+            switch_at,
+        ));
+        let report = runner::run_alg2_scheduler(&spec, scheduler);
+        assert!(report.quiescently_terminated(), "switch at {switch_at}");
+        assert_eq!(report.leader, Some(1), "switch at {switch_at}");
+        assert_eq!(report.total_messages, 4 * (2 * 12 + 1), "switch at {switch_at}");
+    }
+}
+
+#[test]
+fn recorded_schedule_replays_identically() {
+    // Record a random adversary's schedule, then replay it: both runs must
+    // produce identical step counts and node states.
+    let spec = RingSpec::oriented(vec![3, 7, 5]);
+    let make_nodes = || {
+        (0..3)
+            .map(|i| content_oblivious::core::Alg2Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<_>>()
+    };
+    let (recording, log) = RecordingScheduler::new(SchedulerKind::Random.build(99));
+    let mut original: Simulation<Pulse, _> =
+        Simulation::new(spec.wiring(), make_nodes(), Box::new(recording));
+    let first = original.run(Budget::default());
+
+    let replay = ReplayScheduler::new(log.borrow().clone());
+    let mut replayed: Simulation<Pulse, _> =
+        Simulation::new(spec.wiring(), make_nodes(), Box::new(replay));
+    let second = replayed.run(Budget::default());
+
+    assert_eq!(first, second);
+    for i in 0..3 {
+        assert_eq!(original.node(i).role(), replayed.node(i).role(), "node {i}");
+        assert_eq!(original.node(i).rho_ccw(), replayed.node(i).rho_ccw(), "node {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replicated-counter pipelines converge for arbitrary scripts, ring
+    /// shapes, and adversaries.
+    #[test]
+    fn replication_converges_universally(
+        ids in pvec(1u64..=60, 2..=8),
+        script in pvec(-100i64..=100, 0..=6),
+        kind in prop::sample::select(SchedulerKind::ALL.to_vec()),
+        seed in 0u64..500,
+    ) {
+        let set: BTreeSet<u64> = ids.iter().copied().collect();
+        prop_assume!(set.len() == ids.len());
+        let spec = RingSpec::oriented(ids);
+        let out = elect_then_replicate(&spec, &script, kind, seed);
+        prop_assert!(out.quiescently_terminated);
+        let expected: i64 = script.iter().sum();
+        prop_assert_eq!(out.outputs, vec![Some(expected); spec.len()]);
+        prop_assert_eq!(out.leader, Some(spec.max_position()));
+    }
+}
+
+/// Deeper model check: configuration deduplication keeps even 4- and
+/// 5-node instances tractable.
+#[test]
+fn alg2_exhaustive_larger_rings() {
+    use content_oblivious::core::Alg2Node;
+    use content_oblivious::net::explore::{explore, ExploreLimits};
+    for ids in [vec![1u64, 2, 3, 4], vec![4, 2, 1, 3], vec![2, 4, 1, 5, 3]] {
+        let spec = RingSpec::oriented(ids.clone());
+        let leader = spec.max_position();
+        let predicted = spec.len() as u64 * (2 * spec.id_max() + 1);
+        let report = explore(
+            &spec.wiring(),
+            || {
+                (0..spec.len())
+                    .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                    .collect()
+            },
+            |n| {
+                (
+                    n.rho_cw(),
+                    n.sigma_cw(),
+                    n.rho_ccw(),
+                    n.sigma_ccw(),
+                    n.deferred_ccw(),
+                    n.awaiting_echo(),
+                    n.is_terminated(),
+                    n.role() == Role::Leader,
+                )
+            },
+            |_| Ok(()),
+            |state| {
+                let ok = state.terminated.iter().all(|&t| t)
+                    && state
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .all(|(i, n)| (n.role() == Role::Leader) == (i == leader))
+                    && state.sent == predicted;
+                if ok {
+                    Ok(())
+                } else {
+                    Err("bad quiescent configuration".into())
+                }
+            },
+            ExploreLimits {
+                max_configs: 50_000_000,
+                max_depth: 1_000_000,
+            },
+        );
+        assert!(report.complete, "{ids:?}");
+        assert!(report.violations.is_empty(), "{ids:?}: {:?}", report.violations);
+        assert!(report.configs > 100, "{ids:?}: suspiciously small space");
+    }
+}
