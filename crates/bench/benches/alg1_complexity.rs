@@ -2,9 +2,10 @@
 //! pulses), with and without the full Lemma 6–12 invariant monitors, to
 //! quantify the monitoring overhead.
 
+use co_bench::harness::{BenchmarkId, Criterion, Throughput};
+use co_bench::{criterion_group, criterion_main};
 use co_core::runner;
 use co_net::{RingSpec, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_by_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("alg1/by_n");

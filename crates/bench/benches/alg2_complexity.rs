@@ -4,9 +4,10 @@
 //! sweeps both axes to expose the `ID_max` dependence that Theorem 4 proves
 //! inherent.
 
+use co_bench::harness::{BenchmarkId, Criterion, Throughput};
+use co_bench::{criterion_group, criterion_main};
 use co_core::runner;
 use co_net::{RingSpec, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_by_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("alg2/by_n");

@@ -2,9 +2,10 @@
 //! Algorithm 3 on non-oriented rings. The improved scheme should run at
 //! roughly half the doubled scheme's cost (pulse ratio ≈ (2·ID)/(4·ID)).
 
+use co_bench::harness::{BenchmarkId, Criterion, Throughput};
+use co_bench::{criterion_group, criterion_main};
 use co_core::{runner, IdScheme};
 use co_net::{RingSpec, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

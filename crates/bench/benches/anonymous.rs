@@ -1,9 +1,10 @@
 //! E5 bench — Theorem 3: anonymous-ring election cost across `n` and `c`.
 //! The complexity is `n^{O(1)}` but grows with `c` through `ID_max`.
 
+use co_bench::harness::{BenchmarkId, Criterion};
+use co_bench::{criterion_group, criterion_main};
 use co_core::anonymous::{elect_anonymous, SamplingConfig};
 use co_net::SchedulerKind;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_by_n(c: &mut Criterion) {
     let mut group = c.benchmark_group("anonymous/by_n");

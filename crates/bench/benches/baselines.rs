@@ -1,10 +1,11 @@
 //! E8 bench — §1.2 comparison: classical content-carrying baselines vs the
 //! content-oblivious Algorithm 2 on the same rings.
 
+use co_bench::harness::{BenchmarkId, Criterion};
+use co_bench::{criterion_group, criterion_main};
 use co_classic::runner::Baseline;
 use co_core::{runner, IdAssignment};
 use co_net::{RingSpec, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

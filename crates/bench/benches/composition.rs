@@ -1,8 +1,9 @@
 //! E9 bench — Corollary 5: the cost of election-then-computation pipelines.
 
+use co_bench::harness::{BenchmarkId, Criterion};
+use co_bench::{criterion_group, criterion_main};
 use co_compose::pipeline::{elect_then_aggregate, elect_then_ring_size};
 use co_net::{RingSpec, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ring_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("composition/ring_size");

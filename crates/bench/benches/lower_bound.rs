@@ -1,8 +1,9 @@
 //! E6/E7 bench — solitude-pattern extraction (Definition 21) and the
 //! pigeonhole analysis (Lemma 23 / Corollary 24) behind Theorem 4.
 
+use co_bench::harness::{BenchmarkId, Criterion};
+use co_bench::{criterion_group, criterion_main};
 use co_core::lower_bound::{max_prefix_group, solitude_pattern_alg2, SolitudePattern};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_pattern_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("lower_bound/solitude_pattern");

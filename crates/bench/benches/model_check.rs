@@ -2,10 +2,11 @@
 //! space as the instance grows (configurations grow combinatorially; the
 //! fingerprint-deduplication keeps it tractable).
 
+use co_bench::harness::{BenchmarkId, Criterion};
+use co_bench::{criterion_group, criterion_main};
 use co_core::{Alg2Node, Role};
 use co_net::explore::{explore, ExploreLimits};
 use co_net::{Protocol, RingSpec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn check(ids: &[u64]) -> usize {
     let spec = RingSpec::oriented(ids.to_vec());
@@ -37,7 +38,12 @@ fn check(ids: &[u64]) -> usize {
 
 fn bench_model_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_check/alg2");
-    for ids in [vec![1u64, 2], vec![1, 2, 3], vec![2, 3, 4], vec![1, 2, 3, 4]] {
+    for ids in [
+        vec![1u64, 2],
+        vec![1, 2, 3],
+        vec![2, 3, 4],
+        vec![1, 2, 3, 4],
+    ] {
         let label = format!("{ids:?}");
         group.bench_with_input(BenchmarkId::from_parameter(label), &ids, |b, ids| {
             b.iter(|| check(ids))

@@ -1,8 +1,9 @@
 //! Substrate microbenchmarks: raw delivery throughput of the simulator and
 //! the per-step cost of each scheduler, independent of any algorithm.
 
+use co_bench::harness::{BenchmarkId, Criterion, Throughput};
+use co_bench::{criterion_group, criterion_main};
 use co_net::{Budget, Context, Port, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Relays every pulse clockwise forever (runs are bounded by the budget).
 #[derive(Clone, Debug)]

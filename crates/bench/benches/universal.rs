@@ -3,10 +3,11 @@
 //! a function of ring size and of the simulated message magnitude (the
 //! unary encoding makes words expensive — the price of obliviousness).
 
+use co_bench::harness::{BenchmarkId, Criterion};
+use co_bench::{criterion_group, criterion_main};
 use co_classic::chang_roberts::{ChangRobertsNode, CrMsg};
 use co_compose::universal::simulate_on_defective_ring;
 use co_net::{Port, RingSpec, SchedulerKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn cr_encode(m: &CrMsg) -> u64 {
     match *m {

@@ -16,11 +16,10 @@ use co_core::{runner, IdAssignment, IdScheme, Role};
 use co_net::{Budget, Outcome, Protocol, RingSpec, SchedulerKind, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The experiment catalogue.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Experiment {
     /// Classical algorithms break under full defectiveness.
     E0,
@@ -90,9 +89,28 @@ impl fmt::Display for Experiment {
     }
 }
 
-/// Runs one experiment at the default (fast) scale.
+/// Runs one experiment at the default (fast) scale, sequentially.
 #[must_use]
 pub fn run_experiment(exp: Experiment) -> Table {
+    run_experiment_with(exp, 1)
+}
+
+/// Runs one experiment, fanning its internal `(n, seed, scheduler)` grid
+/// across up to `jobs` worker threads where the experiment has one.
+///
+/// Every trial is seeded from its grid coordinates, so the produced table is
+/// byte-identical for every `jobs` value (`0` means one worker per core).
+#[must_use]
+pub fn run_experiment_with(exp: Experiment, jobs: usize) -> Table {
+    match exp {
+        Experiment::E5 => e5_anonymous_jobs(jobs),
+        Experiment::E8 => e8_baselines_jobs(jobs),
+        Experiment::E10 => e10_invariants_jobs(jobs),
+        _ => run_sequential(exp),
+    }
+}
+
+fn run_sequential(exp: Experiment) -> Table {
     match exp {
         Experiment::E0 => e0_defective_sanity(),
         Experiment::E1 => e1_theorem1(),
@@ -118,7 +136,12 @@ pub fn e0_defective_sanity() -> Table {
     let mut t = Table::new(
         "E0 — fully defective channels break content-carrying election",
         "§2: no algorithm relying on message content survives total corruption",
-        vec!["n", "reliable CR leader", "defective CR leaders", "defective msgs"],
+        vec![
+            "n",
+            "reliable CR leader",
+            "defective CR leaders",
+            "defective msgs",
+        ],
     );
     let mut all_dead = true;
     for n in [2usize, 4, 8, 16, 32, 64] {
@@ -160,7 +183,9 @@ where
         for assignment in [
             IdAssignment::Contiguous,
             IdAssignment::Shuffled,
-            IdAssignment::SingleBig { id_max: 4 * n as u64 + 17 },
+            IdAssignment::SingleBig {
+                id_max: 4 * n as u64 + 17,
+            },
         ] {
             let spec = RingSpec::oriented(assignment.generate(n, &mut rng));
             let id_max = spec.id_max();
@@ -169,7 +194,11 @@ where
             let mut measured = Vec::new();
             let mut ok = true;
             let mut extra = None;
-            for kind in [SchedulerKind::Fifo, SchedulerKind::Lifo, SchedulerKind::Random] {
+            for kind in [
+                SchedulerKind::Fifo,
+                SchedulerKind::Lifo,
+                SchedulerKind::Random,
+            ] {
                 let (msgs, valid, info) = run(&spec, kind, 7);
                 measured.push(msgs);
                 ok &= valid && msgs == predicted;
@@ -201,13 +230,25 @@ pub fn e1_theorem1() -> Table {
     let t = Table::new(
         "E1 — Theorem 1: Algorithm 2 message complexity",
         "quiescently terminating election with exactly n(2·ID_max + 1) pulses",
-        vec!["n", "assignment", "ID_max", "predicted", "measured (fifo/lifo/rand)", "outcome", "exact"],
+        vec![
+            "n",
+            "assignment",
+            "ID_max",
+            "predicted",
+            "measured (fifo/lifo/rand)",
+            "outcome",
+            "exact",
+        ],
     );
-    complexity_sweep(t, |n, id_max| n * (2 * id_max + 1), |spec, kind, seed| {
-        let r = runner::run_alg2(spec, kind, seed);
-        let valid = r.quiescently_terminated() && r.validate(spec).is_ok();
-        (r.total_messages, valid, r.outcome)
-    })
+    complexity_sweep(
+        t,
+        |n, id_max| n * (2 * id_max + 1),
+        |spec, kind, seed| {
+            let r = runner::run_alg2(spec, kind, seed);
+            let valid = r.quiescently_terminated() && r.validate(spec).is_ok();
+            (r.total_messages, valid, r.outcome)
+        },
+    )
 }
 
 /// E2 — Corollary 13: Algorithm 1 converges with `n·ID_max` pulses.
@@ -216,13 +257,25 @@ pub fn e2_algorithm1() -> Table {
     let t = Table::new(
         "E2 — Corollary 13: Algorithm 1 message complexity",
         "quiescent stabilization; every node sends and receives exactly ID_max pulses",
-        vec!["n", "assignment", "ID_max", "predicted", "measured (fifo/lifo/rand)", "outcome", "exact"],
+        vec![
+            "n",
+            "assignment",
+            "ID_max",
+            "predicted",
+            "measured (fifo/lifo/rand)",
+            "outcome",
+            "exact",
+        ],
     );
-    complexity_sweep(t, |n, id_max| n * id_max, |spec, kind, seed| {
-        let r = runner::run_alg1(spec, kind, seed);
-        let valid = r.outcome == Outcome::Quiescent && r.validate(spec).is_ok();
-        (r.total_messages, valid, r.outcome)
-    })
+    complexity_sweep(
+        t,
+        |n, id_max| n * id_max,
+        |spec, kind, seed| {
+            let r = runner::run_alg1(spec, kind, seed);
+            let valid = r.outcome == Outcome::Quiescent && r.validate(spec).is_ok();
+            (r.total_messages, valid, r.outcome)
+        },
+    )
 }
 
 fn alg3_sweep(mut t: Table, scheme: IdScheme) -> Table {
@@ -261,7 +314,15 @@ pub fn e3_prop15() -> Table {
     let t = Table::new(
         "E3 — Proposition 15: Algorithm 3 with doubled virtual IDs",
         "elects + orients non-oriented rings using n(4·ID_max − 1) pulses",
-        vec!["n", "ID_max", "flipped ports", "predicted", "measured", "oriented", "exact"],
+        vec![
+            "n",
+            "ID_max",
+            "flipped ports",
+            "predicted",
+            "measured",
+            "oriented",
+            "exact",
+        ],
     );
     alg3_sweep(t, IdScheme::Doubled)
 }
@@ -272,7 +333,15 @@ pub fn e4_theorem2() -> Table {
     let t = Table::new(
         "E4 — Theorem 2: Algorithm 3 with improved virtual IDs",
         "elects + orients non-oriented rings using n(2·ID_max + 1) pulses",
-        vec!["n", "ID_max", "flipped ports", "predicted", "measured", "oriented", "exact"],
+        vec![
+            "n",
+            "ID_max",
+            "flipped ports",
+            "predicted",
+            "measured",
+            "oriented",
+            "exact",
+        ],
     );
     alg3_sweep(t, IdScheme::Improved)
 }
@@ -280,49 +349,67 @@ pub fn e4_theorem2() -> Table {
 /// E5 — Theorem 3 / Lemma 18: anonymous rings.
 #[must_use]
 pub fn e5_anonymous() -> Table {
+    e5_anonymous_jobs(1)
+}
+
+fn e5_anonymous_jobs(jobs: usize) -> Table {
     use co_core::anonymous::elect_anonymous;
 
     let mut t = Table::new(
         "E5 — Theorem 3: anonymous rings with randomness",
         "success probability 1 − O(n^-c); ID_max unique whp, n^Ω(c) ≤ ID_max ≤ n^O(c²)",
-        vec!["n", "c", "trials", "success", "unique max", "ID_max (mean/p95/max)", "msgs (p95)"],
+        vec![
+            "n",
+            "c",
+            "trials",
+            "success",
+            "unique max",
+            "ID_max (mean/p95/max)",
+            "msgs (p95)",
+        ],
     );
     let trials = 100u64;
-    let mut ok = true;
-    for &c in &[0.5f64, 1.0, 2.0] {
+    // The (c, n) grid, flattened to one work item per *trial*: every trial
+    // is independently seeded from its coordinates, so items fan across
+    // workers (even within a single heavy cell) without changing output.
+    let cells: Vec<(f64, usize)> = [0.5f64, 1.0, 2.0]
+        .iter()
+        .flat_map(|&c| [4usize, 8, 16, 32, 64].map(|n| (c, n)))
+        .collect();
+    let items: Vec<(f64, usize, u64)> = cells
+        .iter()
+        .flat_map(|&(c, n)| (0..trials).map(move |trial| (c, n, trial)))
+        .collect();
+    let per_trial = crate::parallel::par_map(&items, jobs, |&(c, n, trial)| {
         // 14-bit cap: a documented harness guard keeping the geometric
         // tail's worst case at ~2M pulses per trial (n = 64).
         let cfg = SamplingConfig::new(c).with_max_bits(14);
-        for n in [4usize, 8, 16, 32, 64] {
-            let mut id_maxes = Vec::with_capacity(trials as usize);
-            let mut messages = Vec::with_capacity(trials as usize);
-            let mut successes = 0u64;
-            let mut unique = 0u64;
-            for trial in 0..trials {
-                let r = elect_anonymous(
-                    n,
-                    &cfg,
-                    SchedulerKind::Random,
-                    0xE5u64.wrapping_add(trial.wrapping_mul(0x2545_F491)),
-                );
-                id_maxes.push(r.id_max);
-                messages.push(r.messages);
-                successes += u64::from(r.success);
-                unique += u64::from(r.unique_max);
-            }
-            ok &= successes == unique; // failures are exactly ties
-            let ids = crate::stats::Summary::of_counts(&id_maxes);
-            let msgs = crate::stats::Summary::of_counts(&messages);
-            t.row(vec![
-                n.to_string(),
-                format!("{c:.1}"),
-                trials.to_string(),
-                format!("{:.1}%", 100.0 * successes as f64 / trials as f64),
-                format!("{:.1}%", 100.0 * unique as f64 / trials as f64),
-                format!("{:.0}/{:.0}/{:.0}", ids.mean, ids.p95, ids.max),
-                format!("{:.0}", msgs.p95),
-            ]);
-        }
+        let r = elect_anonymous(
+            n,
+            &cfg,
+            SchedulerKind::Random,
+            0xE5u64.wrapping_add(trial.wrapping_mul(0x2545_F491)),
+        );
+        (r.id_max, r.messages, r.success, r.unique_max)
+    });
+    let mut ok = true;
+    for (&(c, n), chunk) in cells.iter().zip(per_trial.chunks(trials as usize)) {
+        let id_maxes: Vec<u64> = chunk.iter().map(|r| r.0).collect();
+        let messages: Vec<u64> = chunk.iter().map(|r| r.1).collect();
+        let successes: u64 = chunk.iter().map(|r| u64::from(r.2)).sum();
+        let unique: u64 = chunk.iter().map(|r| u64::from(r.3)).sum();
+        ok &= successes == unique; // failures are exactly ties
+        let ids = crate::stats::Summary::of_counts(&id_maxes);
+        let msgs = crate::stats::Summary::of_counts(&messages);
+        t.row(vec![
+            n.to_string(),
+            format!("{c:.1}"),
+            trials.to_string(),
+            format!("{:.1}%", 100.0 * successes as f64 / trials as f64),
+            format!("{:.1}%", 100.0 * unique as f64 / trials as f64),
+            format!("{:.0}/{:.0}/{:.0}", ids.mean, ids.p95, ids.max),
+            format!("{:.0}", msgs.p95),
+        ]);
     }
     t.set_verdict(if ok {
         "every failure coincides with a tied maximum (Lemma 18); success rises with c and n"
@@ -370,7 +457,14 @@ pub fn e7_lower_bound() -> Table {
     let mut t = Table::new(
         "E7 — Theorem 4/20: lower bound n·⌊log(ID_max/n)⌋ vs Algorithm 2",
         "any terminating content-oblivious election sends ≥ n⌊log(k/n)⌋ pulses",
-        vec!["n", "ID_max = k", "lower bound", "Alg2 measured", "shared prefix (Cor.24 ≥)", "holds"],
+        vec![
+            "n",
+            "ID_max = k",
+            "lower bound",
+            "Alg2 measured",
+            "shared prefix (Cor.24 ≥)",
+            "holds",
+        ],
     );
     let mut all_hold = true;
     for n in [1u64, 2, 4, 8] {
@@ -412,27 +506,51 @@ pub fn e7_lower_bound() -> Table {
 /// E8 — §1.2 comparison: baselines vs the content-oblivious algorithm.
 #[must_use]
 pub fn e8_baselines() -> Table {
+    e8_baselines_jobs(1)
+}
+
+fn e8_baselines_jobs(jobs: usize) -> Table {
     let mut t = Table::new(
         "E8 — §1.2: classical baselines vs content-oblivious election",
         "CR O(n²), HS/Peterson/Franklin O(n log n) with content; ours O(n·ID_max) without",
-        vec!["n", "CR", "HS", "Peterson", "Franklin", "Alg2 (ID≤n)", "Alg2 (ID≤n²)"],
+        vec![
+            "n",
+            "CR",
+            "HS",
+            "Peterson",
+            "Franklin",
+            "Alg2 (ID≤n)",
+            "Alg2 (ID≤n²)",
+        ],
     );
+    // Specs are drawn from one sequential RNG stream (so the table is
+    // independent of `jobs`); only the election runs fan out.
     let mut rng = StdRng::seed_from_u64(0xE8);
-    for n in [4usize, 8, 16, 32, 64, 128, 256] {
-        let spec = RingSpec::oriented(IdAssignment::Shuffled.generate(n, &mut rng));
+    let specs: Vec<(usize, RingSpec, RingSpec)> = [4usize, 8, 16, 32, 64, 128, 256]
+        .into_iter()
+        .map(|n| {
+            let spec = RingSpec::oriented(IdAssignment::Shuffled.generate(n, &mut rng));
+            let big_ids = IdAssignment::SparseUniform {
+                id_max: (n * n) as u64,
+            }
+            .generate(n, &mut rng);
+            (n, spec, RingSpec::oriented(big_ids))
+        })
+        .collect();
+    let rows = crate::parallel::par_map(&specs, jobs, |(n, spec, big_spec)| {
         let mut cells = vec![n.to_string()];
         for baseline in Baseline::ALL {
-            let r = baseline.run(&spec, SchedulerKind::Fifo, 1);
+            let r = baseline.run(spec, SchedulerKind::Fifo, 1);
             cells.push(r.total_messages.to_string());
         }
-        let small = runner::run_alg2(&spec, SchedulerKind::Fifo, 1).total_messages;
+        let small = runner::run_alg2(spec, SchedulerKind::Fifo, 1).total_messages;
         cells.push(small.to_string());
-        let big_ids =
-            IdAssignment::SparseUniform { id_max: (n * n) as u64 }.generate(n, &mut rng);
-        let big_spec = RingSpec::oriented(big_ids);
-        let big = runner::run_alg2(&big_spec, SchedulerKind::Fifo, 1).total_messages;
+        let big = runner::run_alg2(big_spec, SchedulerKind::Fifo, 1).total_messages;
         cells.push(big.to_string());
-        t.row(cells);
+        cells
+    });
+    for row in rows {
+        t.row(row);
     }
     t.set_verdict(
         "with dense IDs our cost is ~2n² (competitive with CR's worst case); \
@@ -447,7 +565,14 @@ pub fn e9_composition() -> Table {
     let mut t = Table::new(
         "E9 — Corollary 5: election composed with computation",
         "after quiescent termination the leader roots an arbitrary ring computation",
-        vec!["n", "app", "correct", "quiescent term.", "total msgs", "election msgs"],
+        vec![
+            "n",
+            "app",
+            "correct",
+            "quiescent term.",
+            "total msgs",
+            "election msgs",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(0xE9);
     let mut all_ok = true;
@@ -507,40 +632,58 @@ pub fn e9_composition() -> Table {
 /// E10 — Lemmas 6–12/17 as continuously-checked invariants.
 #[must_use]
 pub fn e10_invariants() -> Table {
+    e10_invariants_jobs(1)
+}
+
+fn e10_invariants_jobs(jobs: usize) -> Table {
     let mut t = Table::new(
         "E10 — Lemmas 6-12, 17: invariant monitors",
         "σ=ρ+1 before absorption, σ=ρ after; quiescence ⟺ ∀v ρ≥ID; ID_max absorbs last; ρ≤ID_max",
         vec!["n", "assignment", "schedulers × seeds", "violations"],
     );
+    // Specs are drawn from one sequential RNG stream (so the table is
+    // independent of `jobs`); only the monitored runs fan out.
     let mut rng = StdRng::seed_from_u64(0xE10);
-    let mut total_runs = 0u64;
-    let mut violations = 0u64;
+    let mut cells = Vec::new();
     for n in [1usize, 2, 5, 9, 17] {
-        for assignment in [IdAssignment::Shuffled, IdAssignment::SingleBig { id_max: 3 * n as u64 + 40 }] {
+        for assignment in [
+            IdAssignment::Shuffled,
+            IdAssignment::SingleBig {
+                id_max: 3 * n as u64 + 40,
+            },
+        ] {
             let spec = RingSpec::oriented(assignment.generate(n, &mut rng));
-            let mut bad = 0u64;
-            let mut runs = 0u64;
-            for kind in SchedulerKind::ALL {
-                for seed in 0..4u64 {
-                    runs += 1;
-                    if runner::run_alg1_monitored(&spec, kind, seed).is_err() {
-                        bad += 1;
-                    }
-                    runs += 1;
-                    if runner::run_alg2_monitored(&spec, kind, seed).is_err() {
-                        bad += 1;
-                    }
+            cells.push((n, assignment, spec));
+        }
+    }
+    let results = crate::parallel::par_map(&cells, jobs, |(_, _, spec)| {
+        let mut bad = 0u64;
+        let mut runs = 0u64;
+        for kind in SchedulerKind::ALL {
+            for seed in 0..4u64 {
+                runs += 1;
+                if runner::run_alg1_monitored(spec, kind, seed).is_err() {
+                    bad += 1;
+                }
+                runs += 1;
+                if runner::run_alg2_monitored(spec, kind, seed).is_err() {
+                    bad += 1;
                 }
             }
-            total_runs += runs;
-            violations += bad;
-            t.row(vec![
-                n.to_string(),
-                assignment.to_string(),
-                runs.to_string(),
-                bad.to_string(),
-            ]);
         }
+        (runs, bad)
+    });
+    let mut total_runs = 0u64;
+    let mut violations = 0u64;
+    for ((n, assignment, _), (runs, bad)) in cells.iter().zip(results) {
+        total_runs += runs;
+        violations += bad;
+        t.row(vec![
+            n.to_string(),
+            assignment.to_string(),
+            runs.to_string(),
+            bad.to_string(),
+        ]);
     }
     t.set_verdict(format!(
         "{violations} violations in {total_runs} fully-monitored executions"
@@ -557,7 +700,12 @@ pub fn e11_ablation() -> Table {
     let mut t = Table::new(
         "E11 — ablation: Algorithm 2 without the CCW receive gate",
         "§3.2: gating recvCCW on ρ_cw ≥ ID is what confines the termination trigger to ID_max",
-        vec!["ring", "variant", "configs explored", "all schedules correct"],
+        vec![
+            "ring",
+            "variant",
+            "configs explored",
+            "all schedules correct",
+        ],
     );
     let mut gated_ok = true;
     let mut ungated_broken = false;
@@ -665,7 +813,13 @@ pub fn e12_model_check() -> Table {
     let mut t = Table::new(
         "E12 — exhaustive model check: every schedule of tiny instances",
         "Theorem 1 holds for all asynchronous schedules, not just sampled adversaries",
-        vec!["ring", "configs", "quiescent configs", "complete", "violations"],
+        vec![
+            "ring",
+            "configs",
+            "quiescent configs",
+            "complete",
+            "violations",
+        ],
     );
     let mut all_ok = true;
     for ids in [
@@ -824,10 +978,7 @@ pub fn e14_universal_simulation() -> Table {
             cr_encode,
             cr_decode,
         );
-        let leader = out
-            .outputs
-            .iter()
-            .position(|o| *o == Some(Role::Leader));
+        let leader = out.outputs.iter().position(|o| *o == Some(Role::Leader));
         let correct = leader == Some(spec.max_position()) && out.quiescently_terminated;
         all_ok &= correct;
         t.row(vec![
@@ -858,6 +1009,20 @@ mod tests {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
         assert_eq!(Experiment::parse("e15"), None);
+    }
+
+    #[test]
+    fn jobs_do_not_change_tables() {
+        // The worker pool must be a pure wall-clock optimization: E10 has a
+        // fanned grid AND a sequential spec-RNG stream, so it exercises both
+        // determinism hazards. Byte-identical at 1 and 8 workers.
+        let sequential = run_experiment_with(Experiment::E10, 1);
+        let fanned = run_experiment_with(Experiment::E10, 8);
+        assert_eq!(sequential.to_string(), fanned.to_string());
+        assert_eq!(
+            sequential.to_json().to_string_compact(),
+            fanned.to_json().to_string_compact()
+        );
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Minimal wall-clock bench harness with a Criterion-shaped API.
+//!
+//! The offline build cannot fetch Criterion, so the `[[bench]]` targets
+//! (already `harness = false`) link against this drop-in subset instead:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is adaptive —
+//! each benchmark body is repeated until it accumulates enough wall-clock
+//! time for a stable per-iteration estimate — and results print as one
+//! aligned line per benchmark.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(60);
+/// Hard cap on timed iterations, for extremely cheap bodies.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// Top-level driver: owns output formatting; passed to every bench fn.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(self, name.to_owned(), f);
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("({} benchmarks)", self.benchmarks_run);
+    }
+}
+
+/// A named group of benchmarks (`Criterion::benchmark_group`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration; accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Declares a sample-size hint; accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` against `input` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, label, |b| f(b, input));
+    }
+
+    /// Benchmarks `f` under `name` within this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, name);
+        run_one(self.criterion, label, f);
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An ID that is just the parameter's display form.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An ID combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{param}", name.into()))
+    }
+}
+
+/// Work performed per iteration; informational only in this harness.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, adaptively choosing an iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm up caches and any lazy initialization.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET || iters >= MAX_ITERS {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+            // Scale toward the target in one step, with headroom.
+            iters = if elapsed.is_zero() {
+                iters * 64
+            } else {
+                let scale = TARGET.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters as f64 * scale * 1.2) as u64).clamp(iters + 1, MAX_ITERS)
+            };
+        }
+    }
+}
+
+fn run_one(criterion: &mut Criterion, label: String, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    criterion.benchmarks_run += 1;
+    let per_iter = if bencher.iters == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+    };
+    println!(
+        "{label:<44} {:>12}/iter  ({} iters)",
+        format_duration(per_iter),
+        bencher.iters
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects bench functions into a group runner, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(41u64) + 1);
+        assert!(b.iters >= 1);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_shape() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function("f", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

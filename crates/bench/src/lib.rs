@@ -1,18 +1,22 @@
 //! # `co-bench` — the experiment harness
 //!
 //! Regenerates every quantitative claim of the paper as a table
-//! (experiments E0–E10, indexed in `DESIGN.md` §5). Each experiment is a
-//! pure function returning a [`Table`]; the `tables` binary prints them and
-//! the Criterion benches measure the wall-clock cost of representative
-//! configurations.
+//! (experiments E0–E14, indexed in `DESIGN.md` §5). Each experiment is a
+//! pure function returning a [`Table`]; the `tables` binary prints them
+//! (optionally fanning the catalogue across a worker pool, see
+//! [`parallel`]) and the [`harness`] benches measure the wall-clock cost of
+//! representative configurations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod parallel;
 pub mod stats;
 pub mod table;
 
-pub use experiments::{run_experiment, Experiment};
+pub use experiments::{run_experiment, run_experiment_with, Experiment};
+pub use parallel::{effective_jobs, par_map};
 pub use stats::Summary;
 pub use table::Table;

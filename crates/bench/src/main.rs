@@ -4,35 +4,51 @@
 //! cargo run -p co-bench --bin tables --release            # all experiments
 //! cargo run -p co-bench --bin tables --release -- --exp e1
 //! cargo run -p co-bench --bin tables --release -- --json  # JSON lines
+//! cargo run -p co-bench --bin tables --release -- --jobs 8
 //! ```
+//!
+//! `--jobs N` fans each experiment's internal trial grid across up to `N`
+//! worker threads (`--jobs 0` uses one worker per core). Every trial is
+//! seeded from its grid coordinates, so the output is byte-identical for
+//! every jobs value — only the wall clock changes.
 
-use co_bench::{run_experiment, Experiment};
+use co_bench::{run_experiment_with, Experiment};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut selected: Vec<Experiment> = Vec::new();
     let mut json = false;
+    let mut jobs = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--exp" => {
                 i += 1;
                 let Some(name) = args.get(i) else {
-                    eprintln!("--exp requires an argument (e0..e10)");
+                    eprintln!("--exp requires an argument (e0..e14)");
                     return ExitCode::FAILURE;
                 };
                 match Experiment::parse(name) {
                     Some(e) => selected.push(e),
                     None => {
-                        eprintln!("unknown experiment {name}; expected e0..e10");
+                        eprintln!("unknown experiment {name}; expected e0..e14");
                         return ExitCode::FAILURE;
                     }
                 }
             }
+            "--jobs" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|s| s.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--jobs requires a number (0 = one worker per core)");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
+            }
             "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: tables [--exp eN]... [--json]");
+                println!("usage: tables [--exp eN]... [--jobs N] [--json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -46,12 +62,9 @@ fn main() -> ExitCode {
         selected = Experiment::ALL.to_vec();
     }
     for exp in selected {
-        let table = run_experiment(exp);
+        let table = run_experiment_with(exp, jobs);
         if json {
-            println!(
-                "{}",
-                serde_json::to_string(&table).expect("tables serialize")
-            );
+            println!("{}", table.to_json().to_string_compact());
         } else {
             println!("{table}");
         }

@@ -1,10 +1,9 @@
 //! Small numeric-summary helpers for experiment sweeps.
 
-use serde::Serialize;
 use std::fmt;
 
 /// Summary statistics of a sample.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,

@@ -1,10 +1,9 @@
 //! Minimal aligned-text tables with JSON export.
 
-use serde::Serialize;
 use std::fmt;
 
 /// A result table: title, column headers, string rows, and commentary.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment title, e.g. `"E1 — Theorem 1 message complexity"`.
     pub title: String,
@@ -21,11 +20,7 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        claim: impl Into<String>,
-        headers: Vec<&str>,
-    ) -> Table {
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, headers: Vec<&str>) -> Table {
         Table {
             title: title.into(),
             claim: claim.into(),
@@ -44,6 +39,26 @@ impl Table {
     /// Sets the verdict line.
     pub fn set_verdict(&mut self, verdict: impl Into<String>) {
         self.verdict = verdict.into();
+    }
+
+    /// JSON form of the table (same field names as the struct).
+    #[must_use]
+    pub fn to_json(&self) -> co_json::Value {
+        co_json::object([
+            ("title", co_json::Value::from(self.title.clone())),
+            ("claim", co_json::Value::from(self.claim.clone())),
+            ("headers", co_json::array(self.headers.clone())),
+            (
+                "rows",
+                co_json::Value::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| co_json::array(row.clone()))
+                        .collect(),
+                ),
+            ),
+            ("verdict", co_json::Value::from(self.verdict.clone())),
+        ])
     }
 
     fn widths(&self) -> Vec<usize> {

@@ -7,10 +7,9 @@
 
 use co_core::Role;
 use co_net::{Context, Port, Protocol};
-use serde::{Deserialize, Serialize};
 
 /// Messages of the Chang–Roberts algorithm.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum CrMsg {
     /// A candidate ID still in the running.
     Candidate(u64),

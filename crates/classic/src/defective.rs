@@ -121,7 +121,10 @@ mod tests {
             .filter(|&i| sim.node(i).output() == Some(Role::Leader))
             .count();
         assert_eq!(leaders, 0, "no node should win under corruption");
-        assert!(report.total_sent <= 4, "all candidates swallowed at first hop");
+        assert!(
+            report.total_sent <= 4,
+            "all candidates swallowed at first hop"
+        );
     }
 
     #[test]

@@ -8,11 +8,10 @@
 
 use co_core::Role;
 use co_net::{Context, Port, Protocol};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Messages of Franklin's algorithm.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum FranklinMsg {
     /// An active node's ID travelling toward its active neighbours.
     Bid(u64),
@@ -137,7 +136,11 @@ mod tests {
     use super::*;
     use co_net::{Budget, Outcome, RingSpec, SchedulerKind, Simulation};
 
-    fn run(spec: &RingSpec, kind: SchedulerKind, seed: u64) -> Simulation<FranklinMsg, FranklinNode> {
+    fn run(
+        spec: &RingSpec,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> Simulation<FranklinMsg, FranklinNode> {
         let nodes = (0..spec.len())
             .map(|i| FranklinNode::new(spec.id(i), spec.cw_port(i)))
             .collect();
@@ -161,7 +164,11 @@ mod tests {
             let sim = run(&spec, kind, 7);
             assert_eq!(sim.node(1).output(), Some(Role::Leader), "{kind}");
             for i in (0..8).filter(|&i| i != 1) {
-                assert_eq!(sim.node(i).output(), Some(Role::NonLeader), "{kind} node {i}");
+                assert_eq!(
+                    sim.node(i).output(),
+                    Some(Role::NonLeader),
+                    "{kind} node {i}"
+                );
             }
         }
     }

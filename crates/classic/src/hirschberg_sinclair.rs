@@ -8,10 +8,9 @@
 
 use co_core::Role;
 use co_net::{Context, Port, Protocol};
-use serde::{Deserialize, Serialize};
 
 /// Messages of the Hirschberg–Sinclair algorithm.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum HsMsg {
     /// A probe travelling outward from a candidate.
     Probe {
@@ -196,7 +195,11 @@ mod tests {
             );
             assert_eq!(sim.node(1).output(), Some(Role::Leader), "{kind}");
             for i in [0usize, 2, 3, 4, 5] {
-                assert_eq!(sim.node(i).output(), Some(Role::NonLeader), "{kind} node {i}");
+                assert_eq!(
+                    sim.node(i).output(),
+                    Some(Role::NonLeader),
+                    "{kind} node {i}"
+                );
             }
         }
     }

@@ -11,10 +11,9 @@
 
 use co_core::Role;
 use co_net::{Context, Port, Protocol};
-use serde::{Deserialize, Serialize};
 
 /// Messages of Peterson's algorithm.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum PetersonMsg {
     /// A temporary ID travelling clockwise.
     Token(u64),
@@ -126,7 +125,11 @@ mod tests {
     use super::*;
     use co_net::{Budget, Outcome, RingSpec, SchedulerKind, Simulation};
 
-    fn run(spec: &RingSpec, kind: SchedulerKind, seed: u64) -> Simulation<PetersonMsg, PetersonNode> {
+    fn run(
+        spec: &RingSpec,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> Simulation<PetersonMsg, PetersonNode> {
         let nodes = (0..spec.len())
             .map(|i| PetersonNode::new(spec.id(i), spec.cw_port(i)))
             .collect();

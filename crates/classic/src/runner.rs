@@ -8,11 +8,10 @@ use crate::hirschberg_sinclair::{HirschbergSinclairNode, HsMsg};
 use crate::peterson::{PetersonMsg, PetersonNode};
 use co_core::election::{unique_leader, ElectionReport, Role};
 use co_net::{Budget, Message, Protocol, RingSpec, SchedulerKind, Simulation};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The classical baselines, enumerable for sweeps.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Baseline {
     /// Chang–Roberts, unidirectional `O(n²)`.
     ChangRoberts,
@@ -64,7 +63,12 @@ impl fmt::Display for Baseline {
     }
 }
 
-fn run_generic<M, P>(spec: &RingSpec, nodes: Vec<P>, scheduler: SchedulerKind, seed: u64) -> ElectionReport
+fn run_generic<M, P>(
+    spec: &RingSpec,
+    nodes: Vec<P>,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> ElectionReport
 where
     M: Message,
     P: Protocol<M, Output = Role>,
@@ -136,9 +140,9 @@ mod tests {
         for baseline in Baseline::ALL {
             for kind in SchedulerKind::ALL {
                 let report = baseline.run(&spec, kind, 21);
-                let leader = report.leader.unwrap_or_else(|| {
-                    panic!("{baseline} under {kind}: no unique leader")
-                });
+                let leader = report
+                    .leader
+                    .unwrap_or_else(|| panic!("{baseline} under {kind}: no unique leader"));
                 if baseline.elects_max() {
                     assert_eq!(leader, 4, "{baseline} under {kind}");
                 }

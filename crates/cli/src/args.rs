@@ -79,6 +79,13 @@ pub enum Command {
         /// Root node of the wave.
         root: usize,
     },
+    /// Regenerate the paper's experiment tables (the co-bench catalogue).
+    Tables {
+        /// Experiments to run (empty = all of E0–E14).
+        exps: Vec<co_bench::Experiment>,
+        /// Worker threads per experiment grid (0 = one per core).
+        jobs: usize,
+    },
     /// Print usage.
     Help,
 }
@@ -155,7 +162,10 @@ fn parse_scheduler(s: &str) -> Result<SchedulerKind, ParseError> {
         .find(|k| k.to_string() == s)
         .ok_or_else(|| {
             let names: Vec<String> = SchedulerKind::ALL.iter().map(ToString::to_string).collect();
-            err(format!("unknown scheduler '{s}'; one of: {}", names.join(", ")))
+            err(format!(
+                "unknown scheduler '{s}'; one of: {}",
+                names.join(", ")
+            ))
         })
 }
 
@@ -188,16 +198,23 @@ impl Cli {
         let mut which = co_classic::runner::Baseline::ChangRoberts;
         let mut graph = GraphSpec::Ring(8);
         let mut root = 0usize;
+        let mut exps: Vec<co_bench::Experiment> = Vec::new();
+        let mut jobs = 1usize;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, ParseError> {
-                it.next().ok_or_else(|| err(format!("{name} requires a value")))
+                it.next()
+                    .ok_or_else(|| err(format!("{name} requires a value")))
             };
             match flag.as_str() {
                 "--ids" => {
                     opts.ids = value("--ids")?
                         .split(',')
-                        .map(|p| p.trim().parse::<u64>().map_err(|_| err(format!("bad ID '{p}'"))))
+                        .map(|p| {
+                            p.trim()
+                                .parse::<u64>()
+                                .map_err(|_| err(format!("bad ID '{p}'")))
+                        })
                         .collect::<Result<_, _>>()?;
                     if opts.ids.is_empty() || opts.ids.contains(&0) {
                         return Err(err("--ids needs positive integers"));
@@ -228,7 +245,9 @@ impl Cli {
                     };
                 }
                 "--c" => {
-                    c = value("--c")?.parse().map_err(|_| err("--c must be a float"))?;
+                    c = value("--c")?
+                        .parse()
+                        .map_err(|_| err("--c must be a float"))?;
                     if c <= 0.0 {
                         return Err(err("--c must be positive"));
                     }
@@ -242,6 +261,17 @@ impl Cli {
                     max_id = value("--max-id")?
                         .parse()
                         .map_err(|_| err("--max-id must be an integer"))?;
+                }
+                "--exp" => {
+                    let name = value("--exp")?;
+                    exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
+                        err(format!("unknown experiment '{name}'; expected e0..e14"))
+                    })?);
+                }
+                "--jobs" => {
+                    jobs = value("--jobs")?
+                        .parse()
+                        .map_err(|_| err("--jobs must be a number (0 = one per core)"))?;
                 }
                 "--graph" => graph = GraphSpec::parse(value("--graph")?)?,
                 "--root" => {
@@ -276,6 +306,7 @@ impl Cli {
             "solitude" => Command::Solitude { max_id },
             "baseline" => Command::Baseline { which },
             "echo" => Command::Echo { graph, root },
+            "tables" => Command::Tables { exps, jobs },
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(err(format!("unknown command '{other}'; try 'help'"))),
         };
@@ -299,6 +330,7 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
+  tables      Regenerate the paper's experiment tables (E0..E14)
   help        This text
 
 OPTIONS:
@@ -313,6 +345,8 @@ OPTIONS:
   --max-id K          solitude: largest ID
   --algo A            baseline: cr|hs|peterson|franklin
   --graph G --root R  echo: ring:N | complete:N | path:N, wave root
+  --exp eN            tables: select an experiment (repeatable; default all)
+  --jobs N            tables: worker threads per grid (0 = one per core)
 "
     .to_owned()
 }
@@ -323,8 +357,16 @@ mod tests {
 
     #[test]
     fn parses_elect_with_ids() {
-        let cli = Cli::parse(["elect", "--ids", "5,2,9", "--scheduler", "lifo", "--seed", "7"])
-            .expect("parses");
+        let cli = Cli::parse([
+            "elect",
+            "--ids",
+            "5,2,9",
+            "--scheduler",
+            "lifo",
+            "--seed",
+            "7",
+        ])
+        .expect("parses");
         assert_eq!(cli.command, Command::Elect);
         assert_eq!(cli.opts.ids, vec![5, 2, 9]);
         assert_eq!(cli.opts.scheduler, SchedulerKind::Lifo);
@@ -359,6 +401,21 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_tables() {
+        let cli =
+            Cli::parse(["tables", "--exp", "e1", "--exp", "E10", "--jobs", "4"]).expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Tables {
+                exps: vec![co_bench::Experiment::E1, co_bench::Experiment::E10],
+                jobs: 4,
+            }
+        );
+        assert!(Cli::parse(["tables", "--exp", "e99"]).is_err());
+        assert!(Cli::parse(["tables", "--jobs", "many"]).is_err());
     }
 
     #[test]

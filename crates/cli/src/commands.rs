@@ -3,10 +3,11 @@
 use crate::args::{usage, Cli, Command, CommonOpts};
 use co_compose::pipeline::elect_then_ring_size;
 use co_core::anonymous::{success_rate, SamplingConfig};
+use co_core::election::ElectionReport;
 use co_core::lower_bound::solitude_pattern_alg2;
 use co_core::{runner, IdScheme, Role};
+use co_json::{array, object, Value};
 use co_net::RingSpec;
-use serde::Serialize;
 
 /// Output of a command: human text plus an optional JSON value.
 #[derive(Clone, Debug)]
@@ -14,17 +15,28 @@ pub struct CommandOutput {
     /// Human-readable report.
     pub text: String,
     /// JSON document (pretty-printed when `--json`).
-    pub json: serde_json::Value,
+    pub json: Value,
     /// Process exit code.
     pub code: i32,
 }
 
-fn ok<T: Serialize>(text: String, value: &T) -> CommandOutput {
+fn ok(text: String, json: Value) -> CommandOutput {
     CommandOutput {
         text,
-        json: serde_json::to_value(value).unwrap_or(serde_json::Value::Null),
+        json,
         code: 0,
     }
+}
+
+fn election_json(report: &ElectionReport) -> Value {
+    object([
+        ("outcome", Value::from(report.outcome.to_string())),
+        ("total_messages", Value::from(report.total_messages)),
+        ("steps", Value::from(report.steps)),
+        ("leader", Value::from(report.leader)),
+        ("roles", array(report.roles.iter().map(ToString::to_string))),
+        ("predicted_messages", Value::from(report.predicted_messages)),
+    ])
 }
 
 /// Executes a parsed invocation and returns its output.
@@ -33,7 +45,7 @@ pub fn run(cli: &Cli) -> CommandOutput {
     match &cli.command {
         Command::Help => CommandOutput {
             text: usage(),
-            json: serde_json::Value::Null,
+            json: Value::Null,
             code: 0,
         },
         Command::Elect => elect(&cli.opts),
@@ -44,7 +56,25 @@ pub fn run(cli: &Cli) -> CommandOutput {
         Command::Solitude { max_id } => solitude(*max_id),
         Command::Baseline { which } => baseline(&cli.opts, *which),
         Command::Echo { graph, root } => echo(&cli.opts, graph, *root),
+        Command::Tables { exps, jobs } => tables(exps, *jobs),
     }
+}
+
+fn tables(exps: &[co_bench::Experiment], jobs: usize) -> CommandOutput {
+    let selected: Vec<co_bench::Experiment> = if exps.is_empty() {
+        co_bench::Experiment::ALL.to_vec()
+    } else {
+        exps.to_vec()
+    };
+    let mut text = String::new();
+    let mut docs = Vec::new();
+    for exp in selected {
+        let table = co_bench::run_experiment_with(exp, jobs);
+        text.push_str(&table.to_string());
+        text.push('\n');
+        docs.push(table.to_json());
+    }
+    ok(text, array(docs))
 }
 
 fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
@@ -52,7 +82,11 @@ fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            let mark = if *r == Role::Leader { " <== leader" } else { "" };
+            let mark = if *r == Role::Leader {
+                " <== leader"
+            } else {
+                ""
+            };
             format!("  node {i} (ID {:>3}): {r}{mark}\n", spec.id(i))
         })
         .collect()
@@ -70,7 +104,7 @@ fn elect(opts: &CommonOpts) -> CommandOutput {
         report.total_messages,
         report.predicted_messages.unwrap_or(0),
     );
-    ok(text, &report)
+    ok(text, election_json(&report))
 }
 
 fn stabilize(opts: &CommonOpts) -> CommandOutput {
@@ -85,7 +119,7 @@ fn stabilize(opts: &CommonOpts) -> CommandOutput {
         report.total_messages,
         report.predicted_messages.unwrap_or(0),
     );
-    ok(text, &report)
+    ok(text, election_json(&report))
 }
 
 fn orient(opts: &CommonOpts, scheme: IdScheme) -> CommandOutput {
@@ -114,7 +148,18 @@ fn orient(opts: &CommonOpts, scheme: IdScheme) -> CommandOutput {
         out.report.total_messages,
         out.report.predicted_messages.unwrap_or(0),
     );
-    ok(text, &out)
+    let json = object([
+        ("report", election_json(&out.report)),
+        (
+            "cw_ports",
+            array(out.cw_ports.iter().map(|p| p.map(|p| p.index()))),
+        ),
+        (
+            "orientation_consistent",
+            Value::from(out.orientation_consistent),
+        ),
+    ]);
+    ok(text, json)
 }
 
 fn anonymous(opts: &CommonOpts, n: usize, c: f64, trials: u64) -> CommandOutput {
@@ -134,27 +179,30 @@ fn anonymous(opts: &CommonOpts, n: usize, c: f64, trials: u64) -> CommandOutput 
         stats.max_id_max,
         stats.max_messages,
     );
-    ok(text, &stats)
+    let json = object([
+        ("trials", Value::from(stats.trials)),
+        ("successes", Value::from(stats.successes)),
+        ("unique_max", Value::from(stats.unique_max)),
+        ("mean_id_max", Value::from(stats.mean_id_max)),
+        ("max_id_max", Value::from(stats.max_id_max)),
+        ("max_messages", Value::from(stats.max_messages)),
+    ]);
+    ok(text, json)
 }
 
 fn compose(opts: &CommonOpts) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
     let out = elect_then_ring_size(&spec, opts.scheduler, opts.seed);
-    #[derive(Serialize)]
-    struct ComposeJson {
-        quiescently_terminated: bool,
-        leader: Option<usize>,
-        ring_size_answers: Vec<Option<u64>>,
-        total_messages: u64,
-        election_messages: u64,
-    }
-    let json = ComposeJson {
-        quiescently_terminated: out.quiescently_terminated,
-        leader: out.leader,
-        ring_size_answers: out.outputs.clone(),
-        total_messages: out.total_messages,
-        election_messages: out.election_messages,
-    };
+    let json = object([
+        (
+            "quiescently_terminated",
+            Value::from(out.quiescently_terminated),
+        ),
+        ("leader", Value::from(out.leader)),
+        ("ring_size_answers", Value::from(out.outputs.clone())),
+        ("total_messages", Value::from(out.total_messages)),
+        ("election_messages", Value::from(out.election_messages)),
+    ]);
     let text = format!(
         "Corollary 5 on {spec}: elect (Algorithm 2), then every node computes n\n\
          quiescent termination: {}\nleader: position {:?}\n\
@@ -165,11 +213,10 @@ fn compose(opts: &CommonOpts) -> CommandOutput {
         out.total_messages,
         out.election_messages,
     );
-    ok(text, &json)
+    ok(text, json)
 }
 
 fn solitude(max_id: u64) -> CommandOutput {
-    #[derive(Serialize)]
     struct PatternRow {
         id: u64,
         pattern: String,
@@ -187,10 +234,24 @@ fn solitude(max_id: u64) -> CommandOutput {
         .collect();
     let mut text = format!("Solitude patterns of Algorithm 2 (Definition 21), IDs 1..={max_id}\n");
     for r in &rows {
-        text.push_str(&format!("  ID {:>4}: {} (len {})\n", r.id, r.pattern, r.length));
+        text.push_str(&format!(
+            "  ID {:>4}: {} (len {})\n",
+            r.id, r.pattern, r.length
+        ));
     }
     text.push_str("All patterns are pairwise distinct (Lemma 22).\n");
-    ok(text, &rows)
+    let json = Value::Array(
+        rows.iter()
+            .map(|r| {
+                object([
+                    ("id", Value::from(r.id)),
+                    ("pattern", Value::from(r.pattern.clone())),
+                    ("length", Value::from(r.length)),
+                ])
+            })
+            .collect(),
+    );
+    ok(text, json)
 }
 
 fn baseline(opts: &CommonOpts, which: co_classic::runner::Baseline) -> CommandOutput {
@@ -204,20 +265,20 @@ fn baseline(opts: &CommonOpts, which: co_classic::runner::Baseline) -> CommandOu
         describe_roles(&spec, &report.roles),
         report.total_messages,
     );
-    ok(text, &report)
+    ok(text, election_json(&report))
 }
 
 fn echo(opts: &CommonOpts, graph: &crate::args::GraphSpec, root: usize) -> CommandOutput {
     use co_core::general::{EchoNode, EchoState};
     use co_net::multiport::{GraphSim, GraphWiring};
-    use co_net::Pulse;
+    use co_net::{Budget, Pulse};
 
     let g = graph.build();
     let n = g.vertex_count();
     if root >= n {
         return CommandOutput {
             text: format!("error: --root {root} out of range for {n} nodes\n"),
-            json: serde_json::Value::Null,
+            json: Value::Null,
             code: 1,
         };
     }
@@ -225,28 +286,20 @@ fn echo(opts: &CommonOpts, graph: &crate::args::GraphSpec, root: usize) -> Comma
     let nodes = (0..n).map(|v| EchoNode::new(v == root)).collect();
     let mut sim: GraphSim<Pulse, EchoNode> =
         GraphSim::new(wiring, nodes, opts.scheduler.build(opts.seed));
-    let report = sim.run(10_000_000);
-    let done = (0..n).filter(|&v| sim.node(v).state() == EchoState::Done).count();
+    let report = sim.run(Budget::steps(10_000_000));
+    let done = (0..n)
+        .filter(|&v| sim.node(v).state() == EchoState::Done)
+        .count();
 
-    #[derive(Serialize)]
-    struct EchoJson {
-        nodes: usize,
-        edges: usize,
-        two_edge_connected: bool,
-        bridges: Vec<usize>,
-        outcome: String,
-        pulses: u64,
-        nodes_done: usize,
-    }
-    let json = EchoJson {
-        nodes: n,
-        edges: g.edge_count(),
-        two_edge_connected: g.is_two_edge_connected(),
-        bridges: g.bridges(),
-        outcome: report.outcome.to_string(),
-        pulses: report.total_sent,
-        nodes_done: done,
-    };
+    let json = object([
+        ("nodes", Value::from(n)),
+        ("edges", Value::from(g.edge_count())),
+        ("two_edge_connected", Value::from(g.is_two_edge_connected())),
+        ("bridges", Value::from(g.bridges())),
+        ("outcome", Value::from(report.outcome.to_string())),
+        ("pulses", Value::from(report.total_sent)),
+        ("nodes_done", Value::from(done)),
+    ]);
     let text = format!(
         "flood-echo wave on {graph:?} (root {root}) under {}\n\
          n = {n}, m = {}, 2-edge-connected = {} (bridges: {:?})\n\
@@ -259,7 +312,7 @@ fn echo(opts: &CommonOpts, graph: &crate::args::GraphSpec, root: usize) -> Comma
         report.total_sent,
         2 * g.edge_count(),
     );
-    ok(text, &json)
+    ok(text, json)
 }
 
 #[cfg(test)]
@@ -296,7 +349,15 @@ mod tests {
     #[test]
     fn anonymous_reports_rates() {
         let out = run_line(&[
-            "anonymous", "--n", "6", "--trials", "10", "--c", "0.5", "--seed", "1",
+            "anonymous",
+            "--n",
+            "6",
+            "--trials",
+            "10",
+            "--c",
+            "0.5",
+            "--seed",
+            "1",
         ]);
         assert!(out.text.contains("success"));
     }

@@ -16,10 +16,7 @@ fn main() -> ExitCode {
     let json = cli.opts.json;
     let output = run(&cli);
     if json && !output.json.is_null() {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&output.json).expect("serializable output")
-        );
+        println!("{}", output.json.to_string_pretty());
     } else {
         print!("{}", output.text);
     }

@@ -12,7 +12,6 @@
 //!   the root broadcasts a script of deltas that every node applies.
 
 use crate::broadcast::{RoundApp, TokenAction};
-use serde::{Deserialize, Serialize};
 
 /// Every node learns the ring size `n`.
 ///
@@ -69,7 +68,7 @@ impl RoundApp for RingSizeApp {
 }
 
 /// Result of [`AggregateApp`]: global aggregates plus a per-node label.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct AggregateOutput {
     /// Maximum of all inputs.
     pub max: u64,
@@ -297,7 +296,13 @@ mod tests {
     use crate::broadcast::RoundNode;
     use co_net::{Budget, Outcome, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
 
-    fn run_app<A, F>(n: usize, root: usize, make: F, kind: SchedulerKind, seed: u64) -> Simulation<Pulse, RoundNode<A>>
+    fn run_app<A, F>(
+        n: usize,
+        root: usize,
+        make: F,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> Simulation<Pulse, RoundNode<A>>
     where
         A: RoundApp,
         F: Fn(usize, bool) -> A,
@@ -395,7 +400,13 @@ mod tests {
         let sim = run_app(
             3,
             0,
-            |_, r| if r { BytesApp::root(vec![]) } else { BytesApp::replica() },
+            |_, r| {
+                if r {
+                    BytesApp::root(vec![])
+                } else {
+                    BytesApp::replica()
+                }
+            },
             SchedulerKind::Fifo,
             0,
         );

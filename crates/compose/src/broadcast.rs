@@ -87,7 +87,11 @@ enum HolderState {
         halt: bool,
     },
     /// Holder: marker sent, awaiting its return.
-    AwaitMarker { payload: u64, keep: bool, halt: bool },
+    AwaitMarker {
+        payload: u64,
+        keep: bool,
+        halt: bool,
+    },
 }
 
 /// A node of the round-broadcast layer (generic over the [`RoundApp`]).
@@ -206,12 +210,23 @@ impl<A: RoundApp> Protocol<Pulse> for RoundNode<A> {
                 *remaining -= 1;
                 if *remaining == 0 {
                     let (payload, keep, halt) = (*payload, *keep, *halt);
-                    self.state = HolderState::AwaitMarker { payload, keep, halt };
+                    self.state = HolderState::AwaitMarker {
+                        payload,
+                        keep,
+                        halt,
+                    };
                     self.send_ccw(ctx);
                 }
             }
             // ---- Holder: own marker returning.
-            (HolderState::AwaitMarker { payload, keep, halt }, false) => {
+            (
+                HolderState::AwaitMarker {
+                    payload,
+                    keep,
+                    halt,
+                },
+                false,
+            ) => {
                 let (payload, keep, halt) = (*payload, *keep, *halt);
                 self.rounds += 1;
                 if halt {
@@ -331,7 +346,12 @@ mod tests {
         }
     }
 
-    fn run_script(n: usize, script: Vec<u64>, kind: SchedulerKind, seed: u64) -> (Vec<Vec<u64>>, u64, Outcome) {
+    fn run_script(
+        n: usize,
+        script: Vec<u64>,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> (Vec<Vec<u64>>, u64, Outcome) {
         let spec = RingSpec::oriented((1..=n as u64).collect());
         let nodes: Vec<RoundNode<ScriptApp>> = (0..n)
             .map(|i| RoundNode::new(ScriptApp::new(script.clone()), i == 0, spec.cw_port(i)))

@@ -18,10 +18,12 @@
 //! overhead — no `r+1`-fold message duplication (cf. the paper's discussion
 //! of relaxed quiescence).
 
-use crate::broadcast::{RoundApp, RoundNode};
 use crate::apps::{AggregateApp, AggregateOutput, ReplicatedCounterApp, RingSizeApp};
+use crate::broadcast::{RoundApp, RoundNode};
 use co_core::{Alg2Node, Role};
-use co_net::{Budget, Context, Outcome, Port, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
+use co_net::{
+    Budget, Context, Outcome, Port, Protocol, Pulse, RingSpec, SchedulerKind, Simulation,
+};
 use std::fmt;
 
 /// A node that runs Algorithm 2 and, upon (quiescent) termination, switches

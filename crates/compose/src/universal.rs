@@ -124,14 +124,15 @@ where
         if self.inner.is_terminated() {
             return; // terminated simulated nodes ignore deliveries
         }
-        let mut outbox: Vec<(Port, M)> = Vec::new();
+        let mut outbox: Vec<(usize, M)> = Vec::new();
         {
             // Node index 0 is a placeholder: the simulated protocol only
             // observes ports, not indices.
             let mut ctx = Context::buffered(0, &mut outbox);
             event(&mut self.inner, &mut ctx);
         }
-        self.pending.extend(outbox);
+        self.pending
+            .extend(outbox.into_iter().map(|(p, m)| (Port::from_index(p), m)));
     }
 
     /// Packs one simulated message into a broadcast word.
@@ -153,7 +154,11 @@ where
         let payload = body / self.n;
         if target == self.distance {
             let msg = (self.decode)(payload);
-            let port = if arrival_bit == 0 { Port::Zero } else { Port::One };
+            let port = if arrival_bit == 0 {
+                Port::Zero
+            } else {
+                Port::One
+            };
             self.run_inner(|inner, ctx| inner.on_message(port, msg, ctx));
         }
     }

@@ -189,7 +189,17 @@ mod tests {
                     UngatedAlg2Node::new(2, spec.cw_port(1)),
                 ]
             },
-            |n| (n.rho_cw, n.rho_ccw, n.sigma_cw, n.sigma_ccw, n.awaiting_echo, n.terminated, n.role == Role::Leader),
+            |n| {
+                (
+                    n.rho_cw,
+                    n.rho_ccw,
+                    n.sigma_cw,
+                    n.sigma_ccw,
+                    n.awaiting_echo,
+                    n.terminated,
+                    n.role == Role::Leader,
+                )
+            },
             |_| Ok(()),
             |state| {
                 // A *correct* Algorithm 2 ends every schedule with node 1

@@ -170,7 +170,11 @@ mod tests {
         let spec = RingSpec::oriented(vec![2, 5, 1, 4]);
         let sim = run(&spec, SchedulerKind::Fifo, 0);
         for i in 0..4 {
-            let expected = if i == 1 { Role::Leader } else { Role::NonLeader };
+            let expected = if i == 1 {
+                Role::Leader
+            } else {
+                Role::NonLeader
+            };
             assert_eq!(sim.node(i).role(), expected, "node {i}");
         }
     }
@@ -228,15 +232,12 @@ mod tests {
         // Drive the simulation step by step and observe node 0 (ID 1) pass
         // through Leader before reverting.
         let spec = RingSpec::oriented(vec![1, 2]);
-        let nodes = vec![
-            Alg1Node::new(1, Port::One),
-            Alg1Node::new(2, Port::One),
-        ];
+        let nodes = vec![Alg1Node::new(1, Port::One), Alg1Node::new(2, Port::One)];
         let mut sim: Simulation<Pulse, Alg1Node> =
             Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
         sim.start();
         let mut was_leader = false;
-        while let Some(_) = sim.step() {
+        while sim.step().is_some() {
             if sim.node(0).role() == Role::Leader {
                 was_leader = true;
             }

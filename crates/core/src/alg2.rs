@@ -12,9 +12,10 @@
 //! and terminates; the pulse returns to the leader, which terminates last
 //! without forwarding.
 //!
-//! Message complexity: exactly `n·ID_max` CW pulses + `n·ID_max` CCW pulses
-//! + `n` termination pulses = `n(2·ID_max + 1)` (Theorem 1), achieved with
-//! quiescent termination — no pulse is in flight toward any terminated node.
+//! Message complexity: exactly `n·ID_max` CW pulses + `n·ID_max` CCW
+//! pulses + `n` termination pulses = `n(2·ID_max + 1)` (Theorem 1),
+//! achieved with quiescent termination — no pulse is in flight toward any
+//! terminated node.
 //!
 //! ## Event-driven translation
 //!
@@ -310,7 +311,11 @@ impl fmt::Display for Alg2Node {
         write!(
             f,
             "alg2(id={}, ρcw={}, σcw={}, ρccw={}, σccw={}, {:?})",
-            self.id, self.rho_cw, self.sigma_cw, self.rho_ccw, self.sigma_ccw,
+            self.id,
+            self.rho_cw,
+            self.sigma_cw,
+            self.rho_ccw,
+            self.sigma_ccw,
             self.phase()
         )
     }
@@ -410,7 +415,7 @@ mod tests {
             Simulation::new(spec.wiring(), nodes, SchedulerKind::Random.build(5));
         let mut order = Vec::new();
         sim.start();
-        while let Some(_) = sim.step() {
+        while sim.step().is_some() {
             for i in 0..4 {
                 if sim.is_terminated(i) && !order.contains(&i) {
                     order.push(i);

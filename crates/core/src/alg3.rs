@@ -45,11 +45,10 @@ use crate::election::Role;
 use co_net::{Context, Port, Protocol, Pulse};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How a node derives its two virtual IDs from its real ID.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum IdScheme {
     /// `ID^(i) = 2·ID − 1 + i` — Proposition 15, `n(4·ID_max − 1)` pulses.
     Doubled,
@@ -93,7 +92,7 @@ impl fmt::Display for IdScheme {
 
 /// The stabilizing output of an [`Alg3Node`]: a role plus the port the node
 /// believes leads to its clockwise neighbour.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Alg3Output {
     /// Leader / non-leader decision.
     pub role: Role,
@@ -217,7 +216,9 @@ impl Alg3Node {
 
     /// Proposition 19: re-sample the ID if both counters passed it.
     fn maybe_resample(&mut self) {
-        let Some(rng) = &mut self.resampler else { return };
+        let Some(rng) = &mut self.resampler else {
+            return;
+        };
         let min = self.rho[0].min(self.rho[1]);
         if min > self.id && min >= 2 {
             self.id = rng.gen_range(1..min);
@@ -380,7 +381,11 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let sim = run(&spec, IdScheme::Improved, kind, 9);
             assert_eq!(sim.node(1).output().unwrap().role, Role::Leader, "{kind}");
-            assert_eq!(sim.node(0).output().unwrap().role, Role::NonLeader, "{kind}");
+            assert_eq!(
+                sim.node(0).output().unwrap().role,
+                Role::NonLeader,
+                "{kind}"
+            );
             assert!(orientation_consistent(&spec, &sim), "{kind}");
         }
     }

@@ -43,10 +43,9 @@ use crate::election::Role;
 use co_net::{Budget, Outcome, RingSpec, SchedulerKind, Simulation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the ID-sampling procedure (Algorithm 4).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SamplingConfig {
     /// The paper's constant `c > 0`: failure probability is `O(n^{-c})`.
     pub c: f64,
@@ -114,14 +113,16 @@ pub fn sample_id<R: Rng + ?Sized>(cfg: &SamplingConfig, rng: &mut R) -> u64 {
 pub fn sample_ids(n: usize, cfg: &SamplingConfig, seed: u64) -> Vec<u64> {
     (0..n)
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x5851_F42D_4C95_7F2D_u64.wrapping_mul(i as u64 + 1)));
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (0x5851_F42D_4C95_7F2D_u64.wrapping_mul(i as u64 + 1)),
+            );
             sample_id(cfg, &mut rng)
         })
         .collect()
 }
 
 /// Outcome of one anonymous-ring election trial.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnonymousResult {
     /// The sampled IDs (position order).
     pub ids: Vec<u64>,
@@ -217,7 +218,12 @@ pub fn success_rate(
     let mut max_messages = 0u64;
     let mut max_id_max = 0u64;
     for t in 0..trials {
-        let r = elect_anonymous(n, cfg, scheduler, seed.wrapping_add(t.wrapping_mul(0x2545_F491)));
+        let r = elect_anonymous(
+            n,
+            cfg,
+            scheduler,
+            seed.wrapping_add(t.wrapping_mul(0x2545_F491)),
+        );
         successes += u64::from(r.success);
         unique += u64::from(r.unique_max);
         sum_id_max += u128::from(r.id_max);
@@ -235,7 +241,7 @@ pub fn success_rate(
 }
 
 /// Aggregate statistics from [`success_rate`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AnonymousStats {
     /// Number of trials run.
     pub trials: u64,

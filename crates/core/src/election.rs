@@ -1,14 +1,13 @@
 //! Common vocabulary of the leader-election task.
 
 use co_net::{NodeIndex, Outcome, RingSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A node's decision in the leader-election task.
 ///
 /// Exactly one node must output `Leader`; every other node must output
 /// `NonLeader` (paper, Section 3).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Role {
     /// The elected node.
     Leader,
@@ -75,7 +74,7 @@ impl fmt::Display for ElectionError {
 impl std::error::Error for ElectionError {}
 
 /// Outcome of running one of the paper's election algorithms on a ring.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ElectionReport {
     /// How the simulation ended.
     pub outcome: Outcome,
@@ -142,7 +141,10 @@ impl ElectionReport {
 /// Derives the unique-leader position from a role vector, if it exists.
 #[must_use]
 pub fn unique_leader(roles: &[Role]) -> Option<NodeIndex> {
-    let mut leaders = roles.iter().enumerate().filter(|(_, r)| **r == Role::Leader);
+    let mut leaders = roles
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r == Role::Leader);
     match (leaders.next(), leaders.next()) {
         (Some((i, _)), None) => Some(i),
         _ => None,
@@ -216,8 +218,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let err = ElectionError::WrongLeaderCount { leaders: vec![0, 2] };
+        let err = ElectionError::WrongLeaderCount {
+            leaders: vec![0, 2],
+        };
         assert!(err.to_string().contains("exactly one leader"));
-        assert!(ElectionError::InconsistentOrientation.to_string().contains("orientation"));
+        assert!(ElectionError::InconsistentOrientation
+            .to_string()
+            .contains("orientation"));
     }
 }

@@ -49,13 +49,14 @@ pub enum EchoState {
 /// use co_net::graph::MultiGraph;
 /// use co_net::multiport::{GraphSim, GraphWiring, GraphOutcome};
 /// use co_net::sched::FifoScheduler;
+/// use co_net::Budget;
 ///
 /// let g = MultiGraph::ring(5);
 /// let wiring = GraphWiring::from_graph(&g);
 /// let nodes = (0..5).map(|v| EchoNode::new(v == 2)).collect();
 /// let mut sim: GraphSim<co_net::Pulse, EchoNode> =
 ///     GraphSim::new(wiring, nodes, Box::new(FifoScheduler::new()));
-/// let report = sim.run(10_000);
+/// let report = sim.run(Budget::steps(10_000));
 /// assert_eq!(report.outcome, GraphOutcome::QuiescentTerminated);
 /// assert_eq!(report.total_sent, 2 * 5); // 2m pulses
 /// ```
@@ -128,7 +129,10 @@ impl GraphProtocol<Pulse> for EchoNode {
     }
 
     fn on_message(&mut self, port: usize, _msg: Pulse, ctx: &mut GraphContext<'_, Pulse>) {
-        debug_assert!(!self.received[port], "an edge never carries two pulses one way");
+        debug_assert!(
+            !self.received[port],
+            "an edge never carries two pulses one way"
+        );
         self.received[port] = true;
         if self.state == EchoState::Idle {
             // First contact: adopt the parent, flood the rest.
@@ -167,13 +171,20 @@ mod tests {
     use super::*;
     use co_net::graph::MultiGraph;
     use co_net::multiport::{GraphOutcome, GraphSim, GraphWiring};
-    use co_net::SchedulerKind;
+    use co_net::{Budget, SchedulerKind};
 
-    fn run(graph: &MultiGraph, root: usize, kind: SchedulerKind, seed: u64) -> (GraphSim<Pulse, EchoNode>, GraphOutcome, u64) {
+    fn run(
+        graph: &MultiGraph,
+        root: usize,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> (GraphSim<Pulse, EchoNode>, GraphOutcome, u64) {
         let wiring = GraphWiring::from_graph(graph);
-        let nodes = (0..graph.vertex_count()).map(|v| EchoNode::new(v == root)).collect();
+        let nodes = (0..graph.vertex_count())
+            .map(|v| EchoNode::new(v == root))
+            .collect();
         let mut sim = GraphSim::new(wiring, nodes, kind.build(seed));
-        let report = sim.run(1_000_000);
+        let report = sim.run(Budget::steps(1_000_000));
         (sim, report.outcome, report.total_sent)
     }
 

@@ -7,12 +7,11 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A family of ID assignments for a ring of `n` nodes.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum IdAssignment {
     /// IDs `1..=n` in clockwise position order (best case: `ID_max = n`).
     Contiguous,

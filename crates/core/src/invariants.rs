@@ -2,8 +2,9 @@
 //!
 //! The proofs in Section 3.1 rest on invariants of Algorithm 1's
 //! configuration space. Each lemma is implemented as a predicate over the
-//! *global* simulation state and checked after **every** delivery via
-//! [`co_net::Simulation::run_with`], turning the paper's proofs into
+//! *global* simulation state and checked after **every** delivery by
+//! attaching a monitor observer ([`CwMonitorObserver`], [`Alg2MonitorObserver`])
+//! to [`co_net::Simulation::run_observed`], turning the paper's proofs into
 //! continuously-verified runtime assertions:
 //!
 //! * **Lemma 6** — while `ρ_cw < ID`: `σ_cw = ρ_cw + 1`; once
@@ -23,7 +24,7 @@
 //! before the termination pulse) and the termination trigger fires only at
 //! the maximum-ID node.
 
-use co_net::{Direction, Message, NodeIndex, Protocol, Simulation};
+use co_net::{Direction, Message, NodeIndex, Protocol, SimObserver, Simulation, StepInfo};
 use std::fmt;
 
 /// Read-only view of a node's CW Algorithm-1 instance.
@@ -69,11 +70,7 @@ impl fmt::Display for InvariantViolation {
 
 impl std::error::Error for InvariantViolation {}
 
-fn violation(
-    lemma: &'static str,
-    node: Option<NodeIndex>,
-    detail: String,
-) -> InvariantViolation {
+fn violation(lemma: &'static str, node: Option<NodeIndex>, detail: String) -> InvariantViolation {
     InvariantViolation {
         lemma,
         detail,
@@ -87,22 +84,23 @@ fn violation(
 /// the first violation found, accumulating the absorption order needed for
 /// Lemma 7/17 across calls.
 ///
+/// The idiomatic way to drive it is [`CwMonitorObserver`], which plugs into
+/// [`Simulation::run_observed`]:
+///
 /// ```rust
-/// use co_core::invariants::CwMonitor;
+/// use co_core::invariants::CwMonitorObserver;
 /// use co_core::Alg1Node;
-/// use co_net::{Budget, Direction, Port, Pulse, RingSpec, SchedulerKind, Simulation};
+/// use co_net::{Budget, Pulse, RingSpec, SchedulerKind, Simulation};
 ///
 /// let spec = RingSpec::oriented(vec![2, 5, 3]);
 /// let nodes = (0..3).map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i))).collect();
 /// let mut sim: Simulation<Pulse, Alg1Node> =
 ///     Simulation::new(spec.wiring(), nodes, SchedulerKind::Random.build(7));
-/// let mut monitor = CwMonitor::new();
-/// sim.run_with(Budget::default(), |sim, _| {
-///     monitor
-///         .check(sim.nodes(), sim.in_flight_direction(Direction::Cw))
-///         .expect("the paper's lemmas hold at every step");
-/// });
-/// monitor.check_final(sim.nodes()).expect("the ID_max node absorbed last");
+/// let mut observer = CwMonitorObserver::new();
+/// sim.run_observed(Budget::default(), &mut observer);
+/// observer
+///     .finish(sim.nodes())
+///     .expect("the paper's lemmas hold at every step");
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CwMonitor {
@@ -335,6 +333,123 @@ impl Alg2Monitor {
 #[must_use]
 pub fn cw_in_flight<M: Message, P: Protocol<M>>(sim: &Simulation<M, P>) -> u64 {
     sim.in_flight_direction(Direction::Cw)
+}
+
+/// [`SimObserver`] adapter for [`CwMonitor`]: runs the lemma checks after
+/// every delivery, latching the *first* violation (the monitor's state is
+/// unreliable past that point).
+///
+/// Attach with [`Simulation::run_observed`], then call
+/// [`CwMonitorObserver::finish`] to collect the verdict including the
+/// end-of-run checks (Lemma 12, last absorber).
+#[derive(Clone, Debug, Default)]
+pub struct CwMonitorObserver {
+    monitor: CwMonitor,
+    violation: Option<InvariantViolation>,
+}
+
+impl CwMonitorObserver {
+    /// Creates a fresh observer around a fresh [`CwMonitor`].
+    #[must_use]
+    pub fn new() -> CwMonitorObserver {
+        CwMonitorObserver::default()
+    }
+
+    /// The monitor driven by this observer.
+    #[must_use]
+    pub fn monitor(&self) -> &CwMonitor {
+        &self.monitor
+    }
+
+    /// The verdict so far: the first per-step violation, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Final verdict: the first per-step violation if one was latched,
+    /// otherwise the end-of-run checks ([`CwMonitor::check_final`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] observed over the whole run.
+    pub fn finish<V: CwInstanceView>(self, nodes: &[V]) -> Result<(), InvariantViolation> {
+        if let Some(v) = self.violation {
+            return Err(v);
+        }
+        self.monitor.check_final(nodes)
+    }
+}
+
+impl<M, P> SimObserver<M, P> for CwMonitorObserver
+where
+    M: Message,
+    P: Protocol<M> + CwInstanceView,
+{
+    fn after_step(&mut self, sim: &Simulation<M, P>, _step: &StepInfo) {
+        if self.violation.is_none() {
+            let in_flight = sim.in_flight_direction(Direction::Cw);
+            if let Err(v) = self.monitor.check(sim.nodes(), in_flight) {
+                self.violation = Some(v);
+            }
+        }
+    }
+}
+
+/// [`SimObserver`] adapter for [`Alg2Monitor`]: the Algorithm-2 analogue of
+/// [`CwMonitorObserver`] (CW lemmas plus the §3.2 lag/trigger invariants).
+#[derive(Clone, Debug, Default)]
+pub struct Alg2MonitorObserver {
+    monitor: Alg2Monitor,
+    violation: Option<InvariantViolation>,
+}
+
+impl Alg2MonitorObserver {
+    /// Creates a fresh observer around a fresh [`Alg2Monitor`].
+    #[must_use]
+    pub fn new() -> Alg2MonitorObserver {
+        Alg2MonitorObserver::default()
+    }
+
+    /// The monitor driven by this observer.
+    #[must_use]
+    pub fn monitor(&self) -> &Alg2Monitor {
+        &self.monitor
+    }
+
+    /// The verdict so far: the first per-step violation, if any.
+    #[must_use]
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Final verdict: the first per-step violation if one was latched,
+    /// otherwise the CW instance's end-of-run checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] observed over the whole run.
+    pub fn finish<V: CwInstanceView>(self, nodes: &[V]) -> Result<(), InvariantViolation> {
+        if let Some(v) = self.violation {
+            return Err(v);
+        }
+        self.monitor.cw().check_final(nodes)
+    }
+}
+
+impl<M, P> SimObserver<M, P> for Alg2MonitorObserver
+where
+    M: Message,
+    P: Protocol<M> + CcwInstanceView,
+{
+    fn after_step(&mut self, sim: &Simulation<M, P>, _step: &StepInfo) {
+        if self.violation.is_none() {
+            let in_flight = sim.in_flight_direction(Direction::Cw);
+            if let Err(v) = self.monitor.check(sim.nodes(), in_flight) {
+                self.violation = Some(v);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

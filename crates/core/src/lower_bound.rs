@@ -37,12 +37,11 @@ use crate::alg2::Alg2Node;
 use crate::alg3::{Alg3Node, IdScheme};
 use co_net::sched::SolitudeScheduler;
 use co_net::{Budget, Direction, Outcome, Port, Protocol, Pulse, RingSpec, Simulation};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A solitude pattern (Definition 21): the direction sequence of pulses a
 /// single node receives when running alone, encoded `CW ↦ 0`, `CCW ↦ 1`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SolitudePattern {
     bits: Vec<u8>,
 }
@@ -101,7 +100,7 @@ impl fmt::Display for SolitudePattern {
 }
 
 /// Result of extracting a solitude pattern.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SolitudeExtract {
     /// The pattern.
     pub pattern: SolitudePattern,
@@ -124,7 +123,11 @@ pub fn solitude_pattern<P: Protocol<Pulse>>(node: P, budget: Budget) -> Option<S
     // The ring spec needs an ID but the protocol instance already carries
     // its own; any positive placeholder yields the same self-loop wiring.
     let spec = RingSpec::oriented(vec![1]);
-    let mut sim = Simulation::new(spec.wiring(), vec![node], Box::new(SolitudeScheduler::new()));
+    let mut sim = Simulation::new(
+        spec.wiring(),
+        vec![node],
+        Box::new(SolitudeScheduler::new()),
+    );
     sim.enable_trace(None);
     let report = sim.run(budget);
     let completed = matches!(
@@ -269,9 +272,8 @@ mod tests {
         // pulse (CCW) — pattern 0^i 1^(i+1).
         for id in 1..=12u64 {
             let p = solitude_pattern_alg2(id).expect("terminates");
-            let expected: Vec<u8> = std::iter::repeat(0u8)
-                .take(id as usize)
-                .chain(std::iter::repeat(1u8).take(id as usize + 1))
+            let expected: Vec<u8> = std::iter::repeat_n(0u8, id as usize)
+                .chain(std::iter::repeat_n(1u8, id as usize + 1))
                 .collect();
             assert_eq!(p.bits(), &expected[..], "id {id}");
         }
@@ -310,8 +312,12 @@ mod tests {
 
     #[test]
     fn common_prefix_len_basic() {
-        let a = SolitudePattern { bits: vec![0, 0, 1, 1] };
-        let b = SolitudePattern { bits: vec![0, 0, 1, 0] };
+        let a = SolitudePattern {
+            bits: vec![0, 0, 1, 1],
+        };
+        let b = SolitudePattern {
+            bits: vec![0, 0, 1, 0],
+        };
         let c = SolitudePattern { bits: vec![1] };
         assert_eq!(a.common_prefix_len(&b), 3);
         assert_eq!(a.common_prefix_len(&c), 0);
@@ -334,8 +340,9 @@ mod tests {
 
     #[test]
     fn prefix_group_single() {
-        let patterns: Vec<SolitudePattern> =
-            (1..=5).map(|id| solitude_pattern_alg2(id).unwrap()).collect();
+        let patterns: Vec<SolitudePattern> = (1..=5)
+            .map(|id| solitude_pattern_alg2(id).unwrap())
+            .collect();
         let (s, group) = max_prefix_group(&patterns, 1);
         assert_eq!(group.len(), 1);
         assert_eq!(s, 2 * 5 + 1, "longest pattern is ID 5's");

@@ -10,9 +10,8 @@ use crate::alg1::Alg1Node;
 use crate::alg2::Alg2Node;
 use crate::alg3::{Alg3Node, Alg3Output, IdScheme};
 use crate::election::{unique_leader, ElectionReport, Role};
-use crate::invariants::{Alg2Monitor, CwMonitor, InvariantViolation};
-use co_net::{Budget, Direction, Port, Pulse, RingSpec, RunReport, SchedulerKind, Simulation};
-use serde::{Deserialize, Serialize};
+use crate::invariants::{Alg2MonitorObserver, CwMonitorObserver, InvariantViolation};
+use co_net::{Budget, Port, Pulse, RingSpec, RunReport, SchedulerKind, Simulation};
 
 /// Runs Algorithm 1 (stabilizing, oriented) to quiescence.
 ///
@@ -45,20 +44,9 @@ pub fn run_alg1_monitored(
         .collect();
     let mut sim: Simulation<Pulse, Alg1Node> =
         Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
-    let mut monitor = CwMonitor::new();
-    let mut first_violation: Option<InvariantViolation> = None;
-    let run = sim.run_with(Budget::default(), |sim, _| {
-        if first_violation.is_none() {
-            let in_flight = sim.in_flight_direction(Direction::Cw);
-            if let Err(v) = monitor.check(sim.nodes(), in_flight) {
-                first_violation = Some(v);
-            }
-        }
-    });
-    if let Some(v) = first_violation {
-        return Err(v);
-    }
-    monitor.check_final(sim.nodes())?;
+    let mut observer = CwMonitorObserver::new();
+    let run = sim.run_observed(Budget::default(), &mut observer);
+    observer.finish(sim.nodes())?;
     let roles: Vec<Role> = (0..spec.len()).map(|i| sim.node(i).role()).collect();
     Ok(report_from(
         spec,
@@ -100,20 +88,9 @@ pub fn run_alg2_monitored(
     let nodes = alg2_nodes(spec);
     let mut sim: Simulation<Pulse, Alg2Node> =
         Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
-    let mut monitor = Alg2Monitor::new();
-    let mut first_violation: Option<InvariantViolation> = None;
-    let run = sim.run_with(Budget::default(), |sim, _| {
-        if first_violation.is_none() {
-            let cw_in_flight = sim.in_flight_direction(Direction::Cw);
-            if let Err(v) = monitor.check(sim.nodes(), cw_in_flight) {
-                first_violation = Some(v);
-            }
-        }
-    });
-    if let Some(v) = first_violation {
-        return Err(v);
-    }
-    monitor.cw().check_final(sim.nodes())?;
+    let mut observer = Alg2MonitorObserver::new();
+    let run = sim.run_observed(Budget::default(), &mut observer);
+    observer.finish(sim.nodes())?;
     let roles = alg2_roles(&sim, spec.len());
     Ok(report_from(spec, &run, roles, Some(predicted_alg2(spec))))
 }
@@ -135,7 +112,7 @@ fn alg2_roles(sim: &Simulation<Pulse, Alg2Node>, n: usize) -> Vec<Role> {
 }
 
 /// Result of an Algorithm 3 run: election report plus orientation data.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Alg3Report {
     /// The election outcome.
     pub report: ElectionReport,
@@ -297,8 +274,7 @@ mod tests {
         // Partial synchrony is just another adversary: Theorem 1 unchanged.
         let spec = RingSpec::oriented(vec![4, 7, 2, 5]);
         for bound in [0u64, 1, 5, 50] {
-            let report =
-                run_alg2_scheduler(&spec, Box::new(BoundedDelayScheduler::new(bound, 3)));
+            let report = run_alg2_scheduler(&spec, Box::new(BoundedDelayScheduler::new(bound, 3)));
             assert!(report.quiescently_terminated(), "bound {bound}");
             assert_eq!(report.leader, Some(1), "bound {bound}");
             assert_eq!(report.total_messages, 4 * (2 * 7 + 1), "bound {bound}");

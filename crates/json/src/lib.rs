@@ -1,0 +1,310 @@
+//! # `co-json` — a minimal JSON document model
+//!
+//! The CLI and the bench harness emit machine-readable JSON next to their
+//! human-readable text. The build environment cannot fetch `serde_json`, so
+//! this crate provides the small subset actually needed: an owned [`Value`]
+//! tree, compact and pretty writers, and ergonomic constructors.
+//!
+//! Object keys preserve insertion order, which keeps emitted documents
+//! byte-stable across runs — the harness determinism tests rely on that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// An owned JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (serialized without a decimal point).
+    UInt(u64),
+    /// A signed integer (serialized without a decimal point).
+    Int(i64),
+    /// A finite double; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants or missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the value as `u64` if it is an unsigned integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(x) => Some(*x),
+            Value::Int(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `&str` if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(x) => out.push_str(&x.to_string()),
+            Value::Int(x) => out.push_str(&x.to_string()),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // Ensure round-trippable floats keep a decimal marker.
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Value::Object(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::UInt(x)
+    }
+}
+impl From<u32> for Value {
+    fn from(x: u32) -> Self {
+        Value::UInt(u64::from(x))
+    }
+}
+impl From<usize> for Value {
+    fn from(x: usize) -> Self {
+        Value::UInt(x as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(x)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Self {
+        opt.map_or(Value::Null, Into::into)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value::Object`] from `(key, value)` pairs, preserving order.
+#[must_use]
+pub fn object<const N: usize>(entries: [(&str, Value); N]) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// Builds a [`Value::Array`] from anything iterable over `Into<Value>`.
+pub fn array<I, T>(items: I) -> Value
+where
+    I: IntoIterator<Item = T>,
+    T: Into<Value>,
+{
+    Value::Array(items.into_iter().map(Into::into).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_round_trip_shape() {
+        let v = object([
+            ("n", Value::from(5u64)),
+            ("name", Value::from("ring")),
+            ("ok", Value::from(true)),
+            ("none", Value::Null),
+        ]);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"n":5,"name":"ring","ok":true,"none":null}"#
+        );
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(5));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = object([("xs", array([1u64, 2u64]))]);
+        assert_eq!(
+            v.to_string_pretty(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::from("a\"b\\c\nd");
+        assert_eq!(v.to_string_compact(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn floats_keep_decimal_marker() {
+        assert_eq!(Value::from(2.0f64).to_string_compact(), "2.0");
+        assert_eq!(Value::from(2.5f64).to_string_compact(), "2.5");
+        assert_eq!(Value::from(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn option_and_vec_conversions() {
+        assert_eq!(Value::from(None::<u64>), Value::Null);
+        assert_eq!(Value::from(Some(3u64)), Value::UInt(3));
+        assert_eq!(
+            Value::from(vec![Some(1u64), None]),
+            Value::Array(vec![Value::UInt(1), Value::Null])
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Value::Array(vec![]).to_string_pretty(), "[]");
+        assert_eq!(Value::Object(vec![]).to_string_compact(), "{}");
+    }
+}

@@ -10,11 +10,10 @@
 use crate::port::Direction;
 use crate::topology::NodeIndex;
 use crate::trace::{Trace, TraceEvent};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Summary extracted from a trace.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceSummary {
     /// Messages sent, total.
     pub sent: u64,
@@ -102,6 +101,7 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
             TraceEvent::Terminate { node } => {
                 s.termination_order.push(*node);
             }
+            TraceEvent::Fault { .. } => {}
         }
     }
     if s.delivered > 0 {
@@ -125,9 +125,12 @@ pub fn fifo_violation(trace: &Trace) -> Option<u64> {
     // that channel*. Since a channel's sends are already in seq order and
     // FIFO delivery preserves it, checking ascending seq per (node, port)
     // suffices for single-channel-per-(node,port) topologies like rings.
-    let mut last: HashMap<(NodeIndex, crate::Port), u64> = HashMap::new();
+    let mut last: HashMap<(NodeIndex, usize), u64> = HashMap::new();
     for event in trace.events() {
-        if let TraceEvent::Deliver { node, port, seq, .. } = event {
+        if let TraceEvent::Deliver {
+            node, port, seq, ..
+        } = event
+        {
             if let Some(&prev) = last.get(&(*node, *port)) {
                 if *seq < prev {
                     return Some(*seq);
@@ -189,7 +192,12 @@ mod tests {
 
     fn traced_run(kind: SchedulerKind) -> Trace {
         let spec = RingSpec::oriented(vec![1, 2, 3]);
-        let nodes = (0..3).map(|_| Bounded { budget: 4, done: false }).collect();
+        let nodes = (0..3)
+            .map(|_| Bounded {
+                budget: 4,
+                done: false,
+            })
+            .collect();
         let mut sim: Simulation<Pulse, Bounded> =
             Simulation::new(spec.wiring(), nodes, kind.build(3));
         sim.enable_trace(None);
@@ -222,7 +230,7 @@ mod tests {
         for seq in [1u64, 0] {
             forged.push(TraceEvent::Deliver {
                 node: 0,
-                port: Port::Zero,
+                port: 0,
                 seq,
                 direction: None,
             });

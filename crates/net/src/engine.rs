@@ -1,0 +1,979 @@
+//! The unified event core shared by every delivery engine.
+//!
+//! [`EventCore`] owns everything a discrete-event network simulation needs
+//! that is independent of the topology's port discipline: per-channel FIFO
+//! queues, the sorted non-empty channel set, scheduler dispatch, fault
+//! application ([`FaultPlan`]), budget and quiescence accounting
+//! ([`Budget`], [`Outcome`]), aggregate statistics ([`SimStats`]), and event
+//! emission to [`Observer`]s (including the optional [`Trace`] and the
+//! [`RunMetrics`] run-summary collector).
+//!
+//! Two abstractions parameterize the core:
+//!
+//! * [`Topology`] — the channel table. The fixed two-port ring
+//!   ([`Wiring`](crate::Wiring)) and the arbitrary-degree multigraph
+//!   ([`GraphWiring`](crate::multiport::GraphWiring)) both implement it;
+//!   ports are dense `usize` indices `0..degree(node)` at this layer.
+//! * [`EventHandler`] — dispatch into the node programs. The typed facades
+//!   ([`Simulation`](crate::Simulation) for rings,
+//!   [`GraphSim`](crate::multiport::GraphSim) for multigraphs) implement it
+//!   by wrapping the raw outbox in their port-typed contexts, so protocol
+//!   code keeps its `Port`-typed (or degree-indexed) API while the core
+//!   stays monomorphic over `usize`.
+//!
+//! The core's delivery semantics are the paper's model exactly — see the
+//! [`sim`](crate::sim) module docs — and are byte-identical to the
+//! pre-unification ring engine: sequence numbers are assigned in send order,
+//! faults apply drop-then-duplicate, and the ready list offered to the
+//! scheduler is sorted by channel index.
+
+use crate::faults::{FaultPlan, FaultStats};
+use crate::message::Message;
+use crate::port::Direction;
+use crate::sched::{ChannelView, Scheduler};
+use crate::topology::ChannelId;
+use crate::trace::{Trace, TraceEvent};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A channel table: how many nodes, how their ports map to directed FIFO
+/// channels, and where each channel delivers.
+///
+/// Channels are dense indices `0..channel_count()`; ports are dense indices
+/// `0..degree(node)`. The map `(node, port) → out_channel → endpoint` must
+/// describe undirected links: following the channel leaving `(v, p)` to its
+/// endpoint `(u, q)` and back along the channel leaving `(u, q)` lands at
+/// `(v, p)` again.
+pub trait Topology {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Whether the network has no nodes (never true for a valid topology).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed channels.
+    fn channel_count(&self) -> usize;
+
+    /// Number of ports of `node`.
+    fn degree(&self, node: usize) -> usize;
+
+    /// The channel carrying messages sent by `node` from `port`.
+    fn out_channel(&self, node: usize, port: usize) -> usize;
+
+    /// Destination `(node, in-port)` of `channel`.
+    fn endpoint(&self, channel: usize) -> (usize, usize);
+
+    /// Global direction tag of `channel`, if the topology defines one
+    /// (rings tag channels CW/CCW; general graphs leave this `None`).
+    fn direction(&self, channel: usize) -> Option<Direction> {
+        let _ = channel;
+        None
+    }
+}
+
+/// Dispatch from the core into a set of node programs.
+///
+/// Implemented by the typed facades, not by protocol code: the facade wraps
+/// the raw `(port, message)` outbox in its port-typed context and forwards
+/// to the node's `on_start` / `on_message`.
+pub trait EventHandler<M: Message> {
+    /// Run node `node`'s start-up action, buffering sends into `outbox`.
+    fn on_start(&mut self, node: usize, degree: usize, outbox: &mut Vec<(usize, M)>);
+
+    /// Deliver `msg` on `port` to node `node`, buffering sends into `outbox`.
+    fn on_message(
+        &mut self,
+        node: usize,
+        degree: usize,
+        port: usize,
+        msg: M,
+        outbox: &mut Vec<(usize, M)>,
+    );
+
+    /// Whether node `node` has entered a terminating state.
+    fn is_terminated(&self, node: usize) -> bool;
+}
+
+/// A model-violating channel fault, as reported to [`Observer`]s.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A sent message was silently discarded.
+    Dropped,
+    /// A spurious copy of a sent message was enqueued behind it.
+    Duplicated,
+    /// A spurious message was injected without any node sending it.
+    Injected,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Dropped => "dropped",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Injected => "injected",
+        })
+    }
+}
+
+/// One observable engine event, as delivered to [`Observer`]s.
+///
+/// Ports and channels are the core's dense `usize` indices; for a ring they
+/// coincide with [`Port::index`](crate::Port::index) and
+/// [`ChannelId::index`](crate::ChannelId::index).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A node executed its initialisation step.
+    Start {
+        /// The node.
+        node: usize,
+    },
+    /// A node sent a message.
+    Send {
+        /// Sending node.
+        node: usize,
+        /// Out-port used.
+        port: usize,
+        /// Global send sequence number.
+        seq: u64,
+        /// Direction tag of the channel, if any.
+        direction: Option<Direction>,
+    },
+    /// A message was delivered to (and processed by) a live node.
+    Deliver {
+        /// Receiving node.
+        node: usize,
+        /// In-port the message arrived at.
+        port: usize,
+        /// Global send sequence number.
+        seq: u64,
+        /// Direction tag of the channel, if any.
+        direction: Option<Direction>,
+    },
+    /// A message arrived at a terminated node and was ignored.
+    DeliverIgnored {
+        /// Receiving (terminated) node.
+        node: usize,
+        /// In-port the message arrived at.
+        port: usize,
+        /// Global send sequence number.
+        seq: u64,
+    },
+    /// A node entered its terminating state.
+    Terminate {
+        /// The node.
+        node: usize,
+    },
+    /// A channel fault was applied.
+    Fault {
+        /// What happened.
+        kind: FaultKind,
+        /// Sequence number of the affected message.
+        seq: u64,
+    },
+}
+
+/// A passive spectator of engine events.
+///
+/// Observers replace the old `run_with` closure hook as the instrumentation
+/// seam: [`Trace`] records events verbatim, [`RunMetrics`] aggregates them,
+/// and `co-core`'s invariant monitors hang off the facade-level observer
+/// (which additionally sees global simulation state between events).
+///
+/// Either override [`Observer::on_event`] and match, or override the
+/// per-kind methods — the default `on_event` dispatches to them.
+pub trait Observer {
+    /// Called on every engine event; dispatches to the per-kind methods by
+    /// default.
+    fn on_event(&mut self, event: &EngineEvent) {
+        match *event {
+            EngineEvent::Start { node } => self.on_start(node),
+            EngineEvent::Send {
+                node,
+                port,
+                seq,
+                direction,
+            } => self.on_send(node, port, seq, direction),
+            EngineEvent::Deliver {
+                node,
+                port,
+                seq,
+                direction,
+            } => self.on_deliver(node, port, seq, direction),
+            EngineEvent::DeliverIgnored { node, port, seq } => {
+                self.on_deliver_ignored(node, port, seq);
+            }
+            EngineEvent::Terminate { node } => self.on_terminate(node),
+            EngineEvent::Fault { kind, seq } => self.on_fault(kind, seq),
+        }
+    }
+
+    /// A node ran its start-up action.
+    fn on_start(&mut self, node: usize) {
+        let _ = node;
+    }
+
+    /// A node sent a message.
+    fn on_send(&mut self, node: usize, port: usize, seq: u64, direction: Option<Direction>) {
+        let _ = (node, port, seq, direction);
+    }
+
+    /// A live node received a message.
+    fn on_deliver(&mut self, node: usize, port: usize, seq: u64, direction: Option<Direction>) {
+        let _ = (node, port, seq, direction);
+    }
+
+    /// A terminated node ignored a message.
+    fn on_deliver_ignored(&mut self, node: usize, port: usize, seq: u64) {
+        let _ = (node, port, seq);
+    }
+
+    /// A node terminated.
+    fn on_terminate(&mut self, node: usize) {
+        let _ = node;
+    }
+
+    /// A channel fault was applied.
+    fn on_fault(&mut self, kind: FaultKind, seq: u64) {
+        let _ = (kind, seq);
+    }
+}
+
+impl Observer for () {
+    fn on_event(&mut self, _event: &EngineEvent) {}
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    fn on_event(&mut self, event: &EngineEvent) {
+        (**self).on_event(event);
+    }
+}
+
+impl<O: Observer> Observer for Option<O> {
+    fn on_event(&mut self, event: &EngineEvent) {
+        if let Some(o) = self {
+            o.on_event(event);
+        }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    fn on_event(&mut self, event: &EngineEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+impl Observer for Trace {
+    fn on_event(&mut self, event: &EngineEvent) {
+        self.push(match *event {
+            EngineEvent::Start { node } => TraceEvent::Start { node },
+            EngineEvent::Send {
+                node,
+                port,
+                seq,
+                direction,
+            } => TraceEvent::Send {
+                node,
+                port,
+                seq,
+                direction,
+            },
+            EngineEvent::Deliver {
+                node,
+                port,
+                seq,
+                direction,
+            } => TraceEvent::Deliver {
+                node,
+                port,
+                seq,
+                direction,
+            },
+            EngineEvent::DeliverIgnored { node, port, seq } => {
+                TraceEvent::DeliverIgnored { node, port, seq }
+            }
+            EngineEvent::Terminate { node } => TraceEvent::Terminate { node },
+            EngineEvent::Fault { kind, seq } => TraceEvent::Fault { kind, seq },
+        });
+    }
+}
+
+/// Run-summary metrics aggregated from engine events.
+///
+/// A cheap always-on-capable [`Observer`]: unlike a [`Trace`] it keeps O(1)
+/// state regardless of run length, so it can instrument the full
+/// `n(2·ID_max + 1)`-pulse executions of the paper's algorithms.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Messages sent by nodes.
+    pub sends: u64,
+    /// Messages delivered to live nodes.
+    pub deliveries: u64,
+    /// Messages delivered to terminated nodes and ignored.
+    pub ignored: u64,
+    /// Nodes that entered a terminating state.
+    pub terminations: u64,
+    /// Channel faults applied (drops + duplications + injections).
+    pub faults: u64,
+    /// Peak number of messages simultaneously in transit.
+    pub max_in_flight: u64,
+    in_flight: u64,
+}
+
+impl RunMetrics {
+    /// A fresh collector.
+    #[must_use]
+    pub fn new() -> RunMetrics {
+        RunMetrics::default()
+    }
+
+    fn gain(&mut self) {
+        self.in_flight += 1;
+        self.max_in_flight = self.max_in_flight.max(self.in_flight);
+    }
+
+    fn lose(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+}
+
+impl Observer for RunMetrics {
+    fn on_send(&mut self, _node: usize, _port: usize, _seq: u64, _direction: Option<Direction>) {
+        self.sends += 1;
+        self.gain();
+    }
+
+    fn on_deliver(&mut self, _node: usize, _port: usize, _seq: u64, _dir: Option<Direction>) {
+        self.deliveries += 1;
+        self.lose();
+    }
+
+    fn on_deliver_ignored(&mut self, _node: usize, _port: usize, _seq: u64) {
+        self.ignored += 1;
+        self.lose();
+    }
+
+    fn on_terminate(&mut self, _node: usize) {
+        self.terminations += 1;
+    }
+
+    fn on_fault(&mut self, kind: FaultKind, _seq: u64) {
+        self.faults += 1;
+        match kind {
+            // A dropped message was counted at its send but never travels.
+            FaultKind::Dropped => self.lose(),
+            FaultKind::Duplicated | FaultKind::Injected => self.gain(),
+        }
+    }
+}
+
+/// Step/message budget bounding a run.
+///
+/// The paper's algorithms all reach quiescence in finite time; the budget
+/// exists to turn a would-be hang (a bug) into a reported
+/// [`Outcome::BudgetExhausted`] instead of an endless loop.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of deliveries before aborting.
+    pub max_steps: u64,
+}
+
+impl Budget {
+    /// A budget of `max_steps` deliveries.
+    #[must_use]
+    pub fn steps(max_steps: u64) -> Budget {
+        Budget { max_steps }
+    }
+}
+
+impl Default for Budget {
+    /// 50 million deliveries — far above `n(2·ID_max + 1)` for every
+    /// configuration exercised in this repository.
+    fn default() -> Budget {
+        Budget {
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every node terminated, and no message was ever delivered to (or left
+    /// queued toward) a terminated node — the paper's *quiescent
+    /// termination*.
+    QuiescentTerminated,
+    /// Every node terminated but some messages were still in transit when
+    /// nodes terminated (they were delivered and ignored).
+    TerminatedNonQuiescent,
+    /// No messages remain in transit but at least one node has not
+    /// terminated — *quiescence*, the guarantee of stabilizing algorithms.
+    Quiescent,
+    /// The step budget ran out with messages still in transit.
+    BudgetExhausted,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::QuiescentTerminated => "quiescent termination",
+            Outcome::TerminatedNonQuiescent => "termination (non-quiescent)",
+            Outcome::Quiescent => "quiescence without termination",
+            Outcome::BudgetExhausted => "budget exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate counters of a simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total messages sent (= the paper's message complexity when the run
+    /// reaches quiescence).
+    pub total_sent: u64,
+    /// Total messages delivered to live nodes.
+    pub total_delivered: u64,
+    /// Messages delivered to terminated nodes and ignored.
+    pub delivered_to_terminated: u64,
+    /// Deliveries performed (steps executed).
+    pub steps: u64,
+    /// Sent counts by direction tag: `[CW, CCW]` (untagged channels are not
+    /// counted here).
+    pub sent_by_direction: [u64; 2],
+    /// Per node: messages sent from each port, indexed `[node][port]`
+    /// (inner length = the node's degree).
+    pub sent_by_port: Vec<Vec<u64>>,
+    /// Per node: messages received (processed) at each port.
+    pub recv_by_port: Vec<Vec<u64>>,
+}
+
+impl SimStats {
+    fn for_topology<T: Topology>(topology: &T) -> SimStats {
+        let per_port: Vec<Vec<u64>> = (0..topology.len())
+            .map(|v| vec![0; topology.degree(v)])
+            .collect();
+        SimStats {
+            sent_by_port: per_port.clone(),
+            recv_by_port: per_port,
+            ..SimStats::default()
+        }
+    }
+
+    /// Total messages sent by one node.
+    #[must_use]
+    pub fn sent_by_node(&self, node: usize) -> u64 {
+        self.sent_by_port[node].iter().sum()
+    }
+
+    /// Total messages received (processed) by one node.
+    #[must_use]
+    pub fn recv_by_node(&self, node: usize) -> u64 {
+        self.recv_by_port[node].iter().sum()
+    }
+}
+
+/// Result of running an engine to quiescence or budget exhaustion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Total messages sent — the paper's *message complexity* of the
+    /// execution.
+    pub total_sent: u64,
+    /// Deliveries performed.
+    pub steps: u64,
+    /// Messages still in transit at the end (0 unless the budget ran out).
+    pub in_flight: u64,
+}
+
+/// One delivery, as reported by [`EventCore::step`] — the topology-neutral
+/// analogue of [`StepInfo`](crate::StepInfo), with dense `usize` indices.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineStep {
+    /// The channel that delivered.
+    pub channel: usize,
+    /// The receiving node.
+    pub node: usize,
+    /// The in-port the message arrived at.
+    pub port: usize,
+    /// Global send sequence number of the delivered message.
+    pub seq: u64,
+    /// Direction tag of the channel, if any.
+    pub direction: Option<Direction>,
+    /// Whether the receiver had already terminated (message ignored).
+    pub ignored: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Envelope<M> {
+    msg: M,
+    seq: u64,
+}
+
+/// The generic event core: queues, scheduler dispatch, faults, accounting,
+/// and observer emission over any [`Topology`].
+///
+/// Node programs live *outside* the core, behind an [`EventHandler`] passed
+/// into [`EventCore::start`] / [`EventCore::step`] / [`EventCore::run`] —
+/// this keeps the core free of the protocol type and lets the facades hand
+/// out `&[P]` node access without interior mutability.
+pub struct EventCore<M: Message, T: Topology> {
+    topology: T,
+    terminated: Vec<bool>,
+    queues: Vec<VecDeque<Envelope<M>>>,
+    /// Indices of non-empty channels, kept sorted — maintained
+    /// incrementally so a step costs O(#active channels), not O(n). With a
+    /// single pulse circulating (the common tail of the paper's
+    /// algorithms) a step is O(1).
+    nonempty: Vec<usize>,
+    scheduler: Box<dyn Scheduler>,
+    stats: SimStats,
+    send_seq: u64,
+    started: bool,
+    trace: Option<Trace>,
+    metrics: Option<RunMetrics>,
+    observers: Vec<Box<dyn Observer>>,
+    outbox: Vec<(usize, M)>,
+    ready_buf: Vec<ChannelView>,
+    faults: FaultPlan,
+    fault_stats: FaultStats,
+}
+
+impl<M: Message, T: Topology> EventCore<M, T> {
+    /// Creates an idle core over `topology`.
+    #[must_use]
+    pub fn new(topology: T, scheduler: Box<dyn Scheduler>) -> EventCore<M, T> {
+        let n = topology.len();
+        let channels = topology.channel_count();
+        let stats = SimStats::for_topology(&topology);
+        EventCore {
+            topology,
+            terminated: vec![false; n],
+            queues: (0..channels).map(|_| VecDeque::new()).collect(),
+            nonempty: Vec::new(),
+            scheduler,
+            stats,
+            send_seq: 0,
+            started: false,
+            trace: None,
+            metrics: None,
+            observers: Vec::new(),
+            outbox: Vec::new(),
+            ready_buf: Vec::new(),
+            faults: FaultPlan::new(),
+            fault_stats: FaultStats::default(),
+        }
+    }
+
+    /// The topology driving this core.
+    #[must_use]
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+
+    /// Installs a plan of model-violating channel faults (experiment E11).
+    ///
+    /// The paper's model forbids drops and injections; use this to observe
+    /// what that assumption buys. Must be called before the run starts.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Counters of faults actually applied so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Enables event tracing (unbounded if `cap` is `None`).
+    pub fn enable_trace(&mut self, cap: Option<usize>) {
+        self.trace = Some(match cap {
+            Some(c) => Trace::with_capacity(c),
+            None => Trace::new(),
+        });
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Enables the O(1) run-summary metrics collector.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(RunMetrics::new());
+    }
+
+    /// The collected run metrics, if enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Attaches an additional boxed observer for the rest of the run.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some() || !self.observers.is_empty()
+    }
+
+    fn emit(&mut self, event: EngineEvent) {
+        if let Some(t) = &mut self.trace {
+            t.on_event(&event);
+        }
+        if let Some(m) = &mut self.metrics {
+            m.on_event(&event);
+        }
+        for o in &mut self.observers {
+            o.on_event(&event);
+        }
+    }
+
+    /// Injects a spurious message into a channel, as forbidden channel
+    /// noise would (experiment E11). Counted in [`EventCore::fault_stats`]
+    /// but *not* in `total_sent` — no node sent it.
+    pub fn inject(&mut self, channel: usize, msg: M) {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        self.fault_stats.injected += 1;
+        if self.observing() {
+            self.emit(EngineEvent::Fault {
+                kind: FaultKind::Injected,
+                seq,
+            });
+        }
+        self.enqueue(channel, Envelope { msg, seq });
+    }
+
+    fn enqueue(&mut self, channel: usize, envelope: Envelope<M>) {
+        if self.queues[channel].is_empty() {
+            if let Err(at) = self.nonempty.binary_search(&channel) {
+                self.nonempty.insert(at, channel);
+            }
+        }
+        self.queues[channel].push_back(envelope);
+    }
+
+    fn flush_outbox(&mut self, node: usize, outbox: &mut Vec<(usize, M)>) {
+        for (port, msg) in outbox.drain(..) {
+            let channel = self.topology.out_channel(node, port);
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            self.stats.total_sent += 1;
+            self.stats.sent_by_port[node][port] += 1;
+            let direction = self.topology.direction(channel);
+            if let Some(d) = direction {
+                self.stats.sent_by_direction[d.index()] += 1;
+            }
+            if self.observing() {
+                self.emit(EngineEvent::Send {
+                    node,
+                    port,
+                    seq,
+                    direction,
+                });
+            }
+            if self.faults.should_drop(seq) {
+                self.fault_stats.dropped += 1;
+                self.emit(EngineEvent::Fault {
+                    kind: FaultKind::Dropped,
+                    seq,
+                });
+                continue;
+            }
+            if self.faults.should_duplicate(seq) {
+                self.fault_stats.duplicated += 1;
+                let dup_seq = self.send_seq;
+                self.send_seq += 1;
+                self.emit(EngineEvent::Fault {
+                    kind: FaultKind::Duplicated,
+                    seq: dup_seq,
+                });
+                self.enqueue(
+                    channel,
+                    Envelope {
+                        msg: msg.clone(),
+                        seq,
+                    },
+                );
+                self.enqueue(channel, Envelope { msg, seq: dup_seq });
+            } else {
+                self.enqueue(channel, Envelope { msg, seq });
+            }
+        }
+    }
+
+    fn note_termination<H: EventHandler<M>>(&mut self, node: usize, handler: &H) {
+        if !self.terminated[node] && handler.is_terminated(node) {
+            self.terminated[node] = true;
+            if self.observing() {
+                self.emit(EngineEvent::Terminate { node });
+            }
+        }
+    }
+
+    /// Runs every node's start-up action (in node order). Idempotent.
+    pub fn start<H: EventHandler<M>>(&mut self, handler: &mut H) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.topology.len() {
+            if self.observing() {
+                self.emit(EngineEvent::Start { node });
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            handler.on_start(node, self.topology.degree(node), &mut outbox);
+            self.flush_outbox(node, &mut outbox);
+            self.outbox = outbox;
+            self.note_termination(node, handler);
+        }
+    }
+
+    /// Delivers one message chosen by the scheduler.
+    ///
+    /// Starts the run if [`EventCore::start`] has not run yet. Returns
+    /// `None` when the network is quiescent (no messages in transit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler returns an out-of-range index.
+    pub fn step<H: EventHandler<M>>(&mut self, handler: &mut H) -> Option<EngineStep> {
+        self.start(handler);
+        self.ready_buf.clear();
+        for &ch in &self.nonempty {
+            let head = self.queues[ch].front().expect("nonempty set is accurate");
+            let id = ChannelId::from_index(ch);
+            self.ready_buf.push(ChannelView {
+                id,
+                queue_len: self.queues[ch].len(),
+                head_seq: head.seq,
+                direction: self.topology.direction(ch),
+            });
+        }
+        if self.ready_buf.is_empty() {
+            return None;
+        }
+        let pick = self.scheduler.pick(&self.ready_buf);
+        assert!(
+            pick < self.ready_buf.len(),
+            "scheduler returned out-of-range index {pick}"
+        );
+        let channel = self.ready_buf[pick].id.index();
+        let direction = self.ready_buf[pick].direction;
+        let envelope = self.queues[channel]
+            .pop_front()
+            .expect("picked channel is non-empty");
+        if self.queues[channel].is_empty() {
+            if let Ok(at) = self.nonempty.binary_search(&channel) {
+                self.nonempty.remove(at);
+            }
+        }
+        let (node, port) = self.topology.endpoint(channel);
+        self.stats.steps += 1;
+
+        let ignored = self.terminated[node];
+        if ignored {
+            self.stats.delivered_to_terminated += 1;
+            if self.observing() {
+                self.emit(EngineEvent::DeliverIgnored {
+                    node,
+                    port,
+                    seq: envelope.seq,
+                });
+            }
+        } else {
+            self.stats.total_delivered += 1;
+            self.stats.recv_by_port[node][port] += 1;
+            if self.observing() {
+                self.emit(EngineEvent::Deliver {
+                    node,
+                    port,
+                    seq: envelope.seq,
+                    direction,
+                });
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            handler.on_message(
+                node,
+                self.topology.degree(node),
+                port,
+                envelope.msg,
+                &mut outbox,
+            );
+            self.flush_outbox(node, &mut outbox);
+            self.outbox = outbox;
+            self.note_termination(node, handler);
+        }
+
+        Some(EngineStep {
+            channel,
+            node,
+            port,
+            seq: envelope.seq,
+            direction,
+            ignored,
+        })
+    }
+
+    /// Runs until quiescence or budget exhaustion.
+    pub fn run<H: EventHandler<M>>(&mut self, handler: &mut H, budget: Budget) -> RunReport {
+        self.start(handler);
+        let mut executed: u64 = 0;
+        while executed < budget.max_steps {
+            if self.step(handler).is_none() {
+                break;
+            }
+            executed += 1;
+        }
+        self.report()
+    }
+
+    /// Classifies the current state into a [`RunReport`] — the paper's
+    /// quiescence/termination taxonomy.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let in_flight = self.in_flight();
+        let outcome = if in_flight > 0 {
+            Outcome::BudgetExhausted
+        } else if self.terminated.iter().all(|&t| t) {
+            if self.stats.delivered_to_terminated == 0 {
+                Outcome::QuiescentTerminated
+            } else {
+                Outcome::TerminatedNonQuiescent
+            }
+        } else {
+            Outcome::Quiescent
+        };
+        RunReport {
+            outcome,
+            total_sent: self.stats.total_sent,
+            steps: self.stats.steps,
+            in_flight,
+        }
+    }
+
+    /// Number of messages currently in transit.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Number of in-transit messages on channels tagged `direction`.
+    #[must_use]
+    pub fn in_flight_direction(&self, direction: Direction) -> u64 {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(ch, _)| self.topology.direction(*ch) == Some(direction))
+            .map(|(_, q)| q.len() as u64)
+            .sum()
+    }
+
+    /// Whether no messages are in transit.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.in_flight() == 0
+    }
+
+    /// Whether the given node has terminated.
+    #[must_use]
+    pub fn is_terminated(&self, node: usize) -> bool {
+        self.terminated[node]
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+impl<M: Message, T: Topology + fmt::Debug> fmt::Debug for EventCore<M, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventCore")
+            .field("topology", &self.topology)
+            .field("in_flight", &self.in_flight())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_metrics_track_in_flight_extremes() {
+        let mut m = RunMetrics::new();
+        m.on_event(&EngineEvent::Send {
+            node: 0,
+            port: 1,
+            seq: 0,
+            direction: None,
+        });
+        m.on_event(&EngineEvent::Send {
+            node: 1,
+            port: 0,
+            seq: 1,
+            direction: None,
+        });
+        m.on_event(&EngineEvent::Deliver {
+            node: 1,
+            port: 0,
+            seq: 0,
+            direction: None,
+        });
+        m.on_event(&EngineEvent::Terminate { node: 1 });
+        m.on_event(&EngineEvent::DeliverIgnored {
+            node: 1,
+            port: 0,
+            seq: 1,
+        });
+        assert_eq!(m.sends, 2);
+        assert_eq!(m.deliveries, 1);
+        assert_eq!(m.ignored, 1);
+        assert_eq!(m.terminations, 1);
+        assert_eq!(m.max_in_flight, 2);
+    }
+
+    #[test]
+    fn observer_composition_fans_out() {
+        let mut pair = (RunMetrics::new(), Some(RunMetrics::new()));
+        let ev = EngineEvent::Send {
+            node: 0,
+            port: 0,
+            seq: 0,
+            direction: None,
+        };
+        pair.on_event(&ev);
+        let mut by_ref = &mut pair;
+        Observer::on_event(&mut by_ref, &ev);
+        ().on_event(&ev);
+        assert_eq!(pair.0.sends, 2);
+        assert_eq!(pair.1.expect("present").sends, 2);
+    }
+
+    #[test]
+    fn trace_observer_records_engine_events() {
+        let mut t = Trace::new();
+        t.on_event(&EngineEvent::Start { node: 3 });
+        t.on_event(&EngineEvent::Fault {
+            kind: FaultKind::Dropped,
+            seq: 7,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0], TraceEvent::Start { node: 3 });
+        assert_eq!(
+            t.events()[1],
+            TraceEvent::Fault {
+                kind: FaultKind::Dropped,
+                seq: 7
+            }
+        );
+    }
+}

@@ -148,13 +148,13 @@ where
     let mut nodes = make_nodes();
     assert_eq!(nodes.len(), n, "one protocol instance per node");
     let mut queues = vec![0u32; channels];
-    let mut outbox: Vec<(Port, Pulse)> = Vec::new();
+    let mut outbox: Vec<(usize, Pulse)> = Vec::new();
     let mut sent = 0u64;
     for (v, node) in nodes.iter_mut().enumerate() {
         let mut ctx = Context::new_internal(v, &mut outbox);
         node.on_start(&mut ctx);
         for (port, _msg) in outbox.drain(..) {
-            queues[ChannelId::new(v, port).index()] += 1;
+            queues[ChannelId::new(v, Port::from_index(port)).index()] += 1;
             sent += 1;
         }
     }
@@ -214,13 +214,13 @@ where
             let channel = ChannelId::from_index(ch);
             let (dst, port) = wiring.endpoint(channel);
             if !next.terminated[dst] {
-                let mut outbox: Vec<(Port, Pulse)> = Vec::new();
+                let mut outbox: Vec<(usize, Pulse)> = Vec::new();
                 {
                     let mut ctx = Context::new_internal(dst, &mut outbox);
                     next.nodes[dst].on_message(port, Pulse, &mut ctx);
                 }
                 for (out_port, _msg) in outbox.drain(..) {
-                    next.queues[ChannelId::new(dst, out_port).index()] += 1;
+                    next.queues[ChannelId::new(dst, Port::from_index(out_port)).index()] += 1;
                     next.sent += 1;
                 }
                 next.terminated[dst] = next.nodes[dst].is_terminated();

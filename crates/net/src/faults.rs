@@ -18,7 +18,6 @@
 //! deterministic for a given scheduler and seed, making every fault
 //! scenario reproducible.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A plan of channel faults to apply during a simulation.
@@ -30,7 +29,7 @@ use std::collections::BTreeSet;
 /// assert!(!plan.should_drop(8));
 /// assert!(plan.should_duplicate(12));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     drops: BTreeSet<u64>,
     duplicates: BTreeSet<u64>,
@@ -79,7 +78,7 @@ impl FaultPlan {
 }
 
 /// Counters of faults actually applied during a run.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Messages silently discarded.
     pub dropped: u64,
@@ -103,12 +102,5 @@ mod tests {
         assert!(!plan.should_duplicate(1));
         assert!(!plan.is_empty());
         assert!(FaultPlan::new().is_empty());
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let plan = FaultPlan::new().drop_seq(3).duplicate_seq(9);
-        let json = serde_json::to_string(&plan).expect("serialize");
-        assert_eq!(serde_json::from_str::<FaultPlan>(&json).expect("deserialize"), plan);
     }
 }

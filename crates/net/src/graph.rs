@@ -14,11 +14,9 @@
 //! [`RingSpec`](crate::RingSpec) wirings are always 2-edge-connected; a
 //! path is not.
 
-use serde::{Deserialize, Serialize};
-
 /// An undirected multigraph on vertices `0..n`, allowing parallel edges and
 /// self-loops (both occur in degenerate rings).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MultiGraph {
     n: usize,
     /// Edge list; parallel edges are distinct entries.

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod explore;
 pub mod faults;
 pub mod graph;
@@ -74,10 +75,16 @@ pub mod threaded;
 pub mod topology;
 pub mod trace;
 
+pub use engine::{
+    EngineEvent, EngineStep, EventCore, EventHandler, FaultKind, Observer, RunMetrics, Topology,
+};
 pub use faults::{FaultPlan, FaultStats};
 pub use message::{Message, Pulse};
+pub use multiport::{GraphContext, GraphProtocol, GraphSim, GraphWiring};
 pub use port::{Direction, Port};
 pub use sched::{ChannelView, Scheduler, SchedulerKind};
-pub use sim::{Budget, Context, Outcome, Protocol, RunReport, SimStats, Simulation, StepInfo};
+pub use sim::{
+    Budget, Context, Outcome, Protocol, RunReport, SimObserver, SimStats, Simulation, StepInfo,
+};
 pub use topology::{ChannelId, NodeIndex, RingSpec, Wiring};
 pub use trace::{Trace, TraceEvent};

@@ -1,6 +1,5 @@
 //! Message types carried by network channels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Anything a channel can carry.
@@ -27,7 +26,7 @@ impl<T: Clone + fmt::Debug + Send + 'static> Message for T {}
 /// let p = Pulse;
 /// assert_eq!(p, Pulse::default());
 /// ```
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pulse;
 
 impl fmt::Display for Pulse {

@@ -4,20 +4,29 @@
 //! election in arbitrary 2-edge-connected networks. This module provides
 //! the simulation substrate for that line of work: nodes of arbitrary
 //! degree ([`GraphProtocol`], ports are `usize`), wired from a
-//! [`MultiGraph`](crate::graph::MultiGraph), driven by the same adversarial
-//! [`Scheduler`](crate::Scheduler) machinery and accounting as the ring
-//! simulator.
+//! [`MultiGraph`](crate::graph::MultiGraph).
+//!
+//! [`GraphSim`] is a thin facade over the same generic
+//! [`EventCore`](crate::engine::EventCore) that powers the ring
+//! [`Simulation`](crate::Simulation): the only difference is the
+//! [`Topology`](crate::engine::Topology) (a compiled [`GraphWiring`] instead
+//! of the two-port ring table). Scheduler adversaries, channel faults,
+//! traces, budgets, and the full [`SimStats`] accounting therefore behave
+//! identically on rings and general graphs — the engine-equivalence test in
+//! `crates/net/tests` locks that in.
 //!
 //! `co-core::general` builds a first content-oblivious algorithm on top
-//! (the flood-echo wave); the ring-specific [`Simulation`](crate::Simulation)
-//! remains the optimized engine for the paper's own algorithms.
+//! (the flood-echo wave).
 
+use crate::engine::{EngineStep, EventCore, EventHandler, Observer, RunMetrics, Topology};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::graph::MultiGraph;
 use crate::message::Message;
-use crate::sched::{ChannelView, Scheduler};
-use crate::topology::ChannelId;
-use std::collections::VecDeque;
+use crate::sched::Scheduler;
+use crate::sim::{Budget, RunReport, SimStats};
+use crate::trace::Trace;
 use std::fmt;
+use std::marker::PhantomData;
 
 /// An event-driven node of arbitrary degree.
 ///
@@ -167,36 +176,81 @@ impl GraphWiring {
     }
 }
 
+/// The multigraph channel table as seen by the generic event core: node
+/// `v`'s ports occupy the flat channel range `port_base[v]..port_base[v+1]`
+/// and every channel stores its destination directly.
+impl Topology for GraphWiring {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn channel_count(&self) -> usize {
+        GraphWiring::channel_count(self)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        GraphWiring::degree(self, node)
+    }
+
+    fn out_channel(&self, node: usize, port: usize) -> usize {
+        self.flat(node, port)
+    }
+
+    fn endpoint(&self, channel: usize) -> (usize, usize) {
+        self.endpoints[channel]
+    }
+}
+
 /// How a general-graph run ended (same semantics as
 /// [`Outcome`](crate::Outcome)).
 pub use crate::sim::Outcome as GraphOutcome;
 
-/// Result of [`GraphSim::run`].
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct GraphRunReport {
-    /// How the run ended.
-    pub outcome: GraphOutcome,
-    /// Total messages sent.
-    pub total_sent: u64,
-    /// Deliveries performed.
-    pub steps: u64,
+/// Adapts a `&mut [P]` node slice to the engine's [`EventHandler`].
+struct GraphHandler<'a, M: Message, P: GraphProtocol<M>> {
+    nodes: &'a mut [P],
+    _msg: PhantomData<M>,
+}
+
+impl<M: Message, P: GraphProtocol<M>> EventHandler<M> for GraphHandler<'_, M, P> {
+    fn on_start(&mut self, node: usize, degree: usize, outbox: &mut Vec<(usize, M)>) {
+        let mut ctx = GraphContext {
+            node,
+            degree,
+            outbox,
+        };
+        self.nodes[node].on_start(&mut ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        node: usize,
+        degree: usize,
+        port: usize,
+        msg: M,
+        outbox: &mut Vec<(usize, M)>,
+    ) {
+        let mut ctx = GraphContext {
+            node,
+            degree,
+            outbox,
+        };
+        self.nodes[node].on_message(port, msg, &mut ctx);
+    }
+
+    fn is_terminated(&self, node: usize) -> bool {
+        self.nodes[node].is_terminated()
+    }
 }
 
 /// Discrete-event simulation over an arbitrary multigraph.
+///
+/// Shares every capability of the ring [`Simulation`](crate::Simulation) —
+/// faults, traces, run-summary metrics, budget/outcome classification, and
+/// full [`SimStats`] — because both are facades over the same
+/// [`EventCore`](crate::engine::EventCore).
 pub struct GraphSim<M: Message, P: GraphProtocol<M>> {
-    wiring: GraphWiring,
+    core: EventCore<M, GraphWiring>,
     nodes: Vec<P>,
-    terminated: Vec<bool>,
-    queues: Vec<VecDeque<(M, u64)>>,
-    nonempty: Vec<usize>,
-    scheduler: Box<dyn Scheduler>,
-    send_seq: u64,
-    total_sent: u64,
-    steps: u64,
-    delivered_to_terminated: u64,
-    started: bool,
-    outbox: Vec<(usize, M)>,
-    ready_buf: Vec<ChannelView>,
 }
 
 impl<M: Message, P: GraphProtocol<M>> GraphSim<M, P> {
@@ -206,137 +260,106 @@ impl<M: Message, P: GraphProtocol<M>> GraphSim<M, P> {
     ///
     /// Panics if `nodes.len()` differs from the wiring's node count.
     #[must_use]
-    pub fn new(wiring: GraphWiring, nodes: Vec<P>, scheduler: Box<dyn Scheduler>) -> GraphSim<M, P> {
+    pub fn new(
+        wiring: GraphWiring,
+        nodes: Vec<P>,
+        scheduler: Box<dyn Scheduler>,
+    ) -> GraphSim<M, P> {
         assert_eq!(nodes.len(), wiring.len(), "one protocol per node");
-        let channels = wiring.channel_count();
-        let n = wiring.len();
         GraphSim {
-            wiring,
+            core: EventCore::new(wiring, scheduler),
             nodes,
-            terminated: vec![false; n],
-            queues: (0..channels).map(|_| VecDeque::new()).collect(),
-            nonempty: Vec::new(),
-            scheduler,
-            send_seq: 0,
-            total_sent: 0,
-            steps: 0,
-            delivered_to_terminated: 0,
-            started: false,
-            outbox: Vec::new(),
-            ready_buf: Vec::new(),
         }
     }
 
-    fn flush(&mut self, node: usize, outbox: &mut Vec<(usize, M)>) {
-        for (port, msg) in outbox.drain(..) {
-            let flat = self.wiring.flat(node, port);
-            let seq = self.send_seq;
-            self.send_seq += 1;
-            self.total_sent += 1;
-            if self.queues[flat].is_empty() {
-                if let Err(at) = self.nonempty.binary_search(&flat) {
-                    self.nonempty.insert(at, flat);
-                }
-            }
-            self.queues[flat].push_back((msg, seq));
+    fn handler(nodes: &mut [P]) -> GraphHandler<'_, M, P> {
+        GraphHandler {
+            nodes,
+            _msg: PhantomData,
         }
     }
 
-    fn event<F: FnOnce(&mut P, &mut GraphContext<'_, M>)>(&mut self, node: usize, f: F) {
-        let mut outbox = std::mem::take(&mut self.outbox);
-        {
-            let mut ctx = GraphContext {
-                node,
-                degree: self.wiring.degree(node),
-                outbox: &mut outbox,
-            };
-            f(&mut self.nodes[node], &mut ctx);
-        }
-        self.flush(node, &mut outbox);
-        self.outbox = outbox;
-        if !self.terminated[node] && self.nodes[node].is_terminated() {
-            self.terminated[node] = true;
-        }
+    /// Installs a plan of model-violating channel faults. Must be called
+    /// before the run starts.
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.core.set_faults(faults);
+    }
+
+    /// Counters of faults actually applied so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.core.fault_stats()
+    }
+
+    /// Injects a spurious message into the flat channel leaving
+    /// `(node, port)`, as forbidden channel noise would.
+    pub fn inject(&mut self, node: usize, port: usize, msg: M) {
+        let channel = self.core.topology().flat(node, port);
+        self.core.inject(channel, msg);
+    }
+
+    /// Enables event tracing (unbounded if `cap` is `None`).
+    pub fn enable_trace(&mut self, cap: Option<usize>) {
+        self.core.enable_trace(cap);
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.core.trace()
+    }
+
+    /// Enables the O(1) run-summary metrics collector ([`RunMetrics`]).
+    pub fn enable_metrics(&mut self) {
+        self.core.enable_metrics();
+    }
+
+    /// The collected run metrics, if enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.core.metrics()
+    }
+
+    /// Attaches an engine-level [`Observer`] that sees the raw event stream
+    /// for the rest of the run.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.core.attach_observer(observer);
     }
 
     /// Runs every `on_start` (idempotent).
     pub fn start(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for node in 0..self.nodes.len() {
-            self.event(node, |p, ctx| p.on_start(ctx));
-        }
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core.start(&mut handler);
     }
 
     /// Delivers one message; `None` when quiescent.
-    pub fn step(&mut self) -> Option<()> {
-        self.start();
-        self.ready_buf.clear();
-        for &flat in &self.nonempty {
-            let head_seq = self.queues[flat].front().expect("nonempty set is accurate").1;
-            self.ready_buf.push(ChannelView {
-                id: ChannelId::from_index(flat),
-                queue_len: self.queues[flat].len(),
-                head_seq,
-                direction: None,
-            });
-        }
-        if self.ready_buf.is_empty() {
-            return None;
-        }
-        let pick = self.scheduler.pick(&self.ready_buf);
-        let flat = self.ready_buf[pick].id.index();
-        let (msg, _seq) = self.queues[flat].pop_front().expect("picked non-empty");
-        if self.queues[flat].is_empty() {
-            if let Ok(at) = self.nonempty.binary_search(&flat) {
-                self.nonempty.remove(at);
-            }
-        }
-        // Reverse-map the flat source channel to its destination.
-        let (src_node, src_port) = self.unflatten(flat);
-        let (dst, dst_port) = self.wiring.endpoint(src_node, src_port);
-        self.steps += 1;
-        if self.terminated[dst] {
-            self.delivered_to_terminated += 1;
-        } else {
-            self.event(dst, |p, ctx| p.on_message(dst_port, msg, ctx));
-        }
-        Some(())
-    }
-
-    fn unflatten(&self, flat: usize) -> (usize, usize) {
-        // The node owning `flat` is the last one whose base is ≤ flat
-        // (duplicated bases from zero-degree nodes are skipped naturally).
-        let node = self.wiring.port_base.partition_point(|&b| b <= flat) - 1;
-        (node, flat - self.wiring.port_base[node])
+    pub fn step(&mut self) -> Option<EngineStep> {
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core.step(&mut handler)
     }
 
     /// Runs to quiescence or budget exhaustion.
-    pub fn run(&mut self, max_steps: u64) -> GraphRunReport {
-        self.start();
-        let mut executed = 0;
-        while executed < max_steps && self.step().is_some() {
-            executed += 1;
-        }
-        let in_flight: usize = self.queues.iter().map(VecDeque::len).sum();
-        let outcome = if in_flight > 0 {
-            GraphOutcome::BudgetExhausted
-        } else if self.terminated.iter().all(|&t| t) {
-            if self.delivered_to_terminated == 0 {
-                GraphOutcome::QuiescentTerminated
-            } else {
-                GraphOutcome::TerminatedNonQuiescent
-            }
-        } else {
-            GraphOutcome::Quiescent
-        };
-        GraphRunReport {
-            outcome,
-            total_sent: self.total_sent,
-            steps: self.steps,
-        }
+    pub fn run(&mut self, budget: Budget) -> RunReport {
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core.run(&mut handler, budget)
+    }
+
+    /// Number of messages currently in transit.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.core.in_flight()
+    }
+
+    /// Whether no messages are in transit.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.core.is_quiescent()
+    }
+
+    /// Whether the given node has terminated.
+    #[must_use]
+    pub fn is_terminated(&self, node: usize) -> bool {
+        self.core.is_terminated(node)
     }
 
     /// A node's protocol instance.
@@ -345,10 +368,44 @@ impl<M: Message, P: GraphProtocol<M>> GraphSim<M, P> {
         &self.nodes[node]
     }
 
+    /// All protocol instances, in node order.
+    #[must_use]
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
     /// All outputs, in node order.
     #[must_use]
     pub fn outputs(&self) -> Vec<Option<P::Output>> {
         self.nodes.iter().map(GraphProtocol::output).collect()
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        self.core.stats()
+    }
+
+    /// The compiled channel table.
+    #[must_use]
+    pub fn wiring(&self) -> &GraphWiring {
+        self.core.topology()
+    }
+
+    /// Consumes the simulation, returning the protocol instances.
+    #[must_use]
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+impl<M: Message, P: GraphProtocol<M> + fmt::Debug> fmt::Debug for GraphSim<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraphSim")
+            .field("n", &self.wiring().len())
+            .field("in_flight", &self.in_flight())
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -374,7 +431,12 @@ mod tests {
                 }
             }
         }
-        fn on_message(&mut self, port: usize, _m: crate::Pulse, ctx: &mut GraphContext<'_, crate::Pulse>) {
+        fn on_message(
+            &mut self,
+            port: usize,
+            _m: crate::Pulse,
+            ctx: &mut GraphContext<'_, crate::Pulse>,
+        ) {
             if !self.reached {
                 self.reached = true;
                 for p in (0..ctx.degree()).filter(|&p| p != port) {
@@ -387,7 +449,7 @@ mod tests {
         }
     }
 
-    fn flood(graph: &MultiGraph, source: usize) -> (GraphRunReport, Vec<bool>) {
+    fn flood(graph: &MultiGraph, source: usize) -> (RunReport, Vec<bool>) {
         let wiring = GraphWiring::from_graph(graph);
         let nodes = (0..graph.vertex_count())
             .map(|v| FloodOnce {
@@ -397,7 +459,7 @@ mod tests {
             .collect();
         let mut sim: GraphSim<crate::Pulse, FloodOnce> =
             GraphSim::new(wiring, nodes, Box::new(FifoScheduler::new()));
-        let report = sim.run(1_000_000);
+        let report = sim.run(Budget::steps(1_000_000));
         let reached = (0..graph.vertex_count())
             .map(|v| sim.node(v).reached)
             .collect();
@@ -462,5 +524,33 @@ mod tests {
         assert_eq!(report.outcome, GraphOutcome::Quiescent);
         assert!(reached[0]);
         assert_eq!(report.total_sent, 2);
+    }
+
+    #[test]
+    fn graph_sim_has_engine_instrumentation() {
+        let g = MultiGraph::ring(4);
+        let wiring = GraphWiring::from_graph(&g);
+        let nodes = (0..4)
+            .map(|v| FloodOnce {
+                source: v == 0,
+                reached: false,
+            })
+            .collect();
+        let mut sim: GraphSim<crate::Pulse, FloodOnce> =
+            GraphSim::new(wiring, nodes, Box::new(FifoScheduler::new()));
+        sim.enable_trace(None);
+        sim.enable_metrics();
+        let report = sim.run(Budget::default());
+        let stats = sim.stats();
+        assert_eq!(stats.total_sent, report.total_sent);
+        assert_eq!(
+            stats.total_delivered + stats.delivered_to_terminated,
+            report.steps
+        );
+        let metrics = sim.metrics().expect("metrics enabled");
+        assert_eq!(metrics.sends, report.total_sent);
+        let trace = sim.trace().expect("trace enabled");
+        assert!(!trace.is_empty());
+        assert!(sim.is_quiescent());
     }
 }

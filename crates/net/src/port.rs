@@ -1,6 +1,5 @@
 //! Ports and ring directions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the two ports of a ring node.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(Port::Zero.opposite(), Port::One);
 /// assert_eq!(Port::One.index(), 1);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Port {
     /// The paper's `Port_0`; the counterclockwise port in an oriented ring.
     Zero,
@@ -75,7 +74,7 @@ impl fmt::Display for Port {
 /// Nodes in non-oriented rings cannot observe this label; it exists purely for
 /// the harness's accounting (message counters per direction, invariant
 /// monitors, scheduler adversaries that starve one direction).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {
     /// Clockwise: along increasing ring position.
     Cw,

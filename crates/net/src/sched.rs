@@ -14,7 +14,6 @@ use crate::port::Direction;
 use crate::topology::ChannelId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A read-only view of one non-empty channel offered to the scheduler.
@@ -416,7 +415,10 @@ impl RecordingScheduler {
     #[must_use]
     pub fn new(
         inner: Box<dyn Scheduler>,
-    ) -> (RecordingScheduler, std::rc::Rc<std::cell::RefCell<Vec<ChannelId>>>) {
+    ) -> (
+        RecordingScheduler,
+        std::rc::Rc<std::cell::RefCell<Vec<ChannelId>>>,
+    ) {
         let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         (
             RecordingScheduler {
@@ -491,7 +493,7 @@ impl Scheduler for PhaseSwitchScheduler {
 /// }
 /// assert_eq!(SchedulerKind::ALL.len(), 8);
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Globally FIFO delivery.
     Fifo,
@@ -560,7 +562,12 @@ impl fmt::Display for SchedulerKind {
 mod tests {
     use super::*;
 
-    fn view(id: usize, queue_len: usize, head_seq: u64, direction: Option<Direction>) -> ChannelView {
+    fn view(
+        id: usize,
+        queue_len: usize,
+        head_seq: u64,
+        direction: Option<Direction>,
+    ) -> ChannelView {
         ChannelView {
             id: ChannelId::from_index(id),
             queue_len,
@@ -572,7 +579,11 @@ mod tests {
     #[test]
     fn fifo_picks_oldest() {
         let mut s = FifoScheduler::new();
-        let ready = [view(0, 1, 9, None), view(1, 1, 3, None), view(2, 1, 5, None)];
+        let ready = [
+            view(0, 1, 9, None),
+            view(1, 1, 3, None),
+            view(2, 1, 5, None),
+        ];
         assert_eq!(s.pick(&ready), 1);
     }
 
@@ -595,7 +606,11 @@ mod tests {
 
     #[test]
     fn random_is_reproducible() {
-        let ready = [view(0, 1, 0, None), view(1, 1, 1, None), view(2, 1, 2, None)];
+        let ready = [
+            view(0, 1, 0, None),
+            view(1, 1, 1, None),
+            view(2, 1, 2, None),
+        ];
         let picks_a: Vec<usize> = {
             let mut s = RandomScheduler::seeded(7);
             (0..16).map(|_| s.pick(&ready)).collect()
@@ -611,7 +626,11 @@ mod tests {
     #[test]
     fn round_robin_cycles() {
         let mut s = RoundRobinScheduler::new();
-        let ready = [view(0, 1, 0, None), view(2, 1, 1, None), view(5, 1, 2, None)];
+        let ready = [
+            view(0, 1, 0, None),
+            view(2, 1, 1, None),
+            view(5, 1, 2, None),
+        ];
         assert_eq!(s.pick(&ready), 0);
         assert_eq!(s.pick(&ready), 1);
         assert_eq!(s.pick(&ready), 2);
@@ -695,7 +714,11 @@ mod tests {
 
     #[test]
     fn recording_then_replay_reproduces_picks() {
-        let ready = [view(0, 1, 5, None), view(2, 1, 3, None), view(4, 1, 9, None)];
+        let ready = [
+            view(0, 1, 5, None),
+            view(2, 1, 3, None),
+            view(4, 1, 9, None),
+        ];
         let (mut rec, log) = RecordingScheduler::new(Box::new(LifoScheduler::new()));
         let original: Vec<usize> = (0..4).map(|_| rec.pick(&ready)).collect();
         let mut replay = ReplayScheduler::new(log.borrow().clone());

@@ -13,19 +13,28 @@
 //!   again (the simulator enforces this; such deliveries void quiescent
 //!   termination and are reported in the [`RunReport`]).
 //!
+//! [`Simulation`] is a thin, `Port`-typed facade over the generic
+//! [`EventCore`](crate::engine::EventCore) (see the [`engine`](crate::engine)
+//! module): the core owns queues, scheduler dispatch, faults, accounting,
+//! and event emission, while this facade pins the topology to the two-port
+//! ring [`Wiring`] and dispatches events into [`Protocol`] nodes.
+//!
 //! The run loop is exposed one step at a time ([`Simulation::step`]) so that
 //! invariant monitors (executable Lemmas 6–12 in `co-core`) can inspect the
-//! global state between events.
+//! global state between events; for whole runs, attach a [`SimObserver`]
+//! via [`Simulation::run_observed`].
 
+use crate::engine::{EngineStep, EventCore, EventHandler, Observer, RunMetrics};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::message::Message;
 use crate::port::{Direction, Port};
-use crate::sched::{ChannelView, Scheduler};
+use crate::sched::Scheduler;
 use crate::topology::{ChannelId, NodeIndex, Wiring};
-use crate::trace::{Trace, TraceEvent};
-use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use crate::trace::Trace;
 use std::fmt;
+use std::marker::PhantomData;
+
+pub use crate::engine::{Budget, Outcome, RunReport, SimStats};
 
 /// An event-driven node program.
 ///
@@ -61,15 +70,17 @@ pub trait Protocol<M: Message> {
 /// Send capability handed to a [`Protocol`] during an event.
 ///
 /// Sends are buffered and enqueued by the simulator when the event handler
-/// returns, in call order (preserving per-channel FIFO).
+/// returns, in call order (preserving per-channel FIFO). The buffer is the
+/// engine's raw `(port index, message)` outbox; this context is the typed
+/// rim around it.
 #[derive(Debug)]
 pub struct Context<'a, M: Message> {
     node: NodeIndex,
-    outbox: &'a mut Vec<(Port, M)>,
+    outbox: &'a mut Vec<(usize, M)>,
 }
 
 impl<'a, M: Message> Context<'a, M> {
-    pub(crate) fn new_internal(node: NodeIndex, outbox: &'a mut Vec<(Port, M)>) -> Context<'a, M> {
+    pub(crate) fn new_internal(node: NodeIndex, outbox: &'a mut Vec<(usize, M)>) -> Context<'a, M> {
         Context { node, outbox }
     }
 
@@ -82,13 +93,13 @@ impl<'a, M: Message> Context<'a, M> {
     /// Within a [`Simulation`] the context is provided by the engine;
     /// ordinary protocol code never needs this.
     #[must_use]
-    pub fn buffered(node: NodeIndex, outbox: &'a mut Vec<(Port, M)>) -> Context<'a, M> {
+    pub fn buffered(node: NodeIndex, outbox: &'a mut Vec<(usize, M)>) -> Context<'a, M> {
         Context { node, outbox }
     }
 
     /// Sends `msg` out of `port`.
     pub fn send(&mut self, port: Port, msg: M) {
-        self.outbox.push((port, msg));
+        self.outbox.push((port.index(), msg));
     }
 
     /// The index of the node executing the event (positions are opaque to
@@ -99,122 +110,8 @@ impl<'a, M: Message> Context<'a, M> {
     }
 }
 
-/// Step/message budget bounding a run.
-///
-/// The paper's algorithms all reach quiescence in finite time; the budget
-/// exists to turn a would-be hang (a bug) into a reported
-/// [`Outcome::BudgetExhausted`] instead of an endless loop.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Budget {
-    /// Maximum number of deliveries before aborting.
-    pub max_steps: u64,
-}
-
-impl Budget {
-    /// A budget of `max_steps` deliveries.
-    #[must_use]
-    pub fn steps(max_steps: u64) -> Budget {
-        Budget { max_steps }
-    }
-}
-
-impl Default for Budget {
-    /// 50 million deliveries — far above `n(2·ID_max + 1)` for every
-    /// configuration exercised in this repository.
-    fn default() -> Budget {
-        Budget {
-            max_steps: 50_000_000,
-        }
-    }
-}
-
-/// How a run ended.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Outcome {
-    /// Every node terminated, and no message was ever delivered to (or left
-    /// queued toward) a terminated node — the paper's *quiescent
-    /// termination*.
-    QuiescentTerminated,
-    /// Every node terminated but some messages were still in transit when
-    /// nodes terminated (they were delivered and ignored).
-    TerminatedNonQuiescent,
-    /// No messages remain in transit but at least one node has not
-    /// terminated — *quiescence*, the guarantee of stabilizing algorithms.
-    Quiescent,
-    /// The step budget ran out with messages still in transit.
-    BudgetExhausted,
-}
-
-impl fmt::Display for Outcome {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            Outcome::QuiescentTerminated => "quiescent termination",
-            Outcome::TerminatedNonQuiescent => "termination (non-quiescent)",
-            Outcome::Quiescent => "quiescence without termination",
-            Outcome::BudgetExhausted => "budget exhausted",
-        };
-        f.write_str(s)
-    }
-}
-
-/// Aggregate counters of a simulation.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SimStats {
-    /// Total messages sent (= the paper's message complexity when the run
-    /// reaches quiescence).
-    pub total_sent: u64,
-    /// Total messages delivered to live nodes.
-    pub total_delivered: u64,
-    /// Messages delivered to terminated nodes and ignored.
-    pub delivered_to_terminated: u64,
-    /// Deliveries performed (steps executed).
-    pub steps: u64,
-    /// Sent counts by direction tag: `[CW, CCW]` (untagged channels are not
-    /// counted here).
-    pub sent_by_direction: [u64; 2],
-    /// Per node: messages sent from each port, indexed `[node][port]`.
-    pub sent_by_port: Vec<[u64; 2]>,
-    /// Per node: messages received (processed) at each port.
-    pub recv_by_port: Vec<[u64; 2]>,
-}
-
-impl SimStats {
-    fn new(n: usize) -> SimStats {
-        SimStats {
-            sent_by_port: vec![[0; 2]; n],
-            recv_by_port: vec![[0; 2]; n],
-            ..SimStats::default()
-        }
-    }
-
-    /// Total messages sent by one node.
-    #[must_use]
-    pub fn sent_by_node(&self, node: NodeIndex) -> u64 {
-        self.sent_by_port[node].iter().sum()
-    }
-
-    /// Total messages received (processed) by one node.
-    #[must_use]
-    pub fn recv_by_node(&self, node: NodeIndex) -> u64 {
-        self.recv_by_port[node].iter().sum()
-    }
-}
-
-/// Result of [`Simulation::run`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RunReport {
-    /// How the run ended.
-    pub outcome: Outcome,
-    /// Total messages sent — the paper's *message complexity* of the
-    /// execution.
-    pub total_sent: u64,
-    /// Deliveries performed.
-    pub steps: u64,
-    /// Messages still in transit at the end (0 unless the budget ran out).
-    pub in_flight: u64,
-}
-
-/// One delivery, as reported by [`Simulation::step`].
+/// One delivery, as reported by [`Simulation::step`] — the `Port`-typed view
+/// of the engine's [`EngineStep`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct StepInfo {
     /// The channel that delivered.
@@ -231,34 +128,106 @@ pub struct StepInfo {
     pub ignored: bool,
 }
 
-#[derive(Clone, Debug)]
-struct Envelope<M> {
-    msg: M,
-    seq: u64,
+impl StepInfo {
+    fn from_engine(step: EngineStep) -> StepInfo {
+        StepInfo {
+            channel: ChannelId::from_index(step.channel),
+            node: step.node,
+            port: Port::from_index(step.port),
+            seq: step.seq,
+            direction: step.direction,
+            ignored: step.ignored,
+        }
+    }
 }
 
-/// Discrete-event simulation of a network of [`Protocol`] nodes.
+/// A whole-run spectator with access to the global simulation state.
+///
+/// Where the engine-level [`Observer`](crate::engine::Observer) sees the raw
+/// event stream, a `SimObserver` is called *after* each delivery with the
+/// full post-event [`Simulation`] — node states included — which is what
+/// `co-core`'s invariant monitors (executable Lemmas 6–12) need.
+///
+/// Observers compose: `(A, B)` runs both, `Option<O>` runs if present,
+/// `&mut O` forwards, and `()` observes nothing.
+pub trait SimObserver<M: Message, P: Protocol<M>> {
+    /// Called after every delivery with the post-event state.
+    fn after_step(&mut self, sim: &Simulation<M, P>, step: &StepInfo);
+}
+
+impl<M: Message, P: Protocol<M>> SimObserver<M, P> for () {
+    fn after_step(&mut self, _sim: &Simulation<M, P>, _step: &StepInfo) {}
+}
+
+impl<M: Message, P: Protocol<M>, O: SimObserver<M, P> + ?Sized> SimObserver<M, P> for &mut O {
+    fn after_step(&mut self, sim: &Simulation<M, P>, step: &StepInfo) {
+        (**self).after_step(sim, step);
+    }
+}
+
+impl<M: Message, P: Protocol<M>, O: SimObserver<M, P>> SimObserver<M, P> for Option<O> {
+    fn after_step(&mut self, sim: &Simulation<M, P>, step: &StepInfo) {
+        if let Some(o) = self {
+            o.after_step(sim, step);
+        }
+    }
+}
+
+impl<M: Message, P: Protocol<M>, A: SimObserver<M, P>, B: SimObserver<M, P>> SimObserver<M, P>
+    for (A, B)
+{
+    fn after_step(&mut self, sim: &Simulation<M, P>, step: &StepInfo) {
+        self.0.after_step(sim, step);
+        self.1.after_step(sim, step);
+    }
+}
+
+/// Adapts a closure to [`SimObserver`] for [`Simulation::run_with`].
+struct HookObserver<F>(F);
+
+impl<M: Message, P: Protocol<M>, F: FnMut(&Simulation<M, P>, &StepInfo)> SimObserver<M, P>
+    for HookObserver<F>
+{
+    fn after_step(&mut self, sim: &Simulation<M, P>, step: &StepInfo) {
+        (self.0)(sim, step);
+    }
+}
+
+/// Adapts a `&mut [P]` node slice to the engine's [`EventHandler`].
+struct RingHandler<'a, M: Message, P: Protocol<M>> {
+    nodes: &'a mut [P],
+    _msg: PhantomData<M>,
+}
+
+impl<M: Message, P: Protocol<M>> EventHandler<M> for RingHandler<'_, M, P> {
+    fn on_start(&mut self, node: usize, _degree: usize, outbox: &mut Vec<(usize, M)>) {
+        let mut ctx = Context::new_internal(node, outbox);
+        self.nodes[node].on_start(&mut ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        node: usize,
+        _degree: usize,
+        port: usize,
+        msg: M,
+        outbox: &mut Vec<(usize, M)>,
+    ) {
+        let mut ctx = Context::new_internal(node, outbox);
+        self.nodes[node].on_message(Port::from_index(port), msg, &mut ctx);
+    }
+
+    fn is_terminated(&self, node: usize) -> bool {
+        self.nodes[node].is_terminated()
+    }
+}
+
+/// Discrete-event simulation of a ring of [`Protocol`] nodes.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
 pub struct Simulation<M: Message, P: Protocol<M>> {
-    wiring: Wiring,
+    core: EventCore<M, Wiring>,
     nodes: Vec<P>,
-    terminated: Vec<bool>,
-    queues: Vec<VecDeque<Envelope<M>>>,
-    scheduler: Box<dyn Scheduler>,
-    stats: SimStats,
-    send_seq: u64,
-    started: bool,
-    trace: Option<Trace>,
-    outbox: Vec<(Port, M)>,
-    ready_buf: Vec<ChannelView>,
-    /// Indices of non-empty channels, kept sorted — maintained
-    /// incrementally so a step costs O(#active channels), not O(n). With a
-    /// single pulse circulating (the common tail of the paper's
-    /// algorithms) a step is O(1).
-    nonempty: Vec<usize>,
-    faults: FaultPlan,
-    fault_stats: FaultStats,
 }
 
 impl<M: Message, P: Protocol<M>> Simulation<M, P> {
@@ -274,23 +243,16 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
             wiring.len(),
             "one protocol instance per node required"
         );
-        let n = wiring.len();
-        let channels = wiring.channel_count();
         Simulation {
-            wiring,
+            core: EventCore::new(wiring, scheduler),
             nodes,
-            terminated: vec![false; n],
-            queues: (0..channels).map(|_| VecDeque::new()).collect(),
-            scheduler,
-            stats: SimStats::new(n),
-            send_seq: 0,
-            started: false,
-            trace: None,
-            outbox: Vec::new(),
-            ready_buf: Vec::new(),
-            nonempty: Vec::new(),
-            faults: FaultPlan::new(),
-            fault_stats: FaultStats::default(),
+        }
+    }
+
+    fn handler(nodes: &mut [P]) -> RingHandler<'_, M, P> {
+        RingHandler {
+            nodes,
+            _msg: PhantomData,
         }
     }
 
@@ -299,114 +261,54 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     /// The paper's model forbids drops and injections; use this to observe
     /// what that assumption buys. Must be called before the run starts.
     pub fn set_faults(&mut self, faults: FaultPlan) {
-        self.faults = faults;
+        self.core.set_faults(faults);
     }
 
     /// Counters of faults actually applied so far.
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
-        self.fault_stats
+        self.core.fault_stats()
     }
 
     /// Injects a spurious message into a channel, as forbidden channel
     /// noise would (experiment E11). Counted in [`Simulation::fault_stats`]
     /// but *not* in `total_sent` — no node sent it.
     pub fn inject(&mut self, channel: ChannelId, msg: M) {
-        let seq = self.send_seq;
-        self.send_seq += 1;
-        self.fault_stats.injected += 1;
-        self.enqueue(channel, Envelope { msg, seq });
-    }
-
-    fn enqueue(&mut self, ch: ChannelId, envelope: Envelope<M>) {
-        if self.queues[ch.index()].is_empty() {
-            if let Err(at) = self.nonempty.binary_search(&ch.index()) {
-                self.nonempty.insert(at, ch.index());
-            }
-        }
-        self.queues[ch.index()].push_back(envelope);
+        self.core.inject(channel.index(), msg);
     }
 
     /// Enables event tracing (unbounded if `cap` is `None`).
     pub fn enable_trace(&mut self, cap: Option<usize>) {
-        self.trace = Some(match cap {
-            Some(c) => Trace::with_capacity(c),
-            None => Trace::new(),
-        });
+        self.core.enable_trace(cap);
     }
 
     /// The recorded trace, if tracing was enabled.
     #[must_use]
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.core.trace()
+    }
+
+    /// Enables the O(1) run-summary metrics collector ([`RunMetrics`]).
+    pub fn enable_metrics(&mut self) {
+        self.core.enable_metrics();
+    }
+
+    /// The collected run metrics, if enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&RunMetrics> {
+        self.core.metrics()
+    }
+
+    /// Attaches an engine-level [`Observer`] that sees the raw event stream
+    /// for the rest of the run.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.core.attach_observer(observer);
     }
 
     /// Runs every node's `on_start` (in node order). Idempotent.
     pub fn start(&mut self) {
-        if self.started {
-            return;
-        }
-        self.started = true;
-        for node in 0..self.nodes.len() {
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::Start { node });
-            }
-            let mut outbox = std::mem::take(&mut self.outbox);
-            {
-                let mut ctx = Context {
-                    node,
-                    outbox: &mut outbox,
-                };
-                self.nodes[node].on_start(&mut ctx);
-            }
-            self.flush_outbox(node, &mut outbox);
-            self.outbox = outbox;
-            self.note_termination(node);
-        }
-    }
-
-    fn flush_outbox(&mut self, node: NodeIndex, outbox: &mut Vec<(Port, M)>) {
-        for (port, msg) in outbox.drain(..) {
-            let ch = ChannelId::new(node, port);
-            let seq = self.send_seq;
-            self.send_seq += 1;
-            self.stats.total_sent += 1;
-            self.stats.sent_by_port[node][port.index()] += 1;
-            let direction = self.wiring.direction(ch);
-            if let Some(d) = direction {
-                self.stats.sent_by_direction[d.index()] += 1;
-            }
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::Send {
-                    node,
-                    port,
-                    seq,
-                    direction,
-                });
-            }
-            if self.faults.should_drop(seq) {
-                self.fault_stats.dropped += 1;
-                continue;
-            }
-            if self.faults.should_duplicate(seq) {
-                self.fault_stats.duplicated += 1;
-                let dup_seq = self.send_seq;
-                self.send_seq += 1;
-                self.enqueue(ch, Envelope { msg: msg.clone(), seq });
-                self.enqueue(ch, Envelope { msg, seq: dup_seq });
-            } else {
-                self.enqueue(ch, Envelope { msg, seq });
-            }
-        }
-    }
-
-    fn note_termination(&mut self, node: NodeIndex) {
-        if !self.terminated[node] && self.nodes[node].is_terminated() {
-            self.terminated[node] = true;
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::Terminate { node });
-            }
-        }
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core.start(&mut handler);
     }
 
     /// Delivers one message chosen by the scheduler.
@@ -414,93 +316,20 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     /// Starts the simulation if [`Simulation::start`] has not run yet.
     /// Returns `None` when the network is quiescent (no messages in transit).
     pub fn step(&mut self) -> Option<StepInfo> {
-        self.start();
-        self.ready_buf.clear();
-        for &ch in &self.nonempty {
-            let head = self.queues[ch].front().expect("nonempty set is accurate");
-            let id = ChannelId::from_index(ch);
-            self.ready_buf.push(ChannelView {
-                id,
-                queue_len: self.queues[ch].len(),
-                head_seq: head.seq,
-                direction: self.wiring.direction(id),
-            });
-        }
-        if self.ready_buf.is_empty() {
-            return None;
-        }
-        let pick = self.scheduler.pick(&self.ready_buf);
-        assert!(
-            pick < self.ready_buf.len(),
-            "scheduler returned out-of-range index {pick}"
-        );
-        let channel = self.ready_buf[pick].id;
-        let direction = self.ready_buf[pick].direction;
-        let envelope = self.queues[channel.index()]
-            .pop_front()
-            .expect("picked channel is non-empty");
-        if self.queues[channel.index()].is_empty() {
-            if let Ok(at) = self.nonempty.binary_search(&channel.index()) {
-                self.nonempty.remove(at);
-            }
-        }
-        let (node, port) = self.wiring.endpoint(channel);
-        self.stats.steps += 1;
-
-        let ignored = self.terminated[node];
-        if ignored {
-            self.stats.delivered_to_terminated += 1;
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::DeliverIgnored {
-                    node,
-                    port,
-                    seq: envelope.seq,
-                });
-            }
-        } else {
-            self.stats.total_delivered += 1;
-            self.stats.recv_by_port[node][port.index()] += 1;
-            if let Some(t) = &mut self.trace {
-                t.push(TraceEvent::Deliver {
-                    node,
-                    port,
-                    seq: envelope.seq,
-                    direction,
-                });
-            }
-            let mut outbox = std::mem::take(&mut self.outbox);
-            {
-                let mut ctx = Context {
-                    node,
-                    outbox: &mut outbox,
-                };
-                self.nodes[node].on_message(port, envelope.msg, &mut ctx);
-            }
-            self.flush_outbox(node, &mut outbox);
-            self.outbox = outbox;
-            self.note_termination(node);
-        }
-
-        Some(StepInfo {
-            channel,
-            node,
-            port,
-            seq: envelope.seq,
-            direction,
-            ignored,
-        })
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core.step(&mut handler).map(StepInfo::from_engine)
     }
 
     /// Runs until quiescence or budget exhaustion.
     pub fn run(&mut self, budget: Budget) -> RunReport {
-        self.run_with(budget, |_, _| {})
+        self.run_observed(budget, &mut ())
     }
 
     /// Runs until quiescence or budget exhaustion, invoking `hook` after
     /// every delivery with the post-event simulation state.
     ///
-    /// The hook is how `co-core`'s invariant monitors (executable
-    /// Lemmas 6–12) observe every intermediate configuration:
+    /// This is the closure-flavoured convenience over
+    /// [`Simulation::run_observed`]:
     ///
     /// ```rust
     /// # use co_net::{Budget, Context, Port, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
@@ -522,67 +351,55 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     /// });
     /// assert!(max_in_flight <= 2);
     /// ```
-    pub fn run_with<F>(&mut self, budget: Budget, mut hook: F) -> RunReport
+    pub fn run_with<F>(&mut self, budget: Budget, hook: F) -> RunReport
     where
         F: FnMut(&Simulation<M, P>, &StepInfo),
+    {
+        self.run_observed(budget, &mut HookObserver(hook))
+    }
+
+    /// Runs until quiescence or budget exhaustion under a [`SimObserver`].
+    ///
+    /// The observer is how `co-core`'s invariant monitors (executable
+    /// Lemmas 6–12) watch every intermediate configuration; compose several
+    /// with tuples: `&mut (monitor, metrics_probe)`.
+    pub fn run_observed<O>(&mut self, budget: Budget, observer: &mut O) -> RunReport
+    where
+        O: SimObserver<M, P> + ?Sized,
     {
         self.start();
         let mut executed: u64 = 0;
         while executed < budget.max_steps {
-            // `step` borrows self mutably; copy the info out for the hook.
+            // `step` borrows self mutably; copy the info out for the observer.
             let Some(info) = self.step() else { break };
             executed += 1;
-            hook(self, &info);
+            observer.after_step(self, &info);
         }
-        let in_flight = self.in_flight();
-        let outcome = if in_flight > 0 {
-            Outcome::BudgetExhausted
-        } else if self.terminated.iter().all(|&t| t) {
-            if self.stats.delivered_to_terminated == 0 {
-                Outcome::QuiescentTerminated
-            } else {
-                Outcome::TerminatedNonQuiescent
-            }
-        } else {
-            Outcome::Quiescent
-        };
-        RunReport {
-            outcome,
-            total_sent: self.stats.total_sent,
-            steps: self.stats.steps,
-            in_flight,
-        }
+        self.core.report()
     }
 
     /// Number of messages currently in transit.
     #[must_use]
     pub fn in_flight(&self) -> u64 {
-        self.queues.iter().map(|q| q.len() as u64).sum()
+        self.core.in_flight()
     }
 
     /// Number of in-transit messages on channels tagged `direction`.
     #[must_use]
     pub fn in_flight_direction(&self, direction: Direction) -> u64 {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter(|(ch, _)| {
-                self.wiring.direction(ChannelId::from_index(*ch)) == Some(direction)
-            })
-            .map(|(_, q)| q.len() as u64)
-            .sum()
+        self.core.in_flight_direction(direction)
     }
 
     /// Whether no messages are in transit.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.in_flight() == 0
+        self.core.is_quiescent()
     }
 
     /// Whether the given node has terminated.
     #[must_use]
     pub fn is_terminated(&self, node: NodeIndex) -> bool {
-        self.terminated[node]
+        self.core.is_terminated(node)
     }
 
     /// The protocol instance of a node (for state inspection by monitors).
@@ -606,13 +423,13 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     /// Aggregate counters.
     #[must_use]
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        self.core.stats()
     }
 
     /// The network wiring.
     #[must_use]
     pub fn wiring(&self) -> &Wiring {
-        &self.wiring
+        self.core.topology()
     }
 
     /// Consumes the simulation, returning the protocol instances.
@@ -625,9 +442,9 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
 impl<M: Message, P: Protocol<M> + fmt::Debug> fmt::Debug for Simulation<M, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
-            .field("n", &self.wiring.len())
+            .field("n", &self.wiring().len())
             .field("in_flight", &self.in_flight())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .field("nodes", &self.nodes)
             .finish()
     }
@@ -639,6 +456,7 @@ mod tests {
     use crate::message::Pulse;
     use crate::sched::{FifoScheduler, SchedulerKind};
     use crate::topology::RingSpec;
+    use crate::trace::TraceEvent;
 
     /// Sends `budget` pulses clockwise, one per received pulse.
     #[derive(Debug)]
@@ -728,8 +546,14 @@ mod tests {
         let report = sim.run(Budget::default());
         let stats = sim.stats();
         assert_eq!(stats.total_sent, report.total_sent);
-        assert_eq!(stats.total_delivered + stats.delivered_to_terminated, report.steps);
-        assert_eq!(stats.sent_by_direction[Direction::Cw.index()], report.total_sent);
+        assert_eq!(
+            stats.total_delivered + stats.delivered_to_terminated,
+            report.steps
+        );
+        assert_eq!(
+            stats.sent_by_direction[Direction::Cw.index()],
+            report.total_sent
+        );
         assert_eq!(stats.sent_by_direction[Direction::Ccw.index()], 0);
         let per_node: u64 = (0..4).map(|i| stats.sent_by_node(i)).sum();
         assert_eq!(per_node, report.total_sent);
@@ -744,11 +568,40 @@ mod tests {
     }
 
     #[test]
+    fn metrics_observer_matches_stats() {
+        let mut sim = ring_sim(4, 5);
+        sim.enable_metrics();
+        let report = sim.run(Budget::default());
+        let metrics = *sim.metrics().expect("metrics enabled");
+        assert_eq!(metrics.sends, report.total_sent);
+        assert_eq!(metrics.deliveries, sim.stats().total_delivered);
+        assert_eq!(metrics.ignored, sim.stats().delivered_to_terminated);
+        assert_eq!(metrics.terminations, 4);
+        assert_eq!(metrics.faults, 0);
+        assert!(metrics.max_in_flight >= 1);
+    }
+
+    #[test]
     fn run_with_hook_sees_every_step() {
         let mut sim = ring_sim(3, 4);
         let mut seen = 0u64;
         let report = sim.run_with(Budget::default(), |_, _| seen += 1);
         assert_eq!(seen, report.steps);
+    }
+
+    #[test]
+    fn sim_observers_compose() {
+        struct Counter(u64);
+        impl SimObserver<Pulse, Ticker> for Counter {
+            fn after_step(&mut self, _sim: &Simulation<Pulse, Ticker>, _step: &StepInfo) {
+                self.0 += 1;
+            }
+        }
+        let mut sim = ring_sim(3, 4);
+        let mut pair = (Counter(0), Some(Counter(0)));
+        let report = sim.run_observed(Budget::default(), &mut pair);
+        assert_eq!(pair.0 .0, report.steps);
+        assert_eq!(pair.1.expect("present").0, report.steps);
     }
 
     #[test]

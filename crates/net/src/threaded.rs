@@ -1,6 +1,6 @@
 //! Threaded runtime: the same protocols on real OS threads.
 //!
-//! Each node runs on its own thread; each directed channel is a crossbeam
+//! Each node runs on its own thread; each directed channel is an `mpsc`
 //! FIFO channel. Delays come from genuine OS scheduling nondeterminism
 //! (optionally amplified by random jitter), demonstrating that the
 //! algorithms' guarantees are not artifacts of the discrete-event simulator.
@@ -15,8 +15,8 @@ use crate::message::Message;
 use crate::port::Port;
 use crate::sim::{Context, Protocol};
 use crate::topology::{ChannelId, NodeIndex, Wiring};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -84,7 +84,11 @@ struct NodeHarness<M> {
 ///
 /// Panics if `nodes.len()` differs from the wiring's node count or if a node
 /// thread panics.
-pub fn run_threaded<M, P>(wiring: &Wiring, nodes: Vec<P>, opts: &ThreadedOptions) -> ThreadedReport<P>
+pub fn run_threaded<M, P>(
+    wiring: &Wiring,
+    nodes: Vec<P>,
+    opts: &ThreadedOptions,
+) -> ThreadedReport<P>
 where
     M: Message,
     P: Protocol<M> + Send + 'static,
@@ -92,12 +96,12 @@ where
     assert_eq!(nodes.len(), wiring.len(), "one protocol per node");
     let n = wiring.len();
 
-    // One crossbeam channel per directed network channel. senders[c] feeds
+    // One mpsc channel per directed network channel. senders[c] feeds
     // the queue of channel c; the receiver lives at the channel's endpoint.
     let mut senders: Vec<Sender<M>> = Vec::with_capacity(2 * n);
     let mut receivers: Vec<Option<Receiver<M>>> = Vec::with_capacity(2 * n);
     for _ in 0..2 * n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(Some(rx));
     }
@@ -135,7 +139,7 @@ where
         let handle = std::thread::Builder::new()
             .name(format!("co-node-{v}"))
             .spawn(move || {
-                let mut outbox: Vec<(Port, M)> = Vec::new();
+                let mut outbox: Vec<(usize, M)> = Vec::new();
                 busy.fetch_add(1, Ordering::SeqCst);
                 {
                     let mut ctx = Context::for_threaded(v, &mut outbox);
@@ -143,7 +147,7 @@ where
                 }
                 for (port, msg) in outbox.drain(..) {
                     sent.fetch_add(1, Ordering::SeqCst);
-                    let _ = harness.tx[port.index()].send(msg);
+                    let _ = harness.tx[port].send(msg);
                 }
                 busy.fetch_sub(1, Ordering::SeqCst);
 
@@ -152,13 +156,26 @@ where
                 if terminated {
                     terminated_count.fetch_add(1, Ordering::SeqCst);
                 }
+                // Which port to poll first; alternated so neither receiver
+                // starves the other under sustained traffic.
+                let mut first = 0usize;
                 while !stop.load(Ordering::SeqCst) && !terminated {
-                    let received = crossbeam::channel::select! {
-                        recv(harness.rx[0]) -> m => m.ok().map(|m| (Port::Zero, m)),
-                        recv(harness.rx[1]) -> m => m.ok().map(|m| (Port::One, m)),
-                        default(Duration::from_millis(1)) => None,
+                    let mut received = None;
+                    for k in 0..2 {
+                        let q = (first + k) % 2;
+                        match harness.rx[q].try_recv() {
+                            Ok(m) => {
+                                received = Some((Port::from_index(q), m));
+                                break;
+                            }
+                            Err(TryRecvError::Empty | TryRecvError::Disconnected) => {}
+                        }
+                    }
+                    first ^= 1;
+                    let Some((port, msg)) = received else {
+                        std::thread::sleep(Duration::from_micros(500));
+                        continue;
                     };
-                    let Some((port, msg)) = received else { continue };
                     busy.fetch_add(1, Ordering::SeqCst);
                     if max_jitter_us > 0 {
                         // xorshift jitter: cheap, deterministic per node.
@@ -176,7 +193,7 @@ where
                     }
                     for (out_port, out_msg) in outbox.drain(..) {
                         sent.fetch_add(1, Ordering::SeqCst);
-                        let _ = harness.tx[out_port.index()].send(out_msg);
+                        let _ = harness.tx[out_port].send(out_msg);
                     }
                     delivered.fetch_add(1, Ordering::SeqCst);
                     busy.fetch_sub(1, Ordering::SeqCst);
@@ -232,7 +249,7 @@ where
 
 impl<'a, M: Message> Context<'a, M> {
     /// Internal constructor used by the threaded runtime.
-    pub(crate) fn for_threaded(node: NodeIndex, outbox: &'a mut Vec<(Port, M)>) -> Context<'a, M> {
+    pub(crate) fn for_threaded(node: NodeIndex, outbox: &'a mut Vec<(usize, M)>) -> Context<'a, M> {
         Context::new_internal(node, outbox)
     }
 }

@@ -7,7 +7,6 @@
 
 use crate::port::{Direction, Port};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a node within a network (its clockwise position for rings).
@@ -17,7 +16,7 @@ pub type NodeIndex = usize;
 ///
 /// Channel `ChannelId::new(v, p)` carries messages sent by node `v` from its
 /// port `p`; its delivery endpoint is given by [`Wiring::endpoint`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChannelId(usize);
 
 impl ChannelId {
@@ -68,7 +67,7 @@ impl fmt::Display for ChannelId {
 /// (node, port) pairs: the channel leaving `(v, p)` arrives at `(u, q)` iff
 /// the channel leaving `(u, q)` arrives at `(v, p)` — the two directed
 /// channels of one undirected link.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Wiring {
     n: usize,
     /// `endpoints[c]` = destination (node, port) of channel with index `c`.
@@ -158,6 +157,36 @@ impl Wiring {
     }
 }
 
+/// The ring's channel table as seen by the generic event core: every node
+/// has exactly two ports and channel `node * 2 + port` leaves `(node, port)`
+/// (the [`ChannelId`] layout).
+impl crate::engine::Topology for Wiring {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn channel_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn degree(&self, _node: usize) -> usize {
+        2
+    }
+
+    fn out_channel(&self, node: usize, port: usize) -> usize {
+        node * 2 + port
+    }
+
+    fn endpoint(&self, channel: usize) -> (usize, usize) {
+        let (node, port) = self.endpoints[channel];
+        (node, port.index())
+    }
+
+    fn direction(&self, channel: usize) -> Option<Direction> {
+        self.directions[channel]
+    }
+}
+
 /// Error building a [`Wiring`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WiringError {
@@ -231,7 +260,7 @@ impl std::error::Error for WiringError {}
 /// assert_eq!(wiring.endpoint(ch), (1, Port::Zero));
 /// assert_eq!(wiring.direction(ch), Some(Direction::Cw));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RingSpec {
     ids: Vec<u64>,
     flips: Vec<bool>,
@@ -317,7 +346,10 @@ impl RingSpec {
     #[must_use]
     pub fn max_position(&self) -> NodeIndex {
         let max = self.id_max();
-        self.ids.iter().position(|&id| id == max).expect("non-empty")
+        self.ids
+            .iter()
+            .position(|&id| id == max)
+            .expect("non-empty")
     }
 
     /// Whether all IDs are pairwise distinct.

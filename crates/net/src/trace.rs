@@ -3,14 +3,20 @@
 //! A [`Trace`] is an append-only log of network events. Traces are optional
 //! (off by default) because the paper's algorithms exchange up to
 //! `n · ID_max` pulses; when enabled, the trace can be capped to a maximum
-//! length and exported as JSON lines through `serde`.
+//! length.
+//!
+//! `Trace` implements the engine's [`Observer`](crate::engine::Observer)
+//! trait, so it records exactly the event stream the unified event core
+//! emits — for rings *and* general graphs alike. Ports are the core's dense
+//! `usize` indices; on a ring they coincide with
+//! [`Port::index`](crate::Port::index).
 
-use crate::port::{Direction, Port};
+use crate::engine::FaultKind;
+use crate::port::Direction;
 use crate::topology::NodeIndex;
-use serde::{Deserialize, Serialize};
 
 /// One observable network event.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A node executed its initialisation step.
     Start {
@@ -21,8 +27,8 @@ pub enum TraceEvent {
     Send {
         /// Sending node.
         node: NodeIndex,
-        /// Out-port used.
-        port: Port,
+        /// Out-port used (dense index, `0..degree`).
+        port: usize,
         /// Global send sequence number of the message.
         seq: u64,
         /// Direction tag of the channel, if any.
@@ -32,8 +38,8 @@ pub enum TraceEvent {
     Deliver {
         /// Receiving node.
         node: NodeIndex,
-        /// In-port the message arrived at.
-        port: Port,
+        /// In-port the message arrived at (dense index).
+        port: usize,
         /// Global send sequence number of the message.
         seq: u64,
         /// Direction tag of the channel, if any.
@@ -44,8 +50,8 @@ pub enum TraceEvent {
     DeliverIgnored {
         /// Receiving (terminated) node.
         node: NodeIndex,
-        /// In-port the message arrived at.
-        port: Port,
+        /// In-port the message arrived at (dense index).
+        port: usize,
         /// Global send sequence number of the message.
         seq: u64,
     },
@@ -53,6 +59,13 @@ pub enum TraceEvent {
     Terminate {
         /// The node.
         node: NodeIndex,
+    },
+    /// A model-violating channel fault was applied (experiment E11).
+    Fault {
+        /// What happened to the message.
+        kind: FaultKind,
+        /// Sequence number of the affected message.
+        seq: u64,
     },
 }
 
@@ -67,7 +80,7 @@ pub enum TraceEvent {
 /// assert_eq!(trace.len(), 2);
 /// assert_eq!(trace.dropped(), 1);
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     cap: Option<usize>,
@@ -159,34 +172,26 @@ mod tests {
         t.push(TraceEvent::Start { node: 0 });
         t.push(TraceEvent::Deliver {
             node: 0,
-            port: Port::Zero,
+            port: 0,
             seq: 0,
             direction: Some(Direction::Cw),
         });
         t.push(TraceEvent::Send {
             node: 0,
-            port: Port::One,
+            port: 1,
             seq: 1,
             direction: Some(Direction::Cw),
         });
+        t.push(TraceEvent::Fault {
+            kind: FaultKind::Duplicated,
+            seq: 2,
+        });
         t.push(TraceEvent::Deliver {
             node: 0,
-            port: Port::One,
+            port: 1,
             seq: 1,
             direction: Some(Direction::Ccw),
         });
-        assert_eq!(
-            t.delivery_directions(),
-            vec![Direction::Cw, Direction::Ccw]
-        );
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let mut t = Trace::with_capacity(8);
-        t.push(TraceEvent::Terminate { node: 3 });
-        let json = serde_json::to_string(&t).expect("serialize");
-        let back: Trace = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back.events(), t.events());
+        assert_eq!(t.delivery_directions(), vec![Direction::Cw, Direction::Ccw]);
     }
 }

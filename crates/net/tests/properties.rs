@@ -1,14 +1,18 @@
-//! Property-based tests of the substrate itself: wiring laws, scheduler
+//! Randomized property tests of the substrate itself: wiring laws, scheduler
 //! contract, simulator conservation laws, and graph analysis.
+//!
+//! Inputs are drawn from a seeded [`StdRng`] grid rather than a property
+//! framework (the build is fully offline), so every failure reproduces from
+//! the printed case number.
 
 use co_net::graph::MultiGraph;
 use co_net::sched::ChannelView;
 use co_net::{
-    Budget, ChannelId, Context, Direction, Outcome, Port, Protocol, Pulse, RingSpec,
-    SchedulerKind, Simulation,
+    Budget, ChannelId, Context, Direction, Outcome, Port, Protocol, Pulse, RingSpec, SchedulerKind,
+    Simulation,
 };
-use proptest::collection::vec as pvec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A relay that forwards each pulse once, clockwise, and bounces pulses
 /// arriving at the clockwise port back counterclockwise up to a budget —
@@ -43,112 +47,130 @@ impl Protocol<Pulse> for Bouncer {
     }
 }
 
-fn ring_strategy() -> impl Strategy<Value = RingSpec> {
-    (1usize..=9, any::<u64>()).prop_map(|(n, seed)| {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(seed);
-        RingSpec::random_flips((1..=n as u64).collect(), &mut rng)
-    })
+fn random_ring(rng: &mut StdRng) -> RingSpec {
+    let n = rng.gen_range(1usize..=9);
+    RingSpec::random_flips((1..=n as u64).collect(), rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The wiring endpoint map is an involution for every ring layout.
-    #[test]
-    fn wiring_involution(spec in ring_strategy()) {
+/// The wiring endpoint map is an involution for every ring layout.
+#[test]
+fn wiring_involution() {
+    for case in 0u64..128 {
+        let mut rng = StdRng::seed_from_u64(0x11AA + case);
+        let spec = random_ring(&mut rng);
         let w = spec.wiring();
         for c in w.channels() {
             let (v, p) = w.endpoint(c);
-            prop_assert_eq!(w.endpoint(ChannelId::new(v, p)), (c.node(), c.port()));
+            assert_eq!(
+                w.endpoint(ChannelId::new(v, p)),
+                (c.node(), c.port()),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Every channel has exactly one direction tag and the two channels of
-    /// a link carry opposite tags.
-    #[test]
-    fn wiring_direction_tags(spec in ring_strategy()) {
+/// Every channel has exactly one direction tag and the two channels of
+/// a link carry opposite tags.
+#[test]
+fn wiring_direction_tags() {
+    for case in 0u64..128 {
+        let mut rng = StdRng::seed_from_u64(0x22BB + case);
+        let spec = random_ring(&mut rng);
         let w = spec.wiring();
         for c in w.channels() {
             let d = w.direction(c).expect("ring channels are tagged");
             let (v, p) = w.endpoint(c);
             let back = w.direction(ChannelId::new(v, p)).expect("tagged");
-            prop_assert_eq!(d.opposite(), back);
+            assert_eq!(d.opposite(), back, "case {case}");
         }
     }
+}
 
-    /// Conservation: sent = delivered + ignored + in-flight, under every
-    /// scheduler, at every point — checked at the end of bounded runs.
-    #[test]
-    fn simulator_conserves_messages(
-        spec in ring_strategy(),
-        budgets in pvec((0u8..4, 0u8..4), 1..=9),
-        kind in prop::sample::select(SchedulerKind::ALL.to_vec()),
-        seed in any::<u64>(),
-    ) {
-        let n = spec.len();
-        let nodes: Vec<Bouncer> = (0..n)
-            .map(|i| {
-                let (a, b) = budgets[i % budgets.len()];
-                Bouncer { cw_budget: a, ccw_budget: b }
-            })
-            .collect();
-        let mut sim: Simulation<Pulse, Bouncer> =
-            Simulation::new(spec.wiring(), nodes, kind.build(seed));
-        let report = sim.run(Budget::steps(10_000));
-        let stats = sim.stats();
-        prop_assert_eq!(
-            stats.total_sent,
-            stats.total_delivered + stats.delivered_to_terminated + sim.in_flight()
-        );
-        // Finite budgets mean the network always dies out.
-        prop_assert_eq!(report.outcome, Outcome::Quiescent);
-        // Per-direction accounting covers everything on a ring.
-        prop_assert_eq!(
-            stats.sent_by_direction[Direction::Cw.index()]
-                + stats.sent_by_direction[Direction::Ccw.index()],
-            stats.total_sent
-        );
-    }
-
-    /// Scheduler contract: every built-in adversary returns in-range picks
-    /// on arbitrary ready sets.
-    #[test]
-    fn scheduler_contract(
-        kind in prop::sample::select(SchedulerKind::ALL.to_vec()),
-        lens in pvec(1usize..5, 1..=12),
-        seed in any::<u64>(),
-    ) {
-        let ready: Vec<ChannelView> = lens
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| ChannelView {
-                id: ChannelId::from_index(i),
-                queue_len: l,
-                head_seq: (i as u64).wrapping_mul(7),
-                direction: if i % 3 == 0 { Some(Direction::Cw) } else if i % 3 == 1 { Some(Direction::Ccw) } else { None },
-            })
-            .collect();
-        let mut sched = kind.build(seed);
-        for _ in 0..32 {
-            let pick = sched.pick(&ready);
-            prop_assert!(pick < ready.len(), "{kind} out of range");
+/// Conservation: sent = delivered + ignored + in-flight, under every
+/// scheduler, at every point — checked at the end of bounded runs.
+#[test]
+fn simulator_conserves_messages() {
+    for case in 0u64..16 {
+        for kind in SchedulerKind::ALL {
+            let mut rng = StdRng::seed_from_u64(0x33CC + case);
+            let spec = random_ring(&mut rng);
+            let n = spec.len();
+            let nodes: Vec<Bouncer> = (0..n)
+                .map(|_| Bouncer {
+                    cw_budget: rng.gen_range(0u64..4) as u8,
+                    ccw_budget: rng.gen_range(0u64..4) as u8,
+                })
+                .collect();
+            let seed = rng.gen::<u64>();
+            let mut sim: Simulation<Pulse, Bouncer> =
+                Simulation::new(spec.wiring(), nodes, kind.build(seed));
+            let report = sim.run(Budget::steps(10_000));
+            let stats = sim.stats();
+            assert_eq!(
+                stats.total_sent,
+                stats.total_delivered + stats.delivered_to_terminated + sim.in_flight(),
+                "case {case} under {kind}"
+            );
+            // Finite budgets mean the network always dies out.
+            assert_eq!(
+                report.outcome,
+                Outcome::Quiescent,
+                "case {case} under {kind}"
+            );
+            // Per-direction accounting covers everything on a ring.
+            assert_eq!(
+                stats.sent_by_direction[Direction::Cw.index()]
+                    + stats.sent_by_direction[Direction::Ccw.index()],
+                stats.total_sent,
+                "case {case} under {kind}"
+            );
         }
     }
+}
 
-    /// Cycles are 2-edge-connected; removing any edge leaves a bridgeless…
-    /// no — leaves a path, i.e. all remaining edges become bridges.
-    #[test]
-    fn cycle_minus_edge_is_all_bridges(n in 3usize..10) {
+/// Scheduler contract: every built-in adversary returns in-range picks
+/// on arbitrary ready sets.
+#[test]
+fn scheduler_contract() {
+    for case in 0u64..16 {
+        for kind in SchedulerKind::ALL {
+            let mut rng = StdRng::seed_from_u64(0x44DD + case);
+            let len = rng.gen_range(1usize..=12);
+            let ready: Vec<ChannelView> = (0..len)
+                .map(|i| ChannelView {
+                    id: ChannelId::from_index(i),
+                    queue_len: rng.gen_range(1usize..5),
+                    head_seq: (i as u64).wrapping_mul(7),
+                    direction: match i % 3 {
+                        0 => Some(Direction::Cw),
+                        1 => Some(Direction::Ccw),
+                        _ => None,
+                    },
+                })
+                .collect();
+            let mut sched = kind.build(rng.gen::<u64>());
+            for _ in 0..32 {
+                let pick = sched.pick(&ready);
+                assert!(pick < ready.len(), "case {case}: {kind} out of range");
+            }
+        }
+    }
+}
+
+/// Cycles are 2-edge-connected; removing any edge leaves a path, i.e. all
+/// remaining edges become bridges.
+#[test]
+fn cycle_minus_edge_is_all_bridges() {
+    for n in 3usize..10 {
         let full = MultiGraph::ring(n);
-        prop_assert!(full.is_two_edge_connected());
+        assert!(full.is_two_edge_connected());
         // Remove the last edge by rebuilding without it.
         let mut cut = MultiGraph::new(n);
         for i in 0..n - 1 {
             cut.add_edge(i, i + 1);
         }
-        prop_assert!(!cut.is_two_edge_connected());
-        prop_assert_eq!(cut.bridges().len(), n - 1);
+        assert!(!cut.is_two_edge_connected());
+        assert_eq!(cut.bridges().len(), n - 1);
     }
 }

@@ -18,9 +18,14 @@ fn main() {
     let oriented = RingSpec::oriented(ids.clone());
     let scrambled = RingSpec::with_flips(ids, vec![true, false, false, true, true, false]);
 
-    println!("{:<16} | {:^21} | {:^21} | {:^21}", "", "Algorithm 1", "Algorithm 2", "Algorithm 3 (improved)");
-    println!("{:<16} | {:>6} {:>8} {:>5} | {:>6} {:>8} {:>5} | {:>6} {:>8} {:>5}",
-        "scheduler", "leader", "pulses", "ok", "leader", "pulses", "ok", "leader", "pulses", "ok");
+    println!(
+        "{:<16} | {:^21} | {:^21} | {:^21}",
+        "", "Algorithm 1", "Algorithm 2", "Algorithm 3 (improved)"
+    );
+    println!(
+        "{:<16} | {:>6} {:>8} {:>5} | {:>6} {:>8} {:>5} | {:>6} {:>8} {:>5}",
+        "scheduler", "leader", "pulses", "ok", "leader", "pulses", "ok", "leader", "pulses", "ok"
+    );
     println!("{}", "-".repeat(88));
 
     for kind in SchedulerKind::ALL {
@@ -28,7 +33,8 @@ fn main() {
         let a2 = runner::run_alg2(&oriented, kind, 1);
         let a3 = runner::run_alg3(&scrambled, IdScheme::Improved, kind, 1);
 
-        let ok1 = a1.validate(&oriented).is_ok() && a1.total_messages == a1.predicted_messages.unwrap();
+        let ok1 =
+            a1.validate(&oriented).is_ok() && a1.total_messages == a1.predicted_messages.unwrap();
         let ok2 = a2.quiescently_terminated()
             && a2.validate(&oriented).is_ok()
             && a2.total_messages == a2.predicted_messages.unwrap();

@@ -29,7 +29,10 @@ fn main() {
     // Success rates across ring sizes: failure probability should shrink
     // polynomially in n (Theorem 3: success ≥ 1 − O(n^{-c})).
     println!("\n--- success rate over 100 trials per n (c = 1) ---");
-    println!("{:>6} {:>10} {:>12} {:>14} {:>14}", "n", "success", "unique max", "mean ID_max", "max messages");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>14}",
+        "n", "success", "unique max", "mean ID_max", "max messages"
+    );
     for n in [4usize, 8, 16, 32, 64] {
         let stats = success_rate(n, &cfg, SchedulerKind::Random, 100, 1234);
         println!(
@@ -45,7 +48,10 @@ fn main() {
     // Larger c buys a better success probability at the cost of larger IDs
     // (and hence more pulses): the Theorem 3 trade-off.
     println!("\n--- varying c at n = 16 (100 trials each) ---");
-    println!("{:>6} {:>10} {:>14} {:>14}", "c", "success", "mean ID_max", "max messages");
+    println!(
+        "{:>6} {:>10} {:>14} {:>14}",
+        "c", "success", "mean ID_max", "max messages"
+    );
     for c in [0.5f64, 1.0, 2.0] {
         let cfg = SamplingConfig::new(c).with_max_bits(14);
         let stats = success_rate(16, &cfg, SchedulerKind::Random, 100, 99);

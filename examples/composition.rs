@@ -24,7 +24,10 @@ fn main() {
     // --- 1. Ring size ------------------------------------------------------
     let out = elect_then_ring_size(&spec, SchedulerKind::Random, 42);
     assert!(out.quiescently_terminated);
-    println!("[ring-size] leader at position {:?} (ID {})", out.leader, 27);
+    println!(
+        "[ring-size] leader at position {:?} (ID {})",
+        out.leader, 27
+    );
     println!("[ring-size] every node's answer: {:?}", out.outputs);
     assert_eq!(out.outputs, vec![Some(6); 6]);
     println!(

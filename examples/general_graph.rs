@@ -12,7 +12,7 @@
 use content_oblivious::core::general::{EchoNode, EchoState};
 use content_oblivious::net::graph::MultiGraph;
 use content_oblivious::net::multiport::{GraphOutcome, GraphSim, GraphWiring};
-use content_oblivious::net::{Pulse, SchedulerKind};
+use content_oblivious::net::{Budget, Pulse, SchedulerKind};
 
 fn wave(name: &str, graph: &MultiGraph, root: usize) {
     let m = graph.edge_count() as u64;
@@ -22,7 +22,7 @@ fn wave(name: &str, graph: &MultiGraph, root: usize) {
         .collect();
     let mut sim: GraphSim<Pulse, EchoNode> =
         GraphSim::new(wiring, nodes, SchedulerKind::Random.build(7));
-    let report = sim.run(1_000_000);
+    let report = sim.run(Budget::steps(1_000_000));
     let done = (0..graph.vertex_count())
         .filter(|&v| sim.node(v).state() == EchoState::Done)
         .count();
@@ -46,7 +46,16 @@ fn main() {
     wave("ring C_8", &MultiGraph::ring(8), 0);
 
     let mut theta = MultiGraph::new(7);
-    for (u, v) in [(0, 1), (1, 2), (2, 6), (0, 3), (3, 6), (0, 4), (4, 5), (5, 6)] {
+    for (u, v) in [
+        (0, 1),
+        (1, 2),
+        (2, 6),
+        (0, 3),
+        (3, 6),
+        (0, 4),
+        (4, 5),
+        (5, 6),
+    ] {
         theta.add_edge(u, v);
     }
     wave("theta graph (3 paths)", &theta, 3);

@@ -26,7 +26,10 @@ fn main() {
     let patterns: Vec<_> = (1..=k)
         .map(|id| solitude_pattern_alg2(id).expect("terminates"))
         .collect();
-    println!("Lemma 22 check over IDs 1..={k}: unique = {}\n", patterns_unique(&patterns));
+    println!(
+        "Lemma 22 check over IDs 1..={k}: unique = {}\n",
+        patterns_unique(&patterns)
+    );
 
     // --- Corollary 24: many patterns share a long prefix. -----------------
     for n in [2usize, 4, 8] {

@@ -17,10 +17,16 @@ fn render(spec: &RingSpec) {
     let n = spec.len();
     print!("  ");
     for i in 0..n {
-        let (a, b) = if spec.flips()[i] { ("1", "0") } else { ("0", "1") };
+        let (a, b) = if spec.flips()[i] {
+            ("1", "0")
+        } else {
+            ("0", "1")
+        };
         print!("--[{a}({}){b}]--", spec.id(i));
     }
-    println!("  (wraps around; left port / ID / right port; right leads clockwise iff it is Port_1)");
+    println!(
+        "  (wraps around; left port / ID / right port; right leads clockwise iff it is Port_1)"
+    );
 }
 
 fn run(label: &str, spec: &RingSpec, scheme: IdScheme) {
@@ -80,6 +86,9 @@ fn main() {
     let reoriented = RingSpec::with_flips(ids, flips);
     let report = runner::run_alg2(&reoriented, SchedulerKind::Random, 8);
     assert!(report.quiescently_terminated());
-    println!("\nre-running Algorithm 2 on the self-oriented ring: {}", report.outcome);
+    println!(
+        "\nre-running Algorithm 2 on the self-oriented ring: {}",
+        report.outcome
+    );
     println!("leader again at position {:?}", report.leader);
 }

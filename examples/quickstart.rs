@@ -22,18 +22,28 @@ fn main() {
 
     println!("\noutcome:            {}", report.outcome);
     for (i, role) in report.roles.iter().enumerate() {
-        let marker = if *role == Role::Leader { "  <-- elected" } else { "" };
+        let marker = if *role == Role::Leader {
+            "  <-- elected"
+        } else {
+            ""
+        };
         println!("  node {i} (ID {:>2}): {role}{marker}", ids[i]);
     }
 
     let n = spec.len() as u64;
     let id_max = spec.id_max();
     println!("\nmessage complexity: {} pulses", report.total_messages);
-    println!("Theorem 1 predicts: n(2·ID_max + 1) = {}·(2·{} + 1) = {}",
-        n, id_max, n * (2 * id_max + 1));
+    println!(
+        "Theorem 1 predicts: n(2·ID_max + 1) = {}·(2·{} + 1) = {}",
+        n,
+        id_max,
+        n * (2 * id_max + 1)
+    );
     assert!(report.quiescently_terminated());
     assert_eq!(report.total_messages, n * (2 * id_max + 1));
     assert_eq!(report.leader, Some(2), "ID 42 sits at position 2");
-    report.validate(&spec).expect("exactly one leader, at ID_max");
+    report
+        .validate(&spec)
+        .expect("exactly one leader, at ID_max");
     println!("\nall checks passed: quiescent termination, unique leader, exact count");
 }

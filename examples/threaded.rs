@@ -1,5 +1,5 @@
-//! The same algorithms on real OS threads: one thread per node, crossbeam
-//! channels per link, delays from genuine scheduler nondeterminism plus
+//! The same algorithms on real OS threads: one thread per node, an mpsc
+//! channel per link, delays from genuine scheduler nondeterminism plus
 //! injected jitter — demonstrating the results are not simulator artifacts.
 //!
 //! ```sh

@@ -36,16 +36,26 @@ fn main() {
         },
     );
 
-    println!("phase 1  (Algorithm 2 election):   {} pulses", out.election_messages);
+    println!(
+        "phase 1  (Algorithm 2 election):   {} pulses",
+        out.election_messages
+    );
     println!(
         "phase 2  (simulated Chang-Roberts): {} pulses",
         out.total_messages - out.election_messages
     );
-    println!("outcome: quiescent termination = {}\n", out.quiescently_terminated);
+    println!(
+        "outcome: quiescent termination = {}\n",
+        out.quiescently_terminated
+    );
 
     for (i, role) in out.outputs.iter().enumerate() {
         let role = role.expect("every simulated node decided");
-        let marker = if role == Role::Leader { "  <-- CR's winner" } else { "" };
+        let marker = if role == Role::Leader {
+            "  <-- CR's winner"
+        } else {
+            ""
+        };
         println!("  node {i} (ID {:>2}): {role}{marker}", ids[i]);
     }
 

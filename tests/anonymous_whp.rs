@@ -13,11 +13,7 @@ fn success_rate_is_high_and_failures_track_tied_maxima() {
     let stats = success_rate(12, &cfg, SchedulerKind::Random, 100, 42);
     // Theorem 3: success whp. With c = 1 and n = 12 the tie probability is
     // small; demand a comfortable margin rather than a tight constant.
-    assert!(
-        stats.rate() > 0.85,
-        "success rate {} too low",
-        stats.rate()
-    );
+    assert!(stats.rate() > 0.85, "success rate {} too low", stats.rate());
     // Lemma 18: the success events are exactly the unique-max events.
     assert_eq!(stats.successes, stats.unique_max);
 }

@@ -34,7 +34,11 @@ fn aggregate_pipeline_matrix() {
         let inputs: Vec<u64> = (0..n as u64).map(|i| 3 * i + 1).collect();
         let expected_sum: u64 = inputs.iter().sum();
         let expected_max: u64 = *inputs.iter().max().unwrap();
-        for kind in [SchedulerKind::Fifo, SchedulerKind::Lifo, SchedulerKind::Random] {
+        for kind in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::Random,
+        ] {
             let out = elect_then_aggregate(&spec, &inputs, kind, 5);
             assert!(out.quiescently_terminated, "n={n} {kind}");
             let mut distances = Vec::new();

@@ -22,7 +22,9 @@ fn specs_under_test() -> Vec<RingSpec> {
             IdAssignment::Contiguous,
             IdAssignment::Shuffled,
             IdAssignment::Descending,
-            IdAssignment::SparseUniform { id_max: 4 * n as u64 },
+            IdAssignment::SparseUniform {
+                id_max: 4 * n as u64,
+            },
             IdAssignment::SingleBig { id_max: 120 },
         ] {
             specs.push(RingSpec::oriented(assignment.generate(n, &mut rng)));
@@ -62,11 +64,7 @@ fn alg2_exact_complexity_and_quiescent_termination_everywhere() {
             report
                 .validate(&spec)
                 .unwrap_or_else(|e| panic!("{spec} {kind}: {e}"));
-            assert_eq!(
-                report.total_messages,
-                n * (2 * id_max + 1),
-                "{spec} {kind}"
-            );
+            assert_eq!(report.total_messages, n * (2 * id_max + 1), "{spec} {kind}");
         }
     }
 }
@@ -144,7 +142,11 @@ fn alg2_direction_split_matches_the_analysis() {
     let spec = RingSpec::oriented(vec![3, 8, 5, 2]);
     let n = 4u64;
     let id_max = 8u64;
-    for kind in [SchedulerKind::Fifo, SchedulerKind::Lifo, SchedulerKind::Random] {
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+        SchedulerKind::Random,
+    ] {
         let nodes = (0..4)
             .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
             .collect();

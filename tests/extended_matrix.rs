@@ -14,8 +14,8 @@ use content_oblivious::net::threaded::{run_threaded, ThreadedOptions, ThreadedOu
 use content_oblivious::net::{
     Budget, Direction, Protocol, Pulse, RingSpec, SchedulerKind, Simulation,
 };
-use proptest::collection::vec as pvec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 #[test]
@@ -55,7 +55,11 @@ fn phase_switch_adversary_preserves_theorem1() {
         let report = runner::run_alg2_scheduler(&spec, scheduler);
         assert!(report.quiescently_terminated(), "switch at {switch_at}");
         assert_eq!(report.leader, Some(1), "switch at {switch_at}");
-        assert_eq!(report.total_messages, 4 * (2 * 12 + 1), "switch at {switch_at}");
+        assert_eq!(
+            report.total_messages,
+            4 * (2 * 12 + 1),
+            "switch at {switch_at}"
+        );
     }
 }
 
@@ -82,30 +86,37 @@ fn recorded_schedule_replays_identically() {
     assert_eq!(first, second);
     for i in 0..3 {
         assert_eq!(original.node(i).role(), replayed.node(i).role(), "node {i}");
-        assert_eq!(original.node(i).rho_ccw(), replayed.node(i).rho_ccw(), "node {i}");
+        assert_eq!(
+            original.node(i).rho_ccw(),
+            replayed.node(i).rho_ccw(),
+            "node {i}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Replicated-counter pipelines converge for arbitrary scripts, ring
-    /// shapes, and adversaries.
-    #[test]
-    fn replication_converges_universally(
-        ids in pvec(1u64..=60, 2..=8),
-        script in pvec(-100i64..=100, 0..=6),
-        kind in prop::sample::select(SchedulerKind::ALL.to_vec()),
-        seed in 0u64..500,
-    ) {
-        let set: BTreeSet<u64> = ids.iter().copied().collect();
-        prop_assume!(set.len() == ids.len());
+/// Replicated-counter pipelines converge for arbitrary scripts, ring
+/// shapes, and adversaries.
+#[test]
+fn replication_converges_universally() {
+    for case in 0u64..24 {
+        let mut rng = StdRng::seed_from_u64(0x5EED + case);
+        let k = rng.gen_range(2usize..=8);
+        let mut set = BTreeSet::new();
+        while set.len() < k {
+            set.insert(rng.gen_range(1u64..=60));
+        }
+        let ids: Vec<u64> = set.into_iter().collect();
+        let script: Vec<i64> = (0..rng.gen_range(0usize..=6))
+            .map(|_| rng.gen_range(0u64..=200) as i64 - 100)
+            .collect();
+        let kind = SchedulerKind::ALL[case as usize % SchedulerKind::ALL.len()];
+        let seed = rng.gen_range(0u64..500);
         let spec = RingSpec::oriented(ids);
         let out = elect_then_replicate(&spec, &script, kind, seed);
-        prop_assert!(out.quiescently_terminated);
+        assert!(out.quiescently_terminated, "case {case} under {kind}");
         let expected: i64 = script.iter().sum();
-        prop_assert_eq!(out.outputs, vec![Some(expected); spec.len()]);
-        prop_assert_eq!(out.leader, Some(spec.max_position()));
+        assert_eq!(out.outputs, vec![Some(expected); spec.len()], "case {case}");
+        assert_eq!(out.leader, Some(spec.max_position()), "case {case}");
     }
 }
 
@@ -159,7 +170,11 @@ fn alg2_exhaustive_larger_rings() {
             },
         );
         assert!(report.complete, "{ids:?}");
-        assert!(report.violations.is_empty(), "{ids:?}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{ids:?}: {:?}",
+            report.violations
+        );
         assert!(report.configs > 100, "{ids:?}: suspiciously small space");
     }
 }

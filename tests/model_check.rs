@@ -3,7 +3,7 @@
 //! asynchronous schedule and verify the theorems in each reachable
 //! configuration.
 
-use content_oblivious::core::{Alg1Node, Alg2Node, IdScheme, Alg3Node, Role};
+use content_oblivious::core::{Alg1Node, Alg2Node, Alg3Node, IdScheme, Role};
 use content_oblivious::net::explore::{explore, ExploreLimits};
 use content_oblivious::net::{Protocol, RingSpec};
 
@@ -52,7 +52,11 @@ fn check_alg2_all_schedules(ids: Vec<u64>) {
                 return Err("quiescent but not all terminated".into());
             }
             for (i, node) in state.nodes.iter().enumerate() {
-                let want = if i == leader_pos { Role::Leader } else { Role::NonLeader };
+                let want = if i == leader_pos {
+                    Role::Leader
+                } else {
+                    Role::NonLeader
+                };
                 if node.role() != want {
                     return Err(format!("node {i} ended as {:?}", node.role()));
                 }
@@ -65,7 +69,11 @@ fn check_alg2_all_schedules(ids: Vec<u64>) {
         ExploreLimits::default(),
     );
     assert!(report.complete, "{ids:?}: exploration incomplete");
-    assert!(report.violations.is_empty(), "{ids:?}: {:?}", report.violations);
+    assert!(
+        report.violations.is_empty(),
+        "{ids:?}: {:?}",
+        report.violations
+    );
     assert!(report.quiescent_configs >= 1, "{ids:?}");
 }
 
@@ -110,7 +118,11 @@ fn alg1_exhaustive_stabilization() {
                     if node.rho_cw() != id_max || node.sigma_cw() != id_max {
                         return Err(format!("node {i} counters not at ID_max"));
                     }
-                    let want = if node.id() == id_max { Role::Leader } else { Role::NonLeader };
+                    let want = if node.id() == id_max {
+                        Role::Leader
+                    } else {
+                        Role::NonLeader
+                    };
                     if node.role() != want {
                         return Err(format!("node {i}: {:?}", node.role()));
                     }
@@ -120,7 +132,11 @@ fn alg1_exhaustive_stabilization() {
             ExploreLimits::default(),
         );
         assert!(report.complete, "{ids:?}");
-        assert!(report.violations.is_empty(), "{ids:?}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{ids:?}: {:?}",
+            report.violations
+        );
     }
 }
 
@@ -139,7 +155,13 @@ fn alg3_exhaustive_orientation() {
                     .map(|i| Alg3Node::new(spec.id(i), IdScheme::Improved))
                     .collect()
             },
-            |node| (node.rho(), node.sigma(), node.output().map(|o| (o.role == Role::Leader, o.cw_port))),
+            |node| {
+                (
+                    node.rho(),
+                    node.sigma(),
+                    node.output().map(|o| (o.role == Role::Leader, o.cw_port)),
+                )
+            },
             |_| Ok(()),
             |state| {
                 let outs: Vec<_> = state
@@ -164,6 +186,10 @@ fn alg3_exhaustive_orientation() {
             ExploreLimits::default(),
         );
         assert!(report.complete, "{flips:?}");
-        assert!(report.violations.is_empty(), "{flips:?}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{flips:?}: {:?}",
+            report.violations
+        );
     }
 }

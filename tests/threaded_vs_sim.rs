@@ -40,7 +40,11 @@ fn alg1_threaded_quiesces_at_id_max() {
     assert_eq!(threaded.total_sent, 3 * 13);
     for (i, node) in threaded.nodes.iter().enumerate() {
         assert_eq!(node.rho_cw(), 13, "node {i}");
-        let expected = if i == 1 { Role::Leader } else { Role::NonLeader };
+        let expected = if i == 1 {
+            Role::Leader
+        } else {
+            Role::NonLeader
+        };
         assert_eq!(node.role(), expected, "node {i}");
     }
 }
@@ -55,7 +59,11 @@ fn alg2_threaded_repeated_runs_are_deterministic_in_count() {
             .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
             .collect();
         let threaded = run_threaded::<Pulse, _>(&spec.wiring(), nodes, &opts());
-        assert_eq!(threaded.outcome, ThreadedOutcome::AllTerminated, "run {run}");
+        assert_eq!(
+            threaded.outcome,
+            ThreadedOutcome::AllTerminated,
+            "run {run}"
+        );
         assert_eq!(threaded.total_sent, expected, "run {run}");
         assert_eq!(threaded.nodes[1].role(), Role::Leader, "run {run}");
     }

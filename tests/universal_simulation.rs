@@ -27,7 +27,11 @@ fn cr_decode(w: u64) -> CrMsg {
 #[test]
 fn chang_roberts_runs_over_pulses() {
     let spec = RingSpec::oriented(vec![4, 2, 7, 3]);
-    for kind in [SchedulerKind::Fifo, SchedulerKind::Lifo, SchedulerKind::Random] {
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+        SchedulerKind::Random,
+    ] {
         let out = simulate_on_defective_ring(
             &spec,
             kind,
