@@ -4,9 +4,9 @@
 
 use co_bench::harness::{BenchmarkId, Criterion};
 use co_bench::{criterion_group, criterion_main};
-use co_core::{Alg2Node, Role};
+use co_core::Alg2Node;
 use co_net::explore::{explore, ExploreLimits};
-use co_net::{Protocol, RingSpec};
+use co_net::RingSpec;
 
 fn check(ids: &[u64]) -> usize {
     let spec = RingSpec::oriented(ids.to_vec());
@@ -16,17 +16,6 @@ fn check(ids: &[u64]) -> usize {
             (0..spec.len())
                 .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
                 .collect()
-        },
-        |n| {
-            (
-                n.rho_cw(),
-                n.sigma_cw(),
-                n.rho_ccw(),
-                n.sigma_ccw(),
-                n.deferred_ccw(),
-                n.is_terminated(),
-                n.role() == Role::Leader,
-            )
         },
         |_| Ok(()),
         |_| Ok(()),

@@ -1,4 +1,4 @@
-//! Experiments E0–E10: one function per quantitative claim of the paper.
+//! Experiments E0–E15: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -51,11 +51,13 @@ pub enum Experiment {
     E13,
     /// Corollary 5 full strength: classical algorithms simulated over pulses.
     E14,
+    /// Snapshot explorer vs the reference: explored-state counts and dedup bytes.
+    E15,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 15] = [
+    pub const ALL: [Experiment; 16] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -71,6 +73,7 @@ impl Experiment {
         Experiment::E12,
         Experiment::E13,
         Experiment::E14,
+        Experiment::E15,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -127,6 +130,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E12 => e12_model_check(),
         Experiment::E13 => e13_model_violations(),
         Experiment::E14 => e14_universal_simulation(),
+        Experiment::E15 => e15_explore_dedup(),
     }
 }
 
@@ -730,18 +734,6 @@ pub fn e11_ablation() -> Table {
                     .map(|i| co_core::Alg2Node::new(spec.id(i), spec.cw_port(i)))
                     .collect()
             },
-            |n| {
-                (
-                    n.rho_cw(),
-                    n.sigma_cw(),
-                    n.rho_ccw(),
-                    n.sigma_ccw(),
-                    n.deferred_ccw(),
-                    n.awaiting_echo(),
-                    n.is_terminated(),
-                    n.role() == Role::Leader,
-                )
-            },
             |_| Ok(()),
             |state| {
                 let roles: Vec<Role> = state.nodes.iter().map(co_core::Alg2Node::role).collect();
@@ -767,17 +759,6 @@ pub fn e11_ablation() -> Table {
                 (0..spec.len())
                     .map(|i| UngatedAlg2Node::new(spec.id(i), spec.cw_port(i)))
                     .collect()
-            },
-            |n| {
-                (
-                    n.rho_cw(),
-                    n.rho_ccw(),
-                    n.sigma_cw(),
-                    n.sigma_ccw(),
-                    n.awaiting_echo(),
-                    n.is_terminated(),
-                    n.role() == Role::Leader,
-                )
             },
             |_| Ok(()),
             |state| {
@@ -842,18 +823,6 @@ pub fn e12_model_check() -> Table {
                 (0..spec.len())
                     .map(|i| co_core::Alg2Node::new(spec.id(i), spec.cw_port(i)))
                     .collect()
-            },
-            |n| {
-                (
-                    n.rho_cw(),
-                    n.sigma_cw(),
-                    n.rho_ccw(),
-                    n.sigma_ccw(),
-                    n.deferred_ccw(),
-                    n.awaiting_echo(),
-                    n.is_terminated(),
-                    n.role() == Role::Leader,
-                )
             },
             |_| Ok(()),
             |state| {
@@ -999,6 +968,87 @@ pub fn e14_universal_simulation() -> Table {
     t
 }
 
+/// E15 — explored-state accounting: fingerprint dedup vs the reference.
+#[must_use]
+pub fn e15_explore_dedup() -> Table {
+    use co_core::Alg2Node;
+    use co_net::explore::{explore, explore_reference, ExploreLimits};
+    let mut t = Table::new(
+        "E15 — snapshot explorer vs reference: explored states and dedup bytes",
+        "fingerprint dedup (8 B/config) covers the same state space in far less memory",
+        vec![
+            "ring",
+            "configs (snap)",
+            "configs (ref)",
+            "bytes (snap)",
+            "bytes (ref)",
+            "ratio",
+            "complete",
+        ],
+    );
+    let mut all_ok = true;
+    for ids in [
+        vec![1u64, 2],
+        vec![3u64, 1],
+        vec![1, 2, 3],
+        vec![2, 3, 1],
+        vec![1, 2, 4],
+    ] {
+        let spec = RingSpec::oriented(ids.clone());
+        let make = || {
+            (0..spec.len())
+                .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<_>>()
+        };
+        let snap = explore(
+            &spec.wiring(),
+            make,
+            |_| Ok(()),
+            |_| Ok(()),
+            ExploreLimits::default(),
+        );
+        let reference = explore_reference(
+            &spec.wiring(),
+            make,
+            |node: &Alg2Node| {
+                (
+                    node.rho_cw(),
+                    node.sigma_cw(),
+                    node.rho_ccw(),
+                    node.sigma_ccw(),
+                    node.deferred_ccw(),
+                    node.role() == Role::Leader,
+                    node.is_terminated(),
+                )
+            },
+            |_| Ok(()),
+            |_| Ok(()),
+            ExploreLimits::default(),
+        );
+        let ok = snap.complete
+            && reference.complete
+            && snap.configs == reference.configs
+            && snap.visited_bytes < reference.visited_bytes;
+        all_ok &= ok;
+        let ratio = reference.visited_bytes as f64 / snap.visited_bytes.max(1) as f64;
+        t.row(vec![
+            format!("{ids:?}"),
+            snap.configs.to_string(),
+            reference.configs.to_string(),
+            snap.visited_bytes.to_string(),
+            reference.visited_bytes.to_string(),
+            format!("{ratio:.1}x"),
+            (snap.complete && reference.complete).to_string(),
+        ]);
+    }
+    t.set_verdict(if all_ok {
+        "identical state spaces, with the fingerprint index several times smaller"
+    } else {
+        "UNEXPECTED: explorer disagreement or no memory saving"
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1008,7 +1058,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e15"), None);
+        assert_eq!(Experiment::parse("e16"), None);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `Elected` notification on which all nodes terminate.
 
 use co_core::Role;
-use co_net::{Context, Port, Protocol};
+use co_net::{Context, Fingerprint, Port, Protocol, Snapshot};
 
 /// Messages of the Chang–Roberts algorithm.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -90,6 +90,32 @@ impl Protocol<CrMsg> for ChangRobertsNode {
 
     fn output(&self) -> Option<Role> {
         self.role
+    }
+}
+
+impl Snapshot for ChangRobertsNode {
+    type State = ChangRobertsNode;
+
+    fn extract(&self) -> ChangRobertsNode {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &ChangRobertsNode) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_usize(self.cw_port.index());
+        fp.write_u8(match self.role {
+            None => 0,
+            Some(Role::Leader) => 1,
+            Some(Role::NonLeader) => 2,
+        });
+        fp.write_u64(self.leader_id.map_or(0, |id| id + 1));
+        fp.write_bool(self.terminated);
+        fp.finish()
     }
 }
 

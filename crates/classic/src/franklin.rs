@@ -7,7 +7,7 @@
 //! declares itself leader. Relays forward everything.
 
 use co_core::Role;
-use co_net::{Context, Port, Protocol};
+use co_net::{Context, Fingerprint, Port, Protocol, Snapshot};
 use std::collections::VecDeque;
 
 /// Messages of Franklin's algorithm.
@@ -128,6 +128,38 @@ impl Protocol<FranklinMsg> for FranklinNode {
 
     fn output(&self) -> Option<Role> {
         self.role
+    }
+}
+
+impl Snapshot for FranklinNode {
+    type State = FranklinNode;
+
+    fn extract(&self) -> FranklinNode {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &FranklinNode) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_usize(self.cw_port.index());
+        fp.write_bool(self.active);
+        for side in &self.pending {
+            fp.write_usize(side.len());
+            for &bid in side {
+                fp.write_u64(bid);
+            }
+        }
+        fp.write_u8(match self.role {
+            None => 0,
+            Some(Role::Leader) => 1,
+            Some(Role::NonLeader) => 2,
+        });
+        fp.write_bool(self.terminated);
+        fp.finish()
     }
 }
 

@@ -7,7 +7,7 @@
 //! back to its originator proves the originator is the global maximum.
 
 use co_core::Role;
-use co_net::{Context, Port, Protocol};
+use co_net::{Context, Fingerprint, Port, Protocol, Snapshot};
 
 /// Messages of the Hirschberg–Sinclair algorithm.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -160,6 +160,33 @@ impl Protocol<HsMsg> for HirschbergSinclairNode {
 
     fn output(&self) -> Option<Role> {
         self.role
+    }
+}
+
+impl Snapshot for HirschbergSinclairNode {
+    type State = HirschbergSinclairNode;
+
+    fn extract(&self) -> HirschbergSinclairNode {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &HirschbergSinclairNode) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_u64(u64::from(self.phase));
+        fp.write_u8(self.awaiting_replies);
+        fp.write_bool(self.active);
+        fp.write_u8(match self.role {
+            None => 0,
+            Some(Role::Leader) => 1,
+            Some(Role::NonLeader) => 2,
+        });
+        fp.write_bool(self.terminated);
+        fp.finish()
     }
 }
 

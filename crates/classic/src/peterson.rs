@@ -10,7 +10,7 @@
 //! remaining active and declares itself leader.
 
 use co_core::Role;
-use co_net::{Context, Port, Protocol};
+use co_net::{Context, Fingerprint, Port, Protocol, Snapshot};
 
 /// Messages of Peterson's algorithm.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -117,6 +117,34 @@ impl Protocol<PetersonMsg> for PetersonNode {
 
     fn output(&self) -> Option<Role> {
         self.role
+    }
+}
+
+impl Snapshot for PetersonNode {
+    type State = PetersonNode;
+
+    fn extract(&self) -> PetersonNode {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &PetersonNode) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_usize(self.cw_port.index());
+        fp.write_u64(self.tid);
+        fp.write_bool(self.active);
+        fp.write_u64(self.first_token.map_or(0, |t| t + 1));
+        fp.write_u8(match self.role {
+            None => 0,
+            Some(Role::Leader) => 1,
+            Some(Role::NonLeader) => 2,
+        });
+        fp.write_bool(self.terminated);
+        fp.finish()
     }
 }
 

@@ -3,7 +3,7 @@
 //! small).
 
 use co_core::IdScheme;
-use co_net::SchedulerKind;
+use co_net::{Schedule, SchedulerKind};
 use std::fmt;
 
 /// Options shared by every subcommand.
@@ -81,13 +81,77 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E14).
+        /// Experiments to run (empty = all of E0–E15).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
         jobs: usize,
     },
+    /// Run a protocol while recording a replayable delivery schedule.
+    Record {
+        /// Which protocol to drive.
+        protocol: ProtocolChoice,
+    },
+    /// Deterministically replay a recorded schedule.
+    Replay {
+        /// Which protocol to drive.
+        protocol: ProtocolChoice,
+        /// The schedule to replay (from `record`, e.g. `0,3,2`).
+        schedule: Schedule,
+    },
+    /// Find a monitor-violating schedule and ddmin-minimize it.
+    Shrink {
+        /// Which protocol to drive (needs CCW-instance counters:
+        /// `alg2` or `ungated`).
+        protocol: ProtocolChoice,
+    },
+    /// Exhaustively explore every delivery order with fingerprint dedup.
+    Explore {
+        /// Which protocol to drive.
+        protocol: ProtocolChoice,
+        /// Configuration cap before giving up.
+        max_configs: usize,
+    },
     /// Print usage.
     Help,
+}
+
+/// Which snapshot-capable protocol the `record`/`replay`/`shrink`/`explore`
+/// commands drive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    /// Algorithm 1 (quiescently stabilizing).
+    Alg1,
+    /// Algorithm 2 (quiescently terminating).
+    Alg2,
+    /// Algorithm 3, improved scheme (non-oriented rings).
+    Alg3,
+    /// The ungated Algorithm 2 ablation (deliberately broken).
+    Ungated,
+}
+
+impl ProtocolChoice {
+    fn parse(s: &str) -> Result<ProtocolChoice, ParseError> {
+        match s {
+            "alg1" => Ok(ProtocolChoice::Alg1),
+            "alg2" => Ok(ProtocolChoice::Alg2),
+            "alg3" => Ok(ProtocolChoice::Alg3),
+            "ungated" => Ok(ProtocolChoice::Ungated),
+            other => Err(err(format!(
+                "unknown protocol '{other}'; one of: alg1, alg2, alg3, ungated"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolChoice::Alg1 => "alg1",
+            ProtocolChoice::Alg2 => "alg2",
+            ProtocolChoice::Alg3 => "alg3",
+            ProtocolChoice::Ungated => "ungated",
+        })
+    }
 }
 
 /// A parsed `--graph` description.
@@ -200,6 +264,9 @@ impl Cli {
         let mut root = 0usize;
         let mut exps: Vec<co_bench::Experiment> = Vec::new();
         let mut jobs = 1usize;
+        let mut protocol: Option<ProtocolChoice> = None;
+        let mut schedule: Option<Schedule> = None;
+        let mut max_configs = 2_000_000usize;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, ParseError> {
@@ -265,13 +332,26 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e14"))
+                        err(format!("unknown experiment '{name}'; expected e0..e15"))
                     })?);
                 }
                 "--jobs" => {
                     jobs = value("--jobs")?
                         .parse()
                         .map_err(|_| err("--jobs must be a number (0 = one per core)"))?;
+                }
+                "--protocol" => protocol = Some(ProtocolChoice::parse(value("--protocol")?)?),
+                "--schedule" => {
+                    schedule = Some(
+                        value("--schedule")?
+                            .parse()
+                            .map_err(|e| err(format!("bad --schedule: {e}")))?,
+                    );
+                }
+                "--max-configs" => {
+                    max_configs = value("--max-configs")?
+                        .parse()
+                        .map_err(|_| err("--max-configs must be an integer"))?;
                 }
                 "--graph" => graph = GraphSpec::parse(value("--graph")?)?,
                 "--root" => {
@@ -307,6 +387,21 @@ impl Cli {
             "baseline" => Command::Baseline { which },
             "echo" => Command::Echo { graph, root },
             "tables" => Command::Tables { exps, jobs },
+            "record" => Command::Record {
+                protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
+            },
+            "replay" => Command::Replay {
+                protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
+                schedule: schedule.ok_or_else(|| err("replay requires --schedule"))?,
+            },
+            "shrink" => Command::Shrink {
+                // The broken ablation is the interesting shrink target.
+                protocol: protocol.unwrap_or(ProtocolChoice::Ungated),
+            },
+            "explore" => Command::Explore {
+                protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
+                max_configs,
+            },
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(err(format!("unknown command '{other}'; try 'help'"))),
         };
@@ -330,7 +425,11 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E14)
+  tables      Regenerate the paper's experiment tables (E0..E15)
+  record      Run once, printing a replayable delivery schedule
+  replay      Deterministically re-execute a recorded schedule
+  shrink      Find a monitor-violating schedule, then ddmin-minimize it
+  explore     Enumerate every schedule (fingerprint-deduplicated)
   help        This text
 
 OPTIONS:
@@ -347,6 +446,9 @@ OPTIONS:
   --graph G --root R  echo: ring:N | complete:N | path:N, wave root
   --exp eN            tables: select an experiment (repeatable; default all)
   --jobs N            tables: worker threads per grid (0 = one per core)
+  --protocol P        record/replay/shrink/explore: alg1|alg2|alg3|ungated
+  --schedule S        replay: comma-separated channel picks from 'record'
+  --max-configs N     explore: configuration cap (default 2000000)
 "
     .to_owned()
 }
@@ -416,6 +518,51 @@ mod tests {
         );
         assert!(Cli::parse(["tables", "--exp", "e99"]).is_err());
         assert!(Cli::parse(["tables", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_record_replay_shrink_explore() {
+        let cli = Cli::parse(["record", "--protocol", "alg1", "--n", "3"]).expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Record {
+                protocol: ProtocolChoice::Alg1
+            }
+        );
+
+        let cli = Cli::parse(["replay", "--schedule", "0,3,2"]).expect("parses");
+        match cli.command {
+            Command::Replay { protocol, schedule } => {
+                assert_eq!(protocol, ProtocolChoice::Alg2);
+                assert_eq!(schedule.to_string(), "0,3,2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let cli = Cli::parse(["shrink"]).expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Shrink {
+                protocol: ProtocolChoice::Ungated
+            }
+        );
+
+        let cli = Cli::parse(["explore", "--protocol", "ungated", "--max-configs", "500"])
+            .expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Explore {
+                protocol: ProtocolChoice::Ungated,
+                max_configs: 500,
+            }
+        );
+    }
+
+    #[test]
+    fn replay_requires_a_schedule() {
+        assert!(Cli::parse(["replay"]).is_err());
+        assert!(Cli::parse(["replay", "--schedule", "0,x"]).is_err());
+        assert!(Cli::parse(["record", "--protocol", "bogus"]).is_err());
     }
 
     #[test]

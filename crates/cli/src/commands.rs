@@ -1,13 +1,19 @@
 //! Command implementations for `co-ring`.
 
-use crate::args::{usage, Cli, Command, CommonOpts};
+use crate::args::{usage, Cli, Command, CommonOpts, ProtocolChoice};
 use co_compose::pipeline::elect_then_ring_size;
+use co_core::ablation::UngatedAlg2Node;
 use co_core::anonymous::{success_rate, SamplingConfig};
 use co_core::election::ElectionReport;
+use co_core::invariants::{Alg2MonitorObserver, CcwInstanceView};
 use co_core::lower_bound::solitude_pattern_alg2;
-use co_core::{runner, IdScheme, Role};
+use co_core::{runner, Alg1Node, Alg2Node, Alg3Node, IdScheme, Role};
 use co_json::{array, object, Value};
-use co_net::RingSpec;
+use co_net::explore::{explore, ExploreLimits};
+use co_net::{
+    shrink_schedule, Budget, Protocol, Pulse, RingSpec, RunReport, Schedule, SchedulerKind,
+    Simulation, Snapshot,
+};
 
 /// Output of a command: human text plus an optional JSON value.
 #[derive(Clone, Debug)]
@@ -57,7 +63,254 @@ pub fn run(cli: &Cli) -> CommandOutput {
         Command::Baseline { which } => baseline(&cli.opts, *which),
         Command::Echo { graph, root } => echo(&cli.opts, graph, *root),
         Command::Tables { exps, jobs } => tables(exps, *jobs),
+        Command::Record { protocol } => record(&cli.opts, *protocol),
+        Command::Replay { protocol, schedule } => replay(&cli.opts, *protocol, schedule),
+        Command::Shrink { protocol } => shrink(&cli.opts, *protocol),
+        Command::Explore {
+            protocol,
+            max_configs,
+        } => explore_cmd(&cli.opts, *protocol, *max_configs),
     }
+}
+
+fn alg1_nodes(spec: &RingSpec) -> Vec<Alg1Node> {
+    (0..spec.len())
+        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+        .collect()
+}
+
+fn alg2_nodes(spec: &RingSpec) -> Vec<Alg2Node> {
+    (0..spec.len())
+        .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+        .collect()
+}
+
+fn alg3_nodes(spec: &RingSpec) -> Vec<Alg3Node> {
+    (0..spec.len())
+        .map(|i| Alg3Node::new(spec.id(i), IdScheme::Improved))
+        .collect()
+}
+
+fn ungated_nodes(spec: &RingSpec) -> Vec<UngatedAlg2Node> {
+    (0..spec.len())
+        .map(|i| UngatedAlg2Node::new(spec.id(i), spec.cw_port(i)))
+        .collect()
+}
+
+fn run_report_json(report: &RunReport) -> Value {
+    object([
+        ("outcome", Value::from(report.outcome.to_string())),
+        ("steps", Value::from(report.steps)),
+        ("total_sent", Value::from(report.total_sent)),
+    ])
+}
+
+fn record(opts: &CommonOpts, protocol: ProtocolChoice) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    match protocol {
+        ProtocolChoice::Alg1 => record_with(&spec, opts, protocol, alg1_nodes(&spec)),
+        ProtocolChoice::Alg2 => record_with(&spec, opts, protocol, alg2_nodes(&spec)),
+        ProtocolChoice::Alg3 => record_with(&spec, opts, protocol, alg3_nodes(&spec)),
+        ProtocolChoice::Ungated => record_with(&spec, opts, protocol, ungated_nodes(&spec)),
+    }
+}
+
+fn record_with<P: Protocol<Pulse>>(
+    spec: &RingSpec,
+    opts: &CommonOpts,
+    protocol: ProtocolChoice,
+    nodes: Vec<P>,
+) -> CommandOutput {
+    let mut sim = Simulation::new(spec.wiring(), nodes, opts.scheduler.build(opts.seed));
+    let (report, schedule) = sim.run_recorded(Budget::default());
+    let text = format!(
+        "{protocol} on {spec} under {} (seed {})\n\
+         outcome: {} | deliveries: {} | pulses: {}\n\
+         schedule ({} picks, feed to `replay --schedule`):\n{schedule}\n",
+        opts.scheduler,
+        opts.seed,
+        report.outcome,
+        report.steps,
+        report.total_sent,
+        schedule.len(),
+    );
+    let json = object([
+        ("protocol", Value::from(protocol.to_string())),
+        ("scheduler", Value::from(opts.scheduler.to_string())),
+        ("seed", Value::from(opts.seed)),
+        ("report", run_report_json(&report)),
+        ("schedule", Value::from(schedule.to_string())),
+    ]);
+    ok(text, json)
+}
+
+fn replay(opts: &CommonOpts, protocol: ProtocolChoice, schedule: &Schedule) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    match protocol {
+        ProtocolChoice::Alg1 => replay_with(&spec, protocol, schedule, alg1_nodes(&spec)),
+        ProtocolChoice::Alg2 => replay_with(&spec, protocol, schedule, alg2_nodes(&spec)),
+        ProtocolChoice::Alg3 => replay_with(&spec, protocol, schedule, alg3_nodes(&spec)),
+        ProtocolChoice::Ungated => replay_with(&spec, protocol, schedule, ungated_nodes(&spec)),
+    }
+}
+
+fn replay_with<P: Protocol<Pulse>>(
+    spec: &RingSpec,
+    protocol: ProtocolChoice,
+    schedule: &Schedule,
+    nodes: Vec<P>,
+) -> CommandOutput {
+    // The scheduler choice is irrelevant: the replay engine overrides it.
+    let mut sim = Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+    let report = sim.replay(schedule, Budget::default());
+    let text = format!(
+        "replaying {} picks of {protocol} on {spec} (deterministic)\n\
+         outcome: {} | deliveries: {} | pulses: {}\n",
+        schedule.len(),
+        report.outcome,
+        report.steps,
+        report.total_sent,
+    );
+    let json = object([
+        ("protocol", Value::from(protocol.to_string())),
+        ("schedule_len", Value::from(schedule.len())),
+        ("report", run_report_json(&report)),
+    ]);
+    ok(text, json)
+}
+
+fn shrink(opts: &CommonOpts, protocol: ProtocolChoice) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    match protocol {
+        ProtocolChoice::Alg2 => shrink_with(&spec, opts, protocol, alg2_nodes),
+        ProtocolChoice::Ungated => shrink_with(&spec, opts, protocol, ungated_nodes),
+        other => CommandOutput {
+            text: format!(
+                "error: shrink monitors the Algorithm 2 invariants and needs \
+                 CCW counters; '--protocol {other}' has none (use alg2 or ungated)\n"
+            ),
+            json: Value::Null,
+            code: 1,
+        },
+    }
+}
+
+fn shrink_with<P, F>(
+    spec: &RingSpec,
+    opts: &CommonOpts,
+    protocol: ProtocolChoice,
+    make: F,
+) -> CommandOutput
+where
+    P: Protocol<Pulse> + CcwInstanceView,
+    F: Fn(&RingSpec) -> Vec<P>,
+{
+    let budget = Budget::default();
+    let violates = |schedule: &Schedule| -> bool {
+        let mut sim = Simulation::new(spec.wiring(), make(spec), SchedulerKind::Fifo.build(0));
+        let mut monitor = Alg2MonitorObserver::new();
+        sim.replay_observed(schedule, budget, &mut monitor);
+        monitor.violation().is_some()
+    };
+
+    // Hunt for a monitor-violating recorded schedule across the adversary
+    // matrix; the broken ablation yields one quickly, the real Algorithm 2
+    // never does.
+    let mut found: Option<(SchedulerKind, u64, Schedule)> = None;
+    'hunt: for kind in SchedulerKind::ALL {
+        for seed in opts.seed..opts.seed + 16 {
+            let mut sim = Simulation::new(spec.wiring(), make(spec), kind.build(seed));
+            let mut monitor = Alg2MonitorObserver::new();
+            sim.enable_schedule_recording();
+            sim.run_observed(budget, &mut monitor);
+            if monitor.violation().is_some() {
+                let schedule = sim.recorded_schedule().expect("recording enabled");
+                found = Some((kind, seed, schedule));
+                break 'hunt;
+            }
+        }
+    }
+
+    let Some((kind, seed, original)) = found else {
+        let text = format!(
+            "no invariant violation found for {protocol} on {spec} \
+             (all schedulers, seeds {}..{})\n",
+            opts.seed,
+            opts.seed + 16
+        );
+        let json = object([
+            ("protocol", Value::from(protocol.to_string())),
+            ("violation_found", Value::from(false)),
+        ]);
+        return ok(text, json);
+    };
+
+    let shrunk = shrink_schedule(&original, violates);
+    debug_assert!(violates(&shrunk), "ddmin must preserve the failure");
+    let text = format!(
+        "{protocol} on {spec}: invariant violation under {kind} (seed {seed})\n\
+         recorded schedule: {} picks\n\
+         shrunk (1-minimal): {} picks\n\
+         replay with:\n  co-ring replay --protocol {protocol} --ids {} --schedule {shrunk}\n",
+        original.len(),
+        shrunk.len(),
+        opts.ids
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let json = object([
+        ("protocol", Value::from(protocol.to_string())),
+        ("violation_found", Value::from(true)),
+        ("scheduler", Value::from(kind.to_string())),
+        ("seed", Value::from(seed)),
+        ("original_len", Value::from(original.len())),
+        ("shrunk_len", Value::from(shrunk.len())),
+        ("shrunk_schedule", Value::from(shrunk.to_string())),
+    ]);
+    ok(text, json)
+}
+
+fn explore_cmd(opts: &CommonOpts, protocol: ProtocolChoice, max_configs: usize) -> CommandOutput {
+    let spec = RingSpec::oriented(opts.ids.clone());
+    match protocol {
+        ProtocolChoice::Alg1 => explore_with(&spec, protocol, max_configs, alg1_nodes(&spec)),
+        ProtocolChoice::Alg2 => explore_with(&spec, protocol, max_configs, alg2_nodes(&spec)),
+        ProtocolChoice::Alg3 => explore_with(&spec, protocol, max_configs, alg3_nodes(&spec)),
+        ProtocolChoice::Ungated => explore_with(&spec, protocol, max_configs, ungated_nodes(&spec)),
+    }
+}
+
+fn explore_with<P>(
+    spec: &RingSpec,
+    protocol: ProtocolChoice,
+    max_configs: usize,
+    nodes: Vec<P>,
+) -> CommandOutput
+where
+    P: Protocol<Pulse> + Snapshot + Clone,
+{
+    let limits = ExploreLimits {
+        max_configs,
+        ..ExploreLimits::default()
+    };
+    let report = explore(&spec.wiring(), || nodes, |_| Ok(()), |_| Ok(()), limits);
+    let text = format!(
+        "exhaustive exploration of {protocol} on {spec}\n\
+         configurations: {} ({} quiescent) | complete: {}\n\
+         dedup index: {} bytes (8 per configuration)\n",
+        report.configs, report.quiescent_configs, report.complete, report.visited_bytes,
+    );
+    let json = object([
+        ("protocol", Value::from(protocol.to_string())),
+        ("configs", Value::from(report.configs)),
+        ("quiescent_configs", Value::from(report.quiescent_configs)),
+        ("complete", Value::from(report.complete)),
+        ("visited_bytes", Value::from(report.visited_bytes)),
+        ("violations", Value::from(report.violations.len())),
+    ]);
+    ok(text, json)
 }
 
 fn tables(exps: &[co_bench::Experiment], jobs: usize) -> CommandOutput {
@@ -394,6 +647,71 @@ mod tests {
         let out = run_line(&["echo", "--graph", "path:4"]);
         assert!(out.text.contains("2-edge-connected = false"));
         assert!(out.text.contains("nodes done: 4/4"));
+    }
+
+    #[test]
+    fn record_then_replay_round_trips() {
+        let rec = run_line(&[
+            "record",
+            "--ids",
+            "2,3,1",
+            "--scheduler",
+            "random",
+            "--seed",
+            "5",
+        ]);
+        assert_eq!(rec.code, 0);
+        let schedule = rec.json.get("schedule").expect("schedule in JSON");
+        let Value::Str(schedule) = schedule else {
+            panic!("schedule should be a string")
+        };
+        let rep = run_line(&["replay", "--ids", "2,3,1", "--schedule", schedule]);
+        assert_eq!(rep.code, 0);
+        // The replay delivers exactly the recorded picks.
+        assert!(rep.text.contains("quiescent termination"));
+        assert_eq!(
+            rec.json.get("report").and_then(|r| r.get("total_sent")),
+            rep.json.get("report").and_then(|r| r.get("total_sent")),
+        );
+    }
+
+    #[test]
+    fn shrink_minimizes_the_ungated_ablation() {
+        let out = run_line(&["shrink", "--ids", "1,2,3", "--scheduler", "random"]);
+        assert_eq!(out.code, 0);
+        assert_eq!(out.json.get("violation_found"), Some(&Value::Bool(true)));
+        let orig = out.json.get("original_len").expect("original_len");
+        let shrunk = out.json.get("shrunk_len").expect("shrunk_len");
+        let (Value::UInt(orig), Value::UInt(shrunk)) = (orig, shrunk) else {
+            panic!("lengths should be numbers")
+        };
+        assert!(shrunk <= orig, "shrunk schedule may not grow");
+    }
+
+    #[test]
+    fn shrink_finds_nothing_on_the_real_algorithm() {
+        let out = run_line(&["shrink", "--protocol", "alg2", "--ids", "1,2"]);
+        assert_eq!(out.code, 0);
+        assert_eq!(out.json.get("violation_found"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn shrink_rejects_protocols_without_ccw_counters() {
+        let out = run_line(&["shrink", "--protocol", "alg1"]);
+        assert_eq!(out.code, 1);
+    }
+
+    #[test]
+    fn explore_counts_configurations() {
+        let out = run_line(&["explore", "--ids", "1,2"]);
+        assert_eq!(out.code, 0);
+        assert_eq!(out.json.get("complete"), Some(&Value::Bool(true)));
+        let Some(Value::UInt(configs)) = out.json.get("configs") else {
+            panic!("configs should be a number")
+        };
+        assert!(*configs > 1);
+        let out = run_line(&["explore", "--ids", "1,2", "--max-configs", "2"]);
+        assert_eq!(out.json.get("complete"), Some(&Value::Bool(false)));
     }
 
     #[test]

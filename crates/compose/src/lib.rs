@@ -47,4 +47,4 @@ pub mod universal;
 pub use apps::{AggregateApp, AggregateOutput, BytesApp, ReplicatedCounterApp, RingSizeApp};
 pub use broadcast::{RoundApp, RoundNode, TokenAction};
 pub use pipeline::ElectThenCompute;
-pub use universal::{simulate_on_defective_ring, UniversalApp};
+pub use universal::{simulate_on_defective_ring, UniversalApp, UniversalAppState};

@@ -61,7 +61,7 @@
 use crate::broadcast::{RoundApp, TokenAction};
 use crate::pipeline::{run_pipeline, PipelineOutput};
 use co_core::Role;
-use co_net::{Context, Message, Port, Protocol, RingSpec, SchedulerKind};
+use co_net::{Context, Fingerprint, Message, Port, Protocol, RingSpec, SchedulerKind, Snapshot};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -227,6 +227,78 @@ where
 
     fn output(&self) -> Option<P::Output> {
         self.inner.output()
+    }
+}
+
+/// Captured state of a [`UniversalApp`]: the inner protocol's snapshot plus
+/// the simulation layer's bookkeeping. The `encode`/`decode` function
+/// pointers are configuration, not state, and are not captured.
+#[derive(Clone, Debug)]
+pub struct UniversalAppState<S, M> {
+    inner: S,
+    is_root: bool,
+    phase: Phase,
+    grants: u64,
+    counting_rounds: u64,
+    n: u64,
+    distance: u64,
+    pending: VecDeque<(Port, M)>,
+    noop_streak: u64,
+    halted: bool,
+}
+
+impl<P, M> Snapshot for UniversalApp<P, M>
+where
+    P: Protocol<M> + Snapshot,
+    M: Message,
+{
+    type State = UniversalAppState<P::State, M>;
+
+    fn extract(&self) -> Self::State {
+        UniversalAppState {
+            inner: self.inner.extract(),
+            is_root: self.is_root,
+            phase: self.phase,
+            grants: self.grants,
+            counting_rounds: self.counting_rounds,
+            n: self.n,
+            distance: self.distance,
+            pending: self.pending.clone(),
+            noop_streak: self.noop_streak,
+            halted: self.halted,
+        }
+    }
+
+    fn restore(&mut self, state: &Self::State) {
+        self.inner.restore(&state.inner);
+        self.is_root = state.is_root;
+        self.phase = state.phase;
+        self.grants = state.grants;
+        self.counting_rounds = state.counting_rounds;
+        self.n = state.n;
+        self.distance = state.distance;
+        self.pending = state.pending.clone();
+        self.noop_streak = state.noop_streak;
+        self.halted = state.halted;
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.inner.fingerprint());
+        fp.write_bool(self.is_root);
+        fp.write_bool(self.phase == Phase::Simulate);
+        fp.write_u64(self.grants);
+        fp.write_u64(self.counting_rounds);
+        fp.write_u64(self.n);
+        fp.write_u64(self.distance);
+        fp.write_usize(self.pending.len());
+        for (port, msg) in &self.pending {
+            fp.write_usize(port.index());
+            fp.write_u64((self.encode)(msg));
+        }
+        fp.write_u64(self.noop_streak);
+        fp.write_bool(self.halted);
+        fp.finish()
     }
 }
 

@@ -15,7 +15,8 @@
 //! gate is necessary, not an implementation nicety.
 
 use crate::election::Role;
-use co_net::{Context, Port, Protocol, Pulse};
+use crate::invariants::{CcwInstanceView, CwInstanceView};
+use co_net::{Context, Fingerprint, Port, Protocol, Pulse, Snapshot};
 
 /// Algorithm 2 **without** the CCW receive gate — a deliberately broken
 /// variant for ablation studies. Do not use for actual elections.
@@ -169,6 +170,57 @@ impl Protocol<Pulse> for UngatedAlg2Node {
     }
 }
 
+impl Snapshot for UngatedAlg2Node {
+    type State = UngatedAlg2Node;
+
+    fn extract(&self) -> UngatedAlg2Node {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &UngatedAlg2Node) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_usize(self.cw_port.index());
+        fp.write_u64(self.rho_cw);
+        fp.write_u64(self.sigma_cw);
+        fp.write_u64(self.rho_ccw);
+        fp.write_u64(self.sigma_ccw);
+        fp.write_bool(self.role == Role::Leader);
+        fp.write_bool(self.awaiting_echo);
+        fp.write_bool(self.terminated);
+        fp.finish()
+    }
+}
+
+impl CwInstanceView for UngatedAlg2Node {
+    fn cw_id(&self) -> u64 {
+        self.id
+    }
+    fn cw_rho(&self) -> u64 {
+        self.rho_cw
+    }
+    fn cw_sigma(&self) -> u64 {
+        self.sigma_cw
+    }
+}
+
+impl CcwInstanceView for UngatedAlg2Node {
+    fn ccw_rho(&self) -> u64 {
+        self.rho_ccw
+    }
+    fn ccw_sigma(&self) -> u64 {
+        self.sigma_ccw
+    }
+    fn ccw_deferred(&self) -> u64 {
+        // The ablation has no deferral queue — that is the point.
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,17 +240,6 @@ mod tests {
                     UngatedAlg2Node::new(1, spec.cw_port(0)),
                     UngatedAlg2Node::new(2, spec.cw_port(1)),
                 ]
-            },
-            |n| {
-                (
-                    n.rho_cw,
-                    n.rho_ccw,
-                    n.sigma_cw,
-                    n.sigma_ccw,
-                    n.awaiting_echo,
-                    n.terminated,
-                    n.role == Role::Leader,
-                )
             },
             |_| Ok(()),
             |state| {
@@ -241,18 +282,6 @@ mod tests {
                     Alg2Node::new(1, spec.cw_port(0)),
                     Alg2Node::new(2, spec.cw_port(1)),
                 ]
-            },
-            |n| {
-                (
-                    n.rho_cw(),
-                    n.rho_ccw(),
-                    n.sigma_cw(),
-                    n.sigma_ccw(),
-                    n.deferred_ccw(),
-                    n.awaiting_echo(),
-                    n.is_terminated(),
-                    n.role() == Role::Leader,
-                )
             },
             |_| Ok(()),
             |state| {

@@ -31,7 +31,7 @@
 
 use crate::election::Role;
 use crate::invariants::CwInstanceView;
-use co_net::{Context, Port, Protocol, Pulse};
+use co_net::{Context, Fingerprint, Port, Protocol, Pulse, Snapshot};
 use std::fmt;
 
 /// A node running Algorithm 1 on an oriented ring.
@@ -137,6 +137,28 @@ impl CwInstanceView for Alg1Node {
     }
     fn cw_sigma(&self) -> u64 {
         self.sigma_cw
+    }
+}
+
+impl Snapshot for Alg1Node {
+    type State = Alg1Node;
+
+    fn extract(&self) -> Alg1Node {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &Alg1Node) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_usize(self.cw_port.index());
+        fp.write_u64(self.rho_cw);
+        fp.write_u64(self.sigma_cw);
+        fp.write_bool(self.role == Role::Leader);
+        fp.finish()
     }
 }
 

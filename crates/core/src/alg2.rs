@@ -42,7 +42,7 @@
 
 use crate::election::Role;
 use crate::invariants::{CcwInstanceView, CwInstanceView};
-use co_net::{Context, Port, Protocol, Pulse};
+use co_net::{Context, Fingerprint, Port, Protocol, Pulse, Snapshot};
 use std::fmt;
 
 /// Phase of an [`Alg2Node`], exposed for monitors and debugging.
@@ -303,6 +303,33 @@ impl CcwInstanceView for Alg2Node {
     }
     fn ccw_deferred(&self) -> u64 {
         self.deferred_ccw
+    }
+}
+
+impl Snapshot for Alg2Node {
+    type State = Alg2Node;
+
+    fn extract(&self) -> Alg2Node {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &Alg2Node) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_usize(self.cw_port.index());
+        fp.write_u64(self.rho_cw);
+        fp.write_u64(self.sigma_cw);
+        fp.write_u64(self.rho_ccw);
+        fp.write_u64(self.sigma_ccw);
+        fp.write_u64(self.deferred_ccw);
+        fp.write_bool(self.role == Role::Leader);
+        fp.write_bool(self.awaiting_echo);
+        fp.write_bool(self.terminated);
+        fp.finish()
     }
 }
 

@@ -42,7 +42,7 @@
 //! ```
 
 use crate::election::Role;
-use co_net::{Context, Port, Protocol, Pulse};
+use co_net::{Context, Fingerprint, Port, Protocol, Pulse, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -250,6 +250,49 @@ impl Protocol<Pulse> for Alg3Node {
 
     fn output(&self) -> Option<Alg3Output> {
         self.output
+    }
+}
+
+impl Snapshot for Alg3Node {
+    type State = Alg3Node;
+
+    fn extract(&self) -> Alg3Node {
+        self.clone()
+    }
+
+    fn restore(&mut self, state: &Alg3Node) {
+        *self = state.clone();
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.id);
+        fp.write_u64(self.virt[0]);
+        fp.write_u64(self.virt[1]);
+        fp.write_u64(self.rho[0]);
+        fp.write_u64(self.rho[1]);
+        fp.write_u64(self.sigma[0]);
+        fp.write_u64(self.sigma[1]);
+        match self.output {
+            None => fp.write_u8(0),
+            Some(out) => {
+                fp.write_u8(1);
+                fp.write_bool(out.role == Role::Leader);
+                fp.write_usize(out.cw_port.index());
+            }
+        }
+        // Resampler state is behaviourally relevant (Proposition 19): two
+        // nodes that agree on counters but not on RNG state may diverge.
+        match &self.resampler {
+            None => fp.write_u8(0),
+            Some(rng) => {
+                fp.write_u8(1);
+                for word in rng.to_state() {
+                    fp.write_u64(word);
+                }
+            }
+        }
+        fp.finish()
     }
 }
 

@@ -26,6 +26,10 @@
 //!   60-bit ID implies `n·2^60` pulses — not part of the algorithm;
 //!   `None` (the default) is the paper-faithful behaviour. Probability of
 //!   the guard firing is `p^max_bits` per node and is reported.
+//! * This module defines no `Protocol` of its own — after sampling, the
+//!   ring runs [`Alg3Node`], which implements `co_net::Snapshot`, so
+//!   anonymous elections participate in record/replay and exploration
+//!   through the Algorithm 3 phase.
 //!
 //! ```rust
 //! use co_core::anonymous::{elect_anonymous, SamplingConfig};

@@ -1,6 +1,6 @@
 //! Post-hoc analysis of recorded traces.
 //!
-//! A [`Trace`](crate::Trace) is a flat event log; this module turns it into
+//! A [`Trace`] is a flat event log; this module turns it into
 //! the quantities the harness reasons about: per-node activity timelines,
 //! per-direction message counts, FIFO-compliance verification (every
 //! channel must deliver in send order — a regression check on the

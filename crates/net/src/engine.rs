@@ -31,6 +31,7 @@ use crate::faults::{FaultPlan, FaultStats};
 use crate::message::Message;
 use crate::port::Direction;
 use crate::sched::{ChannelView, Scheduler};
+use crate::snapshot::Schedule;
 use crate::topology::ChannelId;
 use crate::trace::{Trace, TraceEvent};
 use std::collections::VecDeque;
@@ -512,6 +513,30 @@ struct Envelope<M> {
     seq: u64,
 }
 
+/// A full checkpoint of an [`EventCore`]'s mutable run state.
+///
+/// Captures channel queues (messages and their sequence numbers), node
+/// termination flags, the global send counter, aggregate statistics, fault
+/// counters, and the scheduler's serialized state — everything that
+/// influences the rest of the run. Restoring a snapshot makes the core
+/// behave exactly as the captured one would from that point on.
+///
+/// Deliberately *not* captured: traces, metrics, attached observers, and the
+/// recorded schedule beyond its length at capture time. Those are
+/// instrumentation of one particular execution; a restore rewinds the
+/// engine, not the observer pipeline.
+#[derive(Clone, Debug)]
+pub struct CoreSnapshot<M> {
+    terminated: Vec<bool>,
+    queues: Vec<VecDeque<Envelope<M>>>,
+    stats: SimStats,
+    send_seq: u64,
+    started: bool,
+    fault_stats: FaultStats,
+    scheduler_state: Vec<u64>,
+    recorded_len: usize,
+}
+
 /// The generic event core: queues, scheduler dispatch, faults, accounting,
 /// and observer emission over any [`Topology`].
 ///
@@ -539,6 +564,8 @@ pub struct EventCore<M: Message, T: Topology> {
     ready_buf: Vec<ChannelView>,
     faults: FaultPlan,
     fault_stats: FaultStats,
+    /// Channel picks made so far, when schedule recording is enabled.
+    recorded: Option<Vec<ChannelId>>,
 }
 
 impl<M: Message, T: Topology> EventCore<M, T> {
@@ -564,6 +591,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             ready_buf: Vec::new(),
             faults: FaultPlan::new(),
             fault_stats: FaultStats::default(),
+            recorded: None,
         }
     }
 
@@ -615,6 +643,70 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     /// Attaches an additional boxed observer for the rest of the run.
     pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
         self.observers.push(observer);
+    }
+
+    /// Replaces the delivery adversary for subsequent steps.
+    ///
+    /// Used by replay (install a [`crate::sched::ReplayScheduler`] on a
+    /// fresh core) and by exploration (drive the core channel-by-channel
+    /// while keeping a trivial scheduler installed).
+    pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
+        self.scheduler = scheduler;
+    }
+
+    /// Starts recording the sequence of channel picks as a [`Schedule`].
+    pub fn enable_schedule_recording(&mut self) {
+        if self.recorded.is_none() {
+            self.recorded = Some(Vec::new());
+        }
+    }
+
+    /// The schedule recorded so far, if recording was enabled.
+    #[must_use]
+    pub fn recorded_schedule(&self) -> Option<Schedule> {
+        self.recorded
+            .as_ref()
+            .map(|picks| Schedule::from_picks(picks.clone()))
+    }
+
+    /// Captures the core's full mutable run state as a [`CoreSnapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> CoreSnapshot<M> {
+        CoreSnapshot {
+            terminated: self.terminated.clone(),
+            queues: self.queues.clone(),
+            stats: self.stats.clone(),
+            send_seq: self.send_seq,
+            started: self.started,
+            fault_stats: self.fault_stats,
+            scheduler_state: self.scheduler.save_state(),
+            recorded_len: self.recorded.as_ref().map_or(0, Vec::len),
+        }
+    }
+
+    /// Restores a state previously captured by [`EventCore::snapshot`].
+    ///
+    /// The snapshot must come from a core over the same topology (same
+    /// channel count) with the same scheduler type installed.
+    pub fn restore(&mut self, snapshot: &CoreSnapshot<M>) {
+        assert_eq!(
+            snapshot.queues.len(),
+            self.queues.len(),
+            "snapshot is for a different topology"
+        );
+        self.terminated.clone_from(&snapshot.terminated);
+        self.queues.clone_from(&snapshot.queues);
+        self.nonempty = (0..self.queues.len())
+            .filter(|&ch| !self.queues[ch].is_empty())
+            .collect();
+        self.stats.clone_from(&snapshot.stats);
+        self.send_seq = snapshot.send_seq;
+        self.started = snapshot.started;
+        self.fault_stats = snapshot.fault_stats;
+        self.scheduler.restore_state(&snapshot.scheduler_state);
+        if let Some(rec) = &mut self.recorded {
+            rec.truncate(snapshot.recorded_len);
+        }
     }
 
     fn observing(&self) -> bool {
@@ -764,10 +856,54 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             "scheduler returned out-of-range index {pick}"
         );
         let channel = self.ready_buf[pick].id.index();
-        let direction = self.ready_buf[pick].direction;
+        Some(self.deliver(handler, channel))
+    }
+
+    /// Delivers the head message of a *specific* non-empty channel,
+    /// bypassing the scheduler.
+    ///
+    /// This is the branching primitive of exhaustive exploration: after
+    /// restoring a snapshot, each ready channel (see
+    /// [`EventCore::ready_channels`]) is one successor configuration.
+    /// Starts the run if needed; returns `None` if the channel is empty.
+    pub fn step_channel<H: EventHandler<M>>(
+        &mut self,
+        handler: &mut H,
+        channel: usize,
+    ) -> Option<EngineStep> {
+        self.start(handler);
+        if self.queues[channel].is_empty() {
+            return None;
+        }
+        Some(self.deliver(handler, channel))
+    }
+
+    /// Indices of channels with at least one queued message, sorted.
+    #[must_use]
+    pub fn ready_channels(&self) -> Vec<usize> {
+        self.nonempty.clone()
+    }
+
+    /// Number of messages queued on `channel`.
+    #[must_use]
+    pub fn queue_len(&self, channel: usize) -> usize {
+        self.queues[channel].len()
+    }
+
+    /// Whether the start-up actions have run.
+    #[must_use]
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    fn deliver<H: EventHandler<M>>(&mut self, handler: &mut H, channel: usize) -> EngineStep {
+        if let Some(rec) = &mut self.recorded {
+            rec.push(ChannelId::from_index(channel));
+        }
+        let direction = self.topology.direction(channel);
         let envelope = self.queues[channel]
             .pop_front()
-            .expect("picked channel is non-empty");
+            .expect("delivered channel is non-empty");
         if self.queues[channel].is_empty() {
             if let Ok(at) = self.nonempty.binary_search(&channel) {
                 self.nonempty.remove(at);
@@ -810,14 +946,14 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             self.note_termination(node, handler);
         }
 
-        Some(EngineStep {
+        EngineStep {
             channel,
             node,
             port,
             seq: envelope.seq,
             direction,
             ignored,
-        })
+        }
     }
 
     /// Runs until quiescence or budget exhaustion.

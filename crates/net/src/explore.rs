@@ -8,16 +8,20 @@
 //! verifying a safety predicate in each and a final predicate in every
 //! quiescent configuration.
 //!
-//! Pulses carry no content, so a channel's state is fully described by its
-//! queue *length*; a global configuration is `(per-channel counts, per-node
-//! protocol states)`. The explorer deduplicates configurations through a
-//! caller-supplied node fingerprint, which keeps the reachable space small
-//! (e.g. Algorithm 2 on a 3-ring with `ID_max = 4` has a few thousand
-//! distinct configurations, versus billions of schedules).
+//! [`explore`] runs on the snapshot layer: the protocol implements
+//! [`Snapshot`], so the explorer checkpoints a real [`Simulation`] with
+//! [`Simulation::snapshot`], branches with [`Simulation::step_channel`], and
+//! deduplicates visited configurations by their stable 64-bit
+//! [`Simulation::fingerprint`] — **8 bytes per configuration** regardless of
+//! ring size. The previous-generation explorer is kept as
+//! [`explore_reference`]: it stores full `(queues, terminated, node-keys)`
+//! tuples per configuration, which grows linearly with the ring and is what
+//! limited the reachable instance sizes. Differential tests assert the two
+//! enumerate identical state spaces where both fit in memory.
 //!
 //! ```rust
 //! use co_net::explore::{explore, ExploreLimits};
-//! use co_net::{Context, Port, Protocol, Pulse, RingSpec};
+//! use co_net::{Context, Fingerprint, Port, Protocol, Pulse, RingSpec, Snapshot};
 //!
 //! /// Each node forwards the first pulse it sees and stops.
 //! #[derive(Clone, Debug)]
@@ -35,12 +39,17 @@
 //!     }
 //!     fn output(&self) -> Option<()> { None }
 //! }
+//! impl Snapshot for Once {
+//!     type State = bool;
+//!     fn extract(&self) -> bool { self.0 }
+//!     fn restore(&mut self, state: &bool) { self.0 = *state; }
+//!     fn fingerprint(&self) -> u64 { u64::from(self.0) }
+//! }
 //!
 //! let spec = RingSpec::oriented(vec![1, 2, 3]);
 //! let report = explore(
 //!     &spec.wiring(),
 //!     || vec![Once(false), Once(false), Once(false)],
-//!     |node| node.0,                      // fingerprint
 //!     |_state| Ok(()),                    // safety predicate
 //!     |state| {
 //!         // In every quiescent configuration, everyone relayed once.
@@ -55,7 +64,9 @@
 
 use crate::message::Pulse;
 use crate::port::Port;
-use crate::sim::{Context, Protocol};
+use crate::sched::FifoScheduler;
+use crate::sim::{Context, Protocol, Simulation};
+use crate::snapshot::Snapshot;
 use crate::topology::{ChannelId, Wiring};
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -68,6 +79,13 @@ pub struct ExploreLimits {
     /// Maximum deliveries along any single path (guards non-terminating
     /// protocols).
     pub max_depth: usize,
+    /// Maximum bytes of visited-set storage before giving up.
+    ///
+    /// This is the budget on which [`explore`] (8 bytes/config) and
+    /// [`explore_reference`] (full state tuples) are compared: with the same
+    /// byte budget, fingerprint dedup reaches instances the reference
+    /// explorer cannot.
+    pub max_state_bytes: usize,
 }
 
 impl Default for ExploreLimits {
@@ -75,6 +93,7 @@ impl Default for ExploreLimits {
         ExploreLimits {
             max_configs: 2_000_000,
             max_depth: 100_000,
+            max_state_bytes: usize::MAX,
         }
     }
 }
@@ -90,6 +109,8 @@ pub struct ExploreReport {
     pub violations: Vec<String>,
     /// Whether the state space was fully explored within the limits.
     pub complete: bool,
+    /// Bytes of visited-set storage used by the deduplication index.
+    pub visited_bytes: usize,
 }
 
 /// A configuration handed to the predicates.
@@ -113,19 +134,126 @@ impl<P> ExploreState<P> {
     }
 }
 
-/// Exhaustively explores every delivery order of a pulse protocol.
+fn note_violation(violations: &mut Vec<String>, msg: String) {
+    if violations.len() < 16 && !violations.contains(&msg) {
+        violations.push(msg);
+    }
+}
+
+fn state_of<P: Protocol<Pulse> + Clone>(sim: &Simulation<Pulse, P>) -> ExploreState<P> {
+    let n = sim.wiring().len();
+    ExploreState {
+        nodes: sim.nodes().to_vec(),
+        queues: (0..2 * n)
+            .map(|ch| sim.queue_len(ChannelId::from_index(ch)) as u32)
+            .collect(),
+        terminated: (0..n).map(|v| sim.is_terminated(v)).collect(),
+        sent: sim.stats().total_sent,
+    }
+}
+
+/// Exhaustively explores every delivery order of a pulse protocol, with
+/// fingerprint-based visited-state deduplication.
 ///
 /// * `make_nodes` builds the initial protocol instances (one per node of
 ///   `wiring`);
-/// * `fingerprint` maps a node to a hashable key capturing *all* of its
-///   behaviourally relevant state (two nodes with equal fingerprints must
-///   behave identically forever);
 /// * `safety` is checked in every reachable configuration;
 /// * `at_quiescence` is checked in every reachable quiescent configuration.
 ///
+/// The node fingerprint comes from the protocol's [`Snapshot`]
+/// implementation, which must capture *all* behaviourally relevant state
+/// (two nodes with equal fingerprints must behave identically forever).
+/// Each visited configuration costs 8 bytes of dedup storage, so the
+/// explorer reaches ring sizes the tuple-keyed [`explore_reference`]
+/// cannot under the same [`ExploreLimits::max_state_bytes`] budget.
+///
 /// Returns an [`ExploreReport`]; exploration stops early (with
-/// `complete = false`) if the limits are hit.
-pub fn explore<P, K, FM, FF, FS, FQ>(
+/// `complete = false`) if any limit is hit.
+pub fn explore<P, FM, FS, FQ>(
+    wiring: &Wiring,
+    make_nodes: FM,
+    safety: FS,
+    at_quiescence: FQ,
+    limits: ExploreLimits,
+) -> ExploreReport
+where
+    P: Protocol<Pulse> + Snapshot + Clone,
+    FM: FnOnce() -> Vec<P>,
+    FS: Fn(&ExploreState<P>) -> Result<(), String>,
+    FQ: Fn(&ExploreState<P>) -> Result<(), String>,
+{
+    let nodes = make_nodes();
+    assert_eq!(nodes.len(), wiring.len(), "one protocol instance per node");
+    let mut sim: Simulation<Pulse, P> =
+        Simulation::new(wiring.clone(), nodes, Box::new(FifoScheduler::new()));
+    sim.start();
+
+    const BYTES_PER_CONFIG: usize = std::mem::size_of::<u64>();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut quiescent_configs = 0usize;
+    let mut complete = true;
+
+    visited.insert(sim.fingerprint());
+    // DFS stack of (checkpoint, depth).
+    let mut stack = vec![(sim.snapshot(), 0usize)];
+
+    'dfs: while let Some((snapshot, depth)) = stack.pop() {
+        sim.restore(&snapshot);
+        let state = state_of(&sim);
+        if let Err(e) = safety(&state) {
+            note_violation(&mut violations, format!("safety: {e}"));
+        }
+        if state.is_quiescent() {
+            quiescent_configs += 1;
+            if let Err(e) = at_quiescence(&state) {
+                note_violation(&mut violations, format!("at quiescence: {e}"));
+            }
+            continue;
+        }
+        if depth >= limits.max_depth {
+            complete = false;
+            continue;
+        }
+        // Branch: deliver the head of every non-empty channel.
+        for channel in sim.ready_channels() {
+            sim.restore(&snapshot);
+            sim.step_channel(channel)
+                .expect("ready channel has a message");
+            let fp = sim.fingerprint();
+            if visited.contains(&fp) {
+                continue;
+            }
+            // Only *new* entries cost storage; revisits are free.
+            if visited.len() >= limits.max_configs
+                || (visited.len() + 1) * BYTES_PER_CONFIG > limits.max_state_bytes
+            {
+                complete = false;
+                break 'dfs;
+            }
+            visited.insert(fp);
+            stack.push((sim.snapshot(), depth + 1));
+        }
+    }
+
+    ExploreReport {
+        configs: visited.len(),
+        quiescent_configs,
+        violations,
+        complete,
+        visited_bytes: visited.len() * BYTES_PER_CONFIG,
+    }
+}
+
+/// The previous-generation explorer, kept as a differential-testing oracle.
+///
+/// Instead of snapshots and fingerprints it re-implements delivery on a bare
+/// `(queues, nodes)` state and deduplicates through *full* state tuples
+/// `(queue counts, terminated flags, caller-supplied node keys)` — storage
+/// per configuration grows with the ring, which is exactly the limitation
+/// the snapshot-layer [`explore`] removes. Kept verbatim so tests can assert
+/// that the rewrite enumerates the identical state space.
+pub fn explore_reference<P, K, FM, FF, FS, FQ>(
     wiring: &Wiring,
     make_nodes: FM,
     fingerprint: FF,
@@ -143,6 +271,8 @@ where
 {
     let n = wiring.len();
     let channels = wiring.channel_count();
+    // What one dedup entry costs: the heap payload of the three vectors.
+    let bytes_per_config = channels * std::mem::size_of::<u32>() + n + n * std::mem::size_of::<K>();
 
     // Initial configuration: run every on_start.
     let mut nodes = make_nodes();
@@ -178,12 +308,6 @@ where
     let mut violations: Vec<String> = Vec::new();
     let mut quiescent_configs = 0usize;
     let mut complete = true;
-
-    let note_violation = |violations: &mut Vec<String>, msg: String| {
-        if violations.len() < 16 && !violations.contains(&msg) {
-            violations.push(msg);
-        }
-    };
 
     visited.insert(key_of(&initial));
     // DFS stack of (state, depth).
@@ -225,15 +349,24 @@ where
                 }
                 next.terminated[dst] = next.nodes[dst].is_terminated();
             }
-            if visited.len() >= limits.max_configs {
+            let key = key_of(&next);
+            if visited.contains(&key) {
+                continue;
+            }
+            // Same accounting rule as [`explore`]: only new entries pay.
+            if visited.len() >= limits.max_configs
+                || (visited.len() + 1) * bytes_per_config > limits.max_state_bytes
+            {
                 complete = false;
                 break;
             }
-            if visited.insert(key_of(&next)) {
-                stack.push((next, depth + 1));
-            }
+            visited.insert(key);
+            stack.push((next, depth + 1));
         }
-        if !complete && visited.len() >= limits.max_configs {
+        if !complete
+            && (visited.len() >= limits.max_configs
+                || (visited.len() + 1) * bytes_per_config > limits.max_state_bytes)
+        {
             break;
         }
     }
@@ -243,12 +376,14 @@ where
         quiescent_configs,
         violations,
         complete,
+        visited_bytes: visited.len() * bytes_per_config,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::Fingerprint;
     use crate::topology::RingSpec;
 
     /// Forwards every pulse, absorbing the `id`-th — a miniature
@@ -275,59 +410,159 @@ mod tests {
         }
     }
 
+    impl Snapshot for MiniAlg1 {
+        type State = (u32, u32);
+        fn extract(&self) -> Self::State {
+            (self.id, self.rho)
+        }
+        fn restore(&mut self, state: &Self::State) {
+            (self.id, self.rho) = *state;
+        }
+        fn fingerprint(&self) -> u64 {
+            let mut fp = Fingerprint::new();
+            fp.write_u64(u64::from(self.id));
+            fp.write_u64(u64::from(self.rho));
+            fp.finish()
+        }
+    }
+
+    fn mini_ring() -> Vec<MiniAlg1> {
+        vec![
+            MiniAlg1 { id: 1, rho: 0 },
+            MiniAlg1 { id: 3, rho: 0 },
+            MiniAlg1 { id: 2, rho: 0 },
+        ]
+    }
+
+    fn mini_safety(state: &ExploreState<MiniAlg1>) -> Result<(), String> {
+        // Corollary 14 analogue: counters never exceed ID_max.
+        if state.nodes.iter().any(|n| n.rho > 3) {
+            Err("rho exceeded ID_max".into())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn mini_quiescence(state: &ExploreState<MiniAlg1>) -> Result<(), String> {
+        // Every quiescent configuration: all counters at ID_max.
+        if state.nodes.iter().all(|n| n.rho == 3) {
+            Ok(())
+        } else {
+            Err(format!(
+                "quiescent with counters {:?}",
+                state.nodes.iter().map(|n| n.rho).collect::<Vec<_>>()
+            ))
+        }
+    }
+
     #[test]
     fn explores_all_schedules_of_mini_alg1() {
         let spec = RingSpec::oriented(vec![1, 3, 2]);
         let report = explore(
             &spec.wiring(),
-            || {
-                vec![
-                    MiniAlg1 { id: 1, rho: 0 },
-                    MiniAlg1 { id: 3, rho: 0 },
-                    MiniAlg1 { id: 2, rho: 0 },
-                ]
-            },
-            |node| (node.id, node.rho),
-            |state| {
-                // Corollary 14 analogue: counters never exceed ID_max.
-                if state.nodes.iter().any(|n| n.rho > 3) {
-                    Err("rho exceeded ID_max".into())
-                } else {
-                    Ok(())
-                }
-            },
-            |state| {
-                // Every quiescent configuration: all counters at ID_max.
-                if state.nodes.iter().all(|n| n.rho == 3) {
-                    Ok(())
-                } else {
-                    Err(format!(
-                        "quiescent with counters {:?}",
-                        state.nodes.iter().map(|n| n.rho).collect::<Vec<_>>()
-                    ))
-                }
-            },
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
             ExploreLimits::default(),
         );
         assert!(report.complete, "state space should be exhausted");
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.configs > 10, "nontrivial state space");
         assert!(report.quiescent_configs >= 1);
+        assert_eq!(report.visited_bytes, report.configs * 8);
+    }
+
+    #[test]
+    fn snapshot_explorer_matches_the_reference() {
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let snap = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            ExploreLimits::default(),
+        );
+        let reference = explore_reference(
+            &spec.wiring(),
+            mini_ring,
+            |node| (node.id, node.rho),
+            mini_safety,
+            mini_quiescence,
+            ExploreLimits::default(),
+        );
+        assert_eq!(snap.configs, reference.configs);
+        assert_eq!(snap.quiescent_configs, reference.quiescent_configs);
+        assert!(snap.complete && reference.complete);
+        assert!(
+            snap.visited_bytes < reference.visited_bytes,
+            "fingerprints ({}) must be cheaper than tuples ({})",
+            snap.visited_bytes,
+            reference.visited_bytes
+        );
+    }
+
+    #[test]
+    fn byte_budget_starves_the_reference_first() {
+        // Pick a budget that covers the full fingerprint index but not the
+        // reference's tuple index: the snapshot explorer completes, the
+        // reference cannot.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let full = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            ExploreLimits::default(),
+        );
+        assert!(full.complete);
+        let budget = ExploreLimits {
+            max_state_bytes: full.visited_bytes + 8,
+            ..ExploreLimits::default()
+        };
+        let snap = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            budget,
+        );
+        assert!(snap.complete, "snapshot explorer fits in its own footprint");
+        let reference = explore_reference(
+            &spec.wiring(),
+            mini_ring,
+            |node| (node.id, node.rho),
+            mini_safety,
+            mini_quiescence,
+            budget,
+        );
+        assert!(!reference.complete, "tuple index must exceed the budget");
+        assert!(reference.configs < snap.configs);
     }
 
     #[test]
     fn limits_are_respected() {
         let spec = RingSpec::oriented(vec![1, 2]);
+        let limits = ExploreLimits {
+            max_configs: 16,
+            max_depth: 8,
+            max_state_bytes: usize::MAX,
+        };
         let report = explore(
+            &spec.wiring(),
+            || vec![MiniAlg1 { id: 50, rho: 0 }, MiniAlg1 { id: 60, rho: 0 }],
+            |_| Ok(()),
+            |_| Ok(()),
+            limits,
+        );
+        assert!(!report.complete);
+        assert!(report.configs <= 17);
+        let report = explore_reference(
             &spec.wiring(),
             || vec![MiniAlg1 { id: 50, rho: 0 }, MiniAlg1 { id: 60, rho: 0 }],
             |node| node.rho,
             |_| Ok(()),
             |_| Ok(()),
-            ExploreLimits {
-                max_configs: 16,
-                max_depth: 8,
-            },
+            limits,
         );
         assert!(!report.complete);
         assert!(report.configs <= 17);

@@ -70,21 +70,27 @@ pub mod message;
 pub mod multiport;
 pub mod port;
 pub mod sched;
+pub mod shrink;
 pub mod sim;
+pub mod snapshot;
 pub mod threaded;
 pub mod topology;
 pub mod trace;
 
 pub use engine::{
-    EngineEvent, EngineStep, EventCore, EventHandler, FaultKind, Observer, RunMetrics, Topology,
+    CoreSnapshot, EngineEvent, EngineStep, EventCore, EventHandler, FaultKind, Observer,
+    RunMetrics, Topology,
 };
 pub use faults::{FaultPlan, FaultStats};
 pub use message::{Message, Pulse};
 pub use multiport::{GraphContext, GraphProtocol, GraphSim, GraphWiring};
 pub use port::{Direction, Port};
 pub use sched::{ChannelView, Scheduler, SchedulerKind};
+pub use shrink::shrink_schedule;
 pub use sim::{
-    Budget, Context, Outcome, Protocol, RunReport, SimObserver, SimStats, Simulation, StepInfo,
+    Budget, Context, Outcome, Protocol, RunReport, SimObserver, SimSnapshot, SimStats, Simulation,
+    StepInfo,
 };
+pub use snapshot::{Fingerprint, Schedule, Snapshot};
 pub use topology::{ChannelId, NodeIndex, RingSpec, Wiring};
 pub use trace::{Trace, TraceEvent};

@@ -4,12 +4,12 @@
 //! election in arbitrary 2-edge-connected networks. This module provides
 //! the simulation substrate for that line of work: nodes of arbitrary
 //! degree ([`GraphProtocol`], ports are `usize`), wired from a
-//! [`MultiGraph`](crate::graph::MultiGraph).
+//! [`MultiGraph`].
 //!
 //! [`GraphSim`] is a thin facade over the same generic
-//! [`EventCore`](crate::engine::EventCore) that powers the ring
+//! [`EventCore`] that powers the ring
 //! [`Simulation`](crate::Simulation): the only difference is the
-//! [`Topology`](crate::engine::Topology) (a compiled [`GraphWiring`] instead
+//! [`Topology`] (a compiled [`GraphWiring`] instead
 //! of the two-port ring table). Scheduler adversaries, channel faults,
 //! traces, budgets, and the full [`SimStats`] accounting therefore behave
 //! identically on rings and general graphs — the engine-equivalence test in
@@ -247,7 +247,7 @@ impl<M: Message, P: GraphProtocol<M>> EventHandler<M> for GraphHandler<'_, M, P>
 /// Shares every capability of the ring [`Simulation`](crate::Simulation) —
 /// faults, traces, run-summary metrics, budget/outcome classification, and
 /// full [`SimStats`] — because both are facades over the same
-/// [`EventCore`](crate::engine::EventCore).
+/// [`EventCore`].
 pub struct GraphSim<M: Message, P: GraphProtocol<M>> {
     core: EventCore<M, GraphWiring>,
     nodes: Vec<P>,

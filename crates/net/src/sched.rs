@@ -41,6 +41,23 @@ pub struct ChannelView {
 pub trait Scheduler: fmt::Debug {
     /// Chooses the next channel to deliver from; returns an index into `ready`.
     fn pick(&mut self, ready: &[ChannelView]) -> usize;
+
+    /// Serializes the scheduler's mutable state as a flat word vector.
+    ///
+    /// Stateless schedulers return an empty vector (the default). Together
+    /// with [`Scheduler::restore_state`] this lets the engine checkpoint and
+    /// resume an adversary mid-run without knowing its concrete type —
+    /// `Box<dyn Scheduler>` stays object-safe because both methods are
+    /// default-bodied.
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Scheduler::save_state`].
+    ///
+    /// Must accept exactly the vectors its own `save_state` produces;
+    /// the default (for stateless schedulers) ignores the input.
+    fn restore_state(&mut self, _state: &[u64]) {}
 }
 
 /// Globally FIFO: always delivers the oldest in-flight message.
@@ -173,6 +190,15 @@ impl Scheduler for RandomScheduler {
     fn pick(&mut self, ready: &[ChannelView]) -> usize {
         self.rng.gen_range(0..ready.len())
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        self.rng.to_state().to_vec()
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        let words: [u64; 4] = state.try_into().expect("RandomScheduler state is 4 words");
+        self.rng = StdRng::from_state(words);
+    }
 }
 
 /// Round-robin over channel indices: fair but staggered delivery.
@@ -199,6 +225,14 @@ impl Scheduler for RoundRobinScheduler {
             .unwrap_or(0);
         self.cursor = ready[pick].id.index() + 1;
         pick
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![self.cursor as u64]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.cursor = state[0] as usize;
     }
 }
 
@@ -361,6 +395,36 @@ impl Scheduler for BoundedDelayScheduler {
         self.deadlines.remove(&ready[at].id);
         at
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        // Layout: picks, rng[0..4], then (channel, deadline) pairs sorted by
+        // channel so the serialized form is deterministic.
+        let mut state = vec![self.picks];
+        state.extend(self.rng.to_state());
+        let mut pairs: Vec<(u64, u64)> = self
+            .deadlines
+            .iter()
+            .map(|(id, &d)| (id.index() as u64, d))
+            .collect();
+        pairs.sort_unstable();
+        for (id, d) in pairs {
+            state.push(id);
+            state.push(d);
+        }
+        state
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.picks = state[0];
+        let words: [u64; 4] = state[1..5]
+            .try_into()
+            .expect("BoundedDelayScheduler rng state is 4 words");
+        self.rng = StdRng::from_state(words);
+        self.deadlines = state[5..]
+            .chunks_exact(2)
+            .map(|pair| (ChannelId::from_index(pair[0] as usize), pair[1]))
+            .collect();
+    }
 }
 
 /// Replays an explicit schedule: at each step, delivers from the recorded
@@ -400,6 +464,14 @@ impl Scheduler for ReplayScheduler {
         }
         FifoScheduler::new().pick(ready)
     }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![self.cursor as u64]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.cursor = state[0] as usize;
+    }
 }
 
 /// Wraps another scheduler and records every picked [`ChannelId`] into a
@@ -435,6 +507,16 @@ impl Scheduler for RecordingScheduler {
         let at = self.inner.pick(ready);
         self.log.borrow_mut().push(ready[at].id);
         at
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        // The log is shared (and append-only), so only the inner adversary's
+        // state needs capturing.
+        self.inner.save_state()
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.inner.restore_state(state);
     }
 }
 
@@ -475,6 +557,22 @@ impl Scheduler for PhaseSwitchScheduler {
         };
         self.delivered += 1;
         pick
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        // Layout: delivered, len(first-state), first-state..., second-state...
+        let first = self.first.save_state();
+        let mut state = vec![self.delivered, first.len() as u64];
+        state.extend(first);
+        state.extend(self.second.save_state());
+        state
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.delivered = state[0];
+        let first_len = state[1] as usize;
+        self.first.restore_state(&state[2..2 + first_len]);
+        self.second.restore_state(&state[2 + first_len..]);
     }
 }
 
@@ -737,6 +835,67 @@ mod tests {
         assert_eq!(s.pick(&ready), 0); // FIFO: oldest
         assert_eq!(s.pick(&ready), 0);
         assert_eq!(s.pick(&ready), 1); // switched to LIFO: youngest
+    }
+
+    #[test]
+    fn save_restore_resumes_random_stream() {
+        let ready = [
+            view(0, 1, 0, None),
+            view(1, 1, 1, None),
+            view(2, 1, 2, None),
+        ];
+        let mut s = RandomScheduler::seeded(99);
+        for _ in 0..13 {
+            s.pick(&ready);
+        }
+        let saved = s.save_state();
+        let future: Vec<usize> = (0..32).map(|_| s.pick(&ready)).collect();
+        let mut restored = RandomScheduler::seeded(0);
+        restored.restore_state(&saved);
+        let resumed: Vec<usize> = (0..32).map(|_| restored.pick(&ready)).collect();
+        assert_eq!(future, resumed);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_bounded_delay() {
+        let ready = [
+            view(0, 1, 0, None),
+            view(1, 1, 1, None),
+            view(2, 1, 2, None),
+        ];
+        let mut s = BoundedDelayScheduler::new(3, 5);
+        for _ in 0..7 {
+            s.pick(&ready);
+        }
+        let saved = s.save_state();
+        let future: Vec<usize> = (0..16).map(|_| s.pick(&ready)).collect();
+        let mut restored = BoundedDelayScheduler::new(3, 0);
+        restored.restore_state(&saved);
+        let resumed: Vec<usize> = (0..16).map(|_| restored.pick(&ready)).collect();
+        assert_eq!(future, resumed);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_phase_switch() {
+        let ready = [view(0, 1, 1, None), view(1, 1, 9, None)];
+        let mut s = PhaseSwitchScheduler::new(
+            Box::new(RandomScheduler::seeded(4)),
+            Box::new(RandomScheduler::seeded(8)),
+            5,
+        );
+        for _ in 0..3 {
+            s.pick(&ready);
+        }
+        let saved = s.save_state();
+        let future: Vec<usize> = (0..16).map(|_| s.pick(&ready)).collect();
+        let mut restored = PhaseSwitchScheduler::new(
+            Box::new(RandomScheduler::seeded(0)),
+            Box::new(RandomScheduler::seeded(0)),
+            5,
+        );
+        restored.restore_state(&saved);
+        let resumed: Vec<usize> = (0..16).map(|_| restored.pick(&ready)).collect();
+        assert_eq!(future, resumed);
     }
 
     #[test]

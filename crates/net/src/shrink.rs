@@ -1,0 +1,118 @@
+//! Delta-debugging minimization of counterexample schedules.
+//!
+//! When a recorded [`Schedule`] drives a protocol into violating an
+//! invariant monitor, the raw recording is usually long and mostly
+//! irrelevant. [`shrink_schedule`] applies the classic ddmin algorithm
+//! (Zeller & Hildebrandt) to it: repeatedly try removing chunks of picks,
+//! keep any removal that still trips the failure oracle, and halve the
+//! chunk size until single picks can't be removed.
+//!
+//! Every subsequence of a valid schedule is itself a valid schedule,
+//! because the [`ReplayScheduler`](crate::sched::ReplayScheduler) falls
+//! back to FIFO for picks that are not ready and after the script runs
+//! out — so the oracle can replay any candidate without precondition
+//! checks. The result is a *1-minimal* failing schedule: removing any
+//! single remaining pick makes the failure disappear.
+
+use crate::snapshot::Schedule;
+
+/// Minimizes a failing schedule with delta debugging (ddmin).
+///
+/// `failing` must return `true` when replaying the given schedule still
+/// exhibits the failure (e.g. an `invariants.rs` monitor reports a
+/// violation). It is called many times — O(len²) in the worst case — so
+/// the oracle should rebuild a fresh simulation per call and replay into
+/// it, which for the tiny rings counterexamples live on is microseconds.
+///
+/// Returns a schedule that is never longer than the input and still
+/// satisfies `failing`. If the input itself does not satisfy `failing`,
+/// it is returned unchanged.
+pub fn shrink_schedule<F>(schedule: &Schedule, mut failing: F) -> Schedule
+where
+    F: FnMut(&Schedule) -> bool,
+{
+    if !failing(schedule) {
+        return schedule.clone();
+    }
+    let mut current: Vec<_> = schedule.picks().to_vec();
+    let mut chunks = 2usize;
+    while current.len() >= 2 {
+        let chunk_len = current.len().div_ceil(chunks);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk_len).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if failing(&Schedule::from_picks(candidate.clone())) {
+                current = candidate;
+                removed_any = true;
+                // Re-test from the same offset: the next chunk now starts here.
+            } else {
+                start = end;
+            }
+        }
+        if removed_any {
+            // Something was removed at this granularity; retry from coarse
+            // chunks on the (shorter) remainder.
+            chunks = 2;
+        } else if chunk_len <= 1 {
+            break; // 1-minimal: no single pick can be removed.
+        } else {
+            chunks = (chunks * 2).min(current.len());
+        }
+    }
+    Schedule::from_picks(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ChannelId;
+
+    fn sched(picks: &[usize]) -> Schedule {
+        Schedule::from_picks(picks.iter().map(|&p| ChannelId::from_index(p)).collect())
+    }
+
+    #[test]
+    fn shrinks_to_the_single_essential_pick() {
+        // Failure = "contains pick 7".
+        let original = sched(&[1, 2, 7, 3, 4, 5, 6, 8, 9, 10]);
+        let shrunk = shrink_schedule(&original, |s| {
+            s.iter().any(|p| p == ChannelId::from_index(7))
+        });
+        assert_eq!(shrunk, sched(&[7]));
+    }
+
+    #[test]
+    fn preserves_order_of_essential_picks() {
+        // Failure = "contains 3 before 5".
+        let original = sched(&[9, 3, 1, 1, 5, 2]);
+        let shrunk = shrink_schedule(&original, |s| {
+            let picks: Vec<_> = s.iter().collect();
+            let a = picks.iter().position(|&p| p == ChannelId::from_index(3));
+            let b = picks.iter().position(|&p| p == ChannelId::from_index(5));
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(shrunk, sched(&[3, 5]));
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let original = sched(&[1, 2, 3]);
+        let shrunk = shrink_schedule(&original, |_| false);
+        assert_eq!(shrunk, original);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure = "at least 3 picks of channel 0".
+        let original = sched(&[0, 1, 0, 2, 0, 3, 0, 4, 0]);
+        let count = |s: &Schedule| s.iter().filter(|&p| p == ChannelId::from_index(0)).count();
+        let shrunk = shrink_schedule(&original, |s| count(s) >= 3);
+        assert_eq!(shrunk, sched(&[0, 0, 0]));
+        // Removing any single pick breaks the predicate.
+        assert!(count(&shrunk) == 3);
+    }
+}

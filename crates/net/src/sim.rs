@@ -5,7 +5,7 @@
 //! * nodes are **event-driven**: they act once at start-up and thereafter
 //!   only when a message is delivered to them ([`Protocol`]);
 //! * channels are **FIFO per channel** with adversarial finite delays — at
-//!   every step the [`Scheduler`](crate::Scheduler) picks which non-empty
+//!   every step the [`Scheduler`] picks which non-empty
 //!   channel delivers its head message;
 //! * message **content is irrelevant**: for content-oblivious algorithms the
 //!   message type is [`Pulse`](crate::Pulse), which has no content;
@@ -14,7 +14,7 @@
 //!   termination and are reported in the [`RunReport`]).
 //!
 //! [`Simulation`] is a thin, `Port`-typed facade over the generic
-//! [`EventCore`](crate::engine::EventCore) (see the [`engine`](crate::engine)
+//! [`EventCore`] (see the [`engine`](crate::engine)
 //! module): the core owns queues, scheduler dispatch, faults, accounting,
 //! and event emission, while this facade pins the topology to the two-port
 //! ring [`Wiring`] and dispatches events into [`Protocol`] nodes.
@@ -24,11 +24,12 @@
 //! global state between events; for whole runs, attach a [`SimObserver`]
 //! via [`Simulation::run_observed`].
 
-use crate::engine::{EngineStep, EventCore, EventHandler, Observer, RunMetrics};
+use crate::engine::{CoreSnapshot, EngineStep, EventCore, EventHandler, Observer, RunMetrics};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::message::Message;
 use crate::port::{Direction, Port};
-use crate::sched::Scheduler;
+use crate::sched::{ReplayScheduler, Scheduler};
+use crate::snapshot::{Fingerprint, Schedule, Snapshot};
 use crate::topology::{ChannelId, NodeIndex, Wiring};
 use crate::trace::Trace;
 use std::fmt;
@@ -141,9 +142,39 @@ impl StepInfo {
     }
 }
 
+/// A full checkpoint of a [`Simulation`]: engine state plus node states.
+///
+/// Produced by [`Simulation::snapshot`] (which requires the protocol to
+/// implement [`Snapshot`]) and consumed by [`Simulation::restore`]. The
+/// pair turns a simulation into a branchable value: exhaustive exploration
+/// restores the same checkpoint once per ready channel and fans out with
+/// [`Simulation::step_channel`].
+pub struct SimSnapshot<M: Message, P: Snapshot> {
+    core: CoreSnapshot<M>,
+    nodes: Vec<P::State>,
+}
+
+impl<M: Message, P: Snapshot> Clone for SimSnapshot<M, P> {
+    fn clone(&self) -> Self {
+        SimSnapshot {
+            core: self.core.clone(),
+            nodes: self.nodes.clone(),
+        }
+    }
+}
+
+impl<M: Message, P: Snapshot> fmt::Debug for SimSnapshot<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("core", &self.core)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
 /// A whole-run spectator with access to the global simulation state.
 ///
-/// Where the engine-level [`Observer`](crate::engine::Observer) sees the raw
+/// Where the engine-level [`Observer`] sees the raw
 /// event stream, a `SimObserver` is called *after* each delivery with the
 /// full post-event [`Simulation`] — node states included — which is what
 /// `co-core`'s invariant monitors (executable Lemmas 6–12) need.
@@ -378,6 +409,86 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
         self.core.report()
     }
 
+    /// Starts recording the sequence of channel picks as a [`Schedule`].
+    pub fn enable_schedule_recording(&mut self) {
+        self.core.enable_schedule_recording();
+    }
+
+    /// The schedule recorded so far, if recording was enabled.
+    #[must_use]
+    pub fn recorded_schedule(&self) -> Option<Schedule> {
+        self.core.recorded_schedule()
+    }
+
+    /// Runs to quiescence or budget exhaustion while recording the schedule.
+    ///
+    /// The returned [`Schedule`] fed to [`Simulation::replay`] on a freshly
+    /// built simulation of the same configuration reproduces this run — same
+    /// deliveries in the same order, byte-identical [`RunReport`] and
+    /// [`SimStats`].
+    pub fn run_recorded(&mut self, budget: Budget) -> (RunReport, Schedule) {
+        self.enable_schedule_recording();
+        let report = self.run(budget);
+        let schedule = self.recorded_schedule().expect("recording just enabled");
+        (report, schedule)
+    }
+
+    /// Replays a recorded [`Schedule`] (deterministic record/replay).
+    ///
+    /// Replaces the installed scheduler with a
+    /// [`ReplayScheduler`] over the
+    /// schedule's picks, then runs. On a fresh simulation of the recorded
+    /// configuration this reproduces the original execution exactly; the
+    /// FIFO fallback (for picks that are not ready, e.g. after the protocol
+    /// changed) keeps every schedule — including shrunken subsequences —
+    /// a valid asynchronous execution.
+    pub fn replay(&mut self, schedule: &Schedule, budget: Budget) -> RunReport {
+        self.replay_observed(schedule, budget, &mut ())
+    }
+
+    /// [`Simulation::replay`] under a [`SimObserver`] — e.g. an invariant
+    /// monitor re-checking a shrunken counterexample schedule.
+    pub fn replay_observed<O>(
+        &mut self,
+        schedule: &Schedule,
+        budget: Budget,
+        observer: &mut O,
+    ) -> RunReport
+    where
+        O: SimObserver<M, P> + ?Sized,
+    {
+        self.core
+            .set_scheduler(Box::new(ReplayScheduler::new(schedule.picks().to_vec())));
+        self.run_observed(budget, observer)
+    }
+
+    /// Channels with at least one queued message, sorted by index.
+    #[must_use]
+    pub fn ready_channels(&self) -> Vec<ChannelId> {
+        self.core
+            .ready_channels()
+            .into_iter()
+            .map(ChannelId::from_index)
+            .collect()
+    }
+
+    /// Delivers the head message of a *specific* non-empty channel,
+    /// bypassing the scheduler — the branching primitive of exhaustive
+    /// exploration. Starts the simulation if needed; returns `None` if the
+    /// channel is empty.
+    pub fn step_channel(&mut self, channel: ChannelId) -> Option<StepInfo> {
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core
+            .step_channel(&mut handler, channel.index())
+            .map(StepInfo::from_engine)
+    }
+
+    /// Number of messages queued on `channel`.
+    #[must_use]
+    pub fn queue_len(&self, channel: ChannelId) -> usize {
+        self.core.queue_len(channel.index())
+    }
+
     /// Number of messages currently in transit.
     #[must_use]
     pub fn in_flight(&self) -> u64 {
@@ -436,6 +547,60 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     #[must_use]
     pub fn into_nodes(self) -> Vec<P> {
         self.nodes
+    }
+}
+
+impl<M: Message, P: Protocol<M> + Snapshot> Simulation<M, P> {
+    /// Captures the full simulation state (engine + every node).
+    #[must_use]
+    pub fn snapshot(&self) -> SimSnapshot<M, P> {
+        SimSnapshot {
+            core: self.core.snapshot(),
+            nodes: self.nodes.iter().map(Snapshot::extract).collect(),
+        }
+    }
+
+    /// Restores a state captured by [`Simulation::snapshot`].
+    ///
+    /// The snapshot must come from a simulation of the same configuration
+    /// (same wiring, same node count, same scheduler type).
+    pub fn restore(&mut self, snapshot: &SimSnapshot<M, P>) {
+        assert_eq!(
+            snapshot.nodes.len(),
+            self.nodes.len(),
+            "snapshot is for a different ring size"
+        );
+        self.core.restore(&snapshot.core);
+        for (node, state) in self.nodes.iter_mut().zip(&snapshot.nodes) {
+            node.restore(state);
+        }
+    }
+
+    /// A stable 64-bit hash of the current *configuration*: per-channel
+    /// queue lengths, termination flags, and every node's fingerprint.
+    ///
+    /// Deliberately excluded: send counters and aggregate statistics, so
+    /// that two executions reaching the same configuration by different
+    /// delivery orders collide — that collision is exactly what
+    /// fingerprint-deduplicated exploration prunes on. Message *contents*
+    /// are not hashed either (only queue lengths), which is sound for
+    /// content-oblivious protocols where every message is a
+    /// [`Pulse`](crate::Pulse).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_usize(self.nodes.len());
+        fp.write_bool(self.core.is_started());
+        for ch in 0..self.core.topology().channel_count() {
+            fp.write_usize(self.core.queue_len(ch));
+        }
+        for v in 0..self.nodes.len() {
+            fp.write_bool(self.core.is_terminated(v));
+        }
+        for node in &self.nodes {
+            fp.write_u64(node.fingerprint());
+        }
+        fp.finish()
     }
 }
 
@@ -619,6 +784,92 @@ mod tests {
             );
             assert_eq!(report.total_sent, 5 + 5 * 6, "scheduler {kind} count");
         }
+    }
+
+    impl Snapshot for Ticker {
+        type State = (u64, u64, bool);
+        fn extract(&self) -> Self::State {
+            (self.budget, self.seen, self.done)
+        }
+        fn restore(&mut self, state: &Self::State) {
+            (self.budget, self.seen, self.done) = *state;
+        }
+        fn fingerprint(&self) -> u64 {
+            let mut fp = Fingerprint::new();
+            fp.write_u64(self.budget);
+            fp.write_u64(self.seen);
+            fp.write_bool(self.done);
+            fp.finish()
+        }
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_report_and_stats() {
+        for kind in SchedulerKind::ALL {
+            let spec = RingSpec::oriented(vec![1, 2, 3, 4]);
+            let nodes = (0..4).map(|_| Ticker::new(6)).collect();
+            let mut original: Simulation<Pulse, Ticker> =
+                Simulation::new(spec.wiring(), nodes, kind.build(17));
+            let (report, schedule) = original.run_recorded(Budget::default());
+            assert_eq!(report.steps as usize, schedule.len(), "{kind}");
+
+            let nodes = (0..4).map(|_| Ticker::new(6)).collect();
+            let mut replayed: Simulation<Pulse, Ticker> =
+                Simulation::new(spec.wiring(), nodes, kind.build(999));
+            let replay_report = replayed.replay(&schedule, Budget::default());
+            assert_eq!(report, replay_report, "{kind}");
+            assert_eq!(original.stats(), replayed.stats(), "{kind}");
+            assert_eq!(original.outputs(), replayed.outputs(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_a_run() {
+        let mut sim = ring_sim(3, 5);
+        sim.start();
+        for _ in 0..4 {
+            sim.step();
+        }
+        let checkpoint = sim.snapshot();
+        let fp_at_checkpoint = sim.fingerprint();
+        let final_report = sim.run(Budget::default());
+        assert_ne!(sim.fingerprint(), fp_at_checkpoint);
+
+        sim.restore(&checkpoint);
+        assert_eq!(sim.fingerprint(), fp_at_checkpoint);
+        let rerun_report = sim.run(Budget::default());
+        assert_eq!(final_report, rerun_report);
+    }
+
+    #[test]
+    fn step_channel_delivers_from_the_named_channel_only() {
+        let mut sim = ring_sim(3, 2);
+        sim.start();
+        let ready = sim.ready_channels();
+        assert!(!ready.is_empty());
+        let target = ready[0];
+        let info = sim.step_channel(target).expect("channel is ready");
+        assert_eq!(info.channel, target);
+        // An empty channel yields no step: CW-only Tickers never fill the
+        // CCW channel out of node 0's port Zero.
+        let empty = ChannelId::new(0, Port::Zero);
+        assert!(!sim.ready_channels().contains(&empty));
+        assert!(sim.step_channel(empty).is_none());
+    }
+
+    #[test]
+    fn fingerprint_ignores_path_but_sees_configuration() {
+        // Two different delivery orders reaching quiescent termination end
+        // in the same configuration → same fingerprint.
+        let mut a = ring_sim(3, 2);
+        a.run(Budget::default());
+        let spec = RingSpec::oriented(vec![1, 2, 3]);
+        let nodes = (0..3).map(|_| Ticker::new(2)).collect();
+        let mut b: Simulation<Pulse, Ticker> =
+            Simulation::new(spec.wiring(), nodes, SchedulerKind::Lifo.build(0));
+        b.run(Budget::default());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), ring_sim(3, 2).fingerprint());
     }
 
     #[test]

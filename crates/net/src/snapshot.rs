@@ -1,0 +1,244 @@
+//! State capture: the [`Snapshot`] trait, stable [`Fingerprint`] hashing,
+//! and replayable [`Schedule`]s.
+//!
+//! The paper's guarantees are adversarial — Algorithms 1–3 must be correct
+//! under *every* message interleaving — so correctness tooling needs to treat
+//! simulation state as a first-class value: captured, restored, hashed, and
+//! driven down a recorded schedule. This module provides the three primitives
+//! the rest of the stack builds on:
+//!
+//! * [`Snapshot`]: extract/restore a protocol node's (or an engine's) state,
+//!   plus a stable 64-bit `fingerprint` for visited-state deduplication.
+//! * [`Fingerprint`]: a hand-rolled FNV-1a hasher whose output is identical
+//!   across runs, platforms, and compiler versions (unlike
+//!   `std::collections::hash_map::DefaultHasher`, which is randomly keyed).
+//! * [`Schedule`]: the sequence of channel picks an execution made — enough,
+//!   together with a seed-deterministic protocol, to replay the execution
+//!   byte-for-byte (see `Simulation::replay`).
+
+use crate::topology::ChannelId;
+use std::fmt;
+use std::str::FromStr;
+
+/// State capture for a single component (protocol node, scheduler, engine).
+///
+/// Implementors expose their full mutable state as a cloneable value so that
+/// simulations can be checkpointed, restored, and deduplicated:
+///
+/// * `extract`/`restore` must round-trip: restoring an extracted state makes
+///   the component behave exactly as the original would from that point on.
+/// * `fingerprint` must be *stable* (same state ⇒ same hash in every run —
+///   use [`Fingerprint`], not `DefaultHasher`) and should depend on exactly
+///   the state that influences future behaviour, so that two executions
+///   reaching the same configuration by different paths collide.
+pub trait Snapshot {
+    /// The captured state value.
+    type State: Clone + fmt::Debug;
+
+    /// Captures the current state.
+    fn extract(&self) -> Self::State;
+
+    /// Restores a previously captured state.
+    fn restore(&mut self, state: &Self::State);
+
+    /// A stable 64-bit hash of the current state.
+    fn fingerprint(&self) -> u64;
+}
+
+/// A streaming FNV-1a (64-bit) hasher with a run-stable output.
+///
+/// Exhaustive exploration stores one `u64` per visited configuration; the
+/// hash must therefore be identical across processes so that recorded state
+/// counts (and the bench tables built on them) are reproducible.
+#[derive(Clone, Debug)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprint {
+    /// Starts a new hash at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Fingerprint {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    /// Mixes one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Mixes a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Mixes a 64-bit word (little-endian byte order).
+    pub fn write_u64(&mut self, w: u64) {
+        self.write_bytes(&w.to_le_bytes());
+    }
+
+    /// Mixes a `usize` (widened to 64 bits for cross-platform stability).
+    pub fn write_usize(&mut self, w: usize) {
+        self.write_u64(w as u64);
+    }
+
+    /// Mixes a boolean as one byte.
+    pub fn write_bool(&mut self, b: bool) {
+        self.write_u8(u8::from(b));
+    }
+
+    /// Finishes and returns the hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// A recorded sequence of channel picks — the adversary's moves.
+///
+/// Replaying a schedule against the same initial configuration (same ring,
+/// same seeds) reproduces the original execution exactly; see
+/// `Simulation::replay`. Schedules print as comma-separated channel indices
+/// (`"0,3,2,1"`) and parse back via [`FromStr`], so a counterexample found by
+/// the shrinker can be pasted straight into `co-ring replay --schedule ...`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    picks: Vec<ChannelId>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Wraps an explicit pick sequence.
+    #[must_use]
+    pub fn from_picks(picks: Vec<ChannelId>) -> Schedule {
+        Schedule { picks }
+    }
+
+    /// Appends one pick.
+    pub fn push(&mut self, pick: ChannelId) {
+        self.picks.push(pick);
+    }
+
+    /// Number of picks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.picks.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.picks.is_empty()
+    }
+
+    /// The picks as a slice.
+    #[must_use]
+    pub fn picks(&self) -> &[ChannelId] {
+        &self.picks
+    }
+
+    /// Iterates over the picks.
+    pub fn iter(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.picks.iter().copied()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, pick) in self.picks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", pick.index())?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`Schedule`] from its textual form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseScheduleError(String);
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl FromStr for Schedule {
+    type Err = ParseScheduleError;
+
+    fn from_str(s: &str) -> Result<Schedule, ParseScheduleError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Schedule::new());
+        }
+        let picks = s
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<usize>()
+                    .map(ChannelId::from_index)
+                    .map_err(|e| ParseScheduleError(format!("{tok:?}: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Schedule { picks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a 64 of "a" and "foobar" (published reference values).
+        let mut h = Fingerprint::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fingerprint::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fingerprint::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn schedule_display_parse_roundtrip() {
+        let s = Schedule::from_picks(vec![
+            ChannelId::from_index(0),
+            ChannelId::from_index(3),
+            ChannelId::from_index(2),
+        ]);
+        assert_eq!(s.to_string(), "0,3,2");
+        assert_eq!("0,3,2".parse::<Schedule>().unwrap(), s);
+        assert_eq!(" 0 , 3 , 2 ".parse::<Schedule>().unwrap(), s);
+        assert_eq!("".parse::<Schedule>().unwrap(), Schedule::new());
+        assert!("0,x".parse::<Schedule>().is_err());
+    }
+}

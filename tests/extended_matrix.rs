@@ -137,18 +137,6 @@ fn alg2_exhaustive_larger_rings() {
                     .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
                     .collect()
             },
-            |n| {
-                (
-                    n.rho_cw(),
-                    n.sigma_cw(),
-                    n.rho_ccw(),
-                    n.sigma_ccw(),
-                    n.deferred_ccw(),
-                    n.awaiting_echo(),
-                    n.is_terminated(),
-                    n.role() == Role::Leader,
-                )
-            },
             |_| Ok(()),
             |state| {
                 let ok = state.terminated.iter().all(|&t| t)
@@ -167,6 +155,7 @@ fn alg2_exhaustive_larger_rings() {
             ExploreLimits {
                 max_configs: 50_000_000,
                 max_depth: 1_000_000,
+                max_state_bytes: usize::MAX,
             },
         );
         assert!(report.complete, "{ids:?}");

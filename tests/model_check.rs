@@ -5,7 +5,7 @@
 
 use content_oblivious::core::{Alg1Node, Alg2Node, Alg3Node, IdScheme, Role};
 use content_oblivious::net::explore::{explore, ExploreLimits};
-use content_oblivious::net::{Protocol, RingSpec};
+use content_oblivious::net::RingSpec;
 
 fn check_alg2_all_schedules(ids: Vec<u64>) {
     let spec = RingSpec::oriented(ids.clone());
@@ -18,17 +18,6 @@ fn check_alg2_all_schedules(ids: Vec<u64>) {
             (0..spec.len())
                 .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
                 .collect()
-        },
-        |node| {
-            (
-                node.rho_cw(),
-                node.sigma_cw(),
-                node.rho_ccw(),
-                node.sigma_ccw(),
-                node.deferred_ccw(),
-                node.is_terminated(),
-                node.role() == Role::Leader,
-            )
         },
         |state| {
             // Safety in every reachable configuration: Lemma 6 for the CW
@@ -111,7 +100,6 @@ fn alg1_exhaustive_stabilization() {
                     .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
                     .collect()
             },
-            |node| (node.rho_cw(), node.sigma_cw(), node.role() == Role::Leader),
             |_| Ok(()),
             |state| {
                 for (i, node) in state.nodes.iter().enumerate() {
@@ -154,13 +142,6 @@ fn alg3_exhaustive_orientation() {
                 (0..2)
                     .map(|i| Alg3Node::new(spec.id(i), IdScheme::Improved))
                     .collect()
-            },
-            |node| {
-                (
-                    node.rho(),
-                    node.sigma(),
-                    node.output().map(|o| (o.role == Role::Leader, o.cw_port)),
-                )
             },
             |_| Ok(()),
             |state| {
