@@ -1,0 +1,440 @@
+//! `check` — the benchmark regression gate.
+//!
+//! Collects a small set of *deterministic* metrics drawn from the experiment
+//! catalogue (message complexity from E1/E2, an anonymous-election sample from
+//! E5, dedup memory from E15 and explorer state counts from E16) and compares
+//! them against the committed baseline `bench_baseline.json`. CI runs
+//! `tables check` on every push: a metric that drifts outside its per-metric
+//! tolerance fails the build before the regression can land.
+//!
+//! Every metric here must be a pure function of the source tree — no wall
+//! clock, no ambient randomness (seeds are fixed, explorers run single
+//! worker). Wall-clock performance is tracked by the [`crate::harness`]
+//! benches instead, which are too noisy to gate on.
+
+use co_json::{object, Value};
+
+/// Which direction of drift counts as a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Only an increase beyond tolerance is a regression (costs: messages,
+    /// bytes). An improvement is reported but passes.
+    Increase,
+    /// Any drift beyond tolerance is a regression (invariants: exact state
+    /// counts, paper-predicted complexities).
+    Both,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Increase => "increase",
+            Direction::Both => "both",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "increase" => Some(Direction::Increase),
+            "both" => Some(Direction::Both),
+            _ => None,
+        }
+    }
+}
+
+/// One gated metric: a named scalar with a drift budget.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Stable identifier, also the baseline JSON key.
+    pub name: &'static str,
+    /// The measured value.
+    pub value: f64,
+    /// Allowed relative drift in percent (0 = must match exactly).
+    pub tolerance_pct: f64,
+    /// Which drift direction fails the gate.
+    pub direction: Direction,
+}
+
+/// The comparison of one metric against its baseline entry.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The metric name.
+    pub name: String,
+    /// Current value.
+    pub value: f64,
+    /// Baseline value (`None` = metric missing from the baseline).
+    pub baseline: Option<f64>,
+    /// Relative drift in percent vs the baseline (0 when no baseline).
+    pub drift_pct: f64,
+    /// Whether this metric fails the gate.
+    pub regressed: bool,
+}
+
+/// Outcome of a full gate run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Per-metric findings, in collection order.
+    pub findings: Vec<Finding>,
+    /// Metric names present in the baseline but no longer collected.
+    pub stale_baseline_entries: Vec<String>,
+}
+
+impl CheckReport {
+    /// True when no metric regressed and no baseline entry is stale.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.stale_baseline_entries.is_empty() && self.findings.iter().all(|f| !f.regressed)
+    }
+
+    /// Renders the human-readable report (also uploaded as a CI artifact).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("benchmark regression gate\n");
+        out.push_str(
+            "  metric                            current      baseline     drift    status\n",
+        );
+        for f in &self.findings {
+            let baseline = f
+                .baseline
+                .map_or_else(|| "MISSING".into(), |b| format!("{b:.1}"));
+            let status = if f.regressed { "REGRESSED" } else { "ok" };
+            out.push_str(&format!(
+                "  {:<32} {:>12.1} {:>13} {:>8.2}% {:>9}\n",
+                f.name, f.value, baseline, f.drift_pct, status
+            ));
+        }
+        for name in &self.stale_baseline_entries {
+            out.push_str(&format!(
+                "  {name:<32} stale baseline entry (metric no longer collected)\n"
+            ));
+        }
+        out.push_str(if self.passed() {
+            "verdict: PASS\n"
+        } else {
+            "verdict: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Collects every gated metric.
+///
+/// `inject_regression_pct` scales the first metric by `1 + pct/100` — a
+/// seeded synthetic regression used to prove the gate actually trips
+/// (`tables check --inject-regression`).
+#[must_use]
+pub fn collect_metrics(inject_regression_pct: Option<f64>) -> Vec<Metric> {
+    use co_core::anonymous::{elect_anonymous, SamplingConfig};
+    use co_core::{runner, Alg2Node};
+    use co_net::explore::{explore, explore_parallel, ExploreConfig, ExploreLimits};
+    use co_net::{DedupKind, RingSpec, SchedulerKind};
+
+    let mut metrics = Vec::new();
+
+    // E1 / E2 — message complexity on a fixed n=8 ring. Theorem 1 and
+    // Corollary 13 make these exact; any drift is a protocol bug.
+    let spec8 = RingSpec::oriented(vec![5, 3, 8, 1, 7, 2, 6, 4]);
+    let alg2 = runner::run_alg2(&spec8, SchedulerKind::Fifo, 0);
+    metrics.push(Metric {
+        name: "e1_alg2_pulses_n8",
+        value: alg2.total_messages as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Both,
+    });
+    let alg1 = runner::run_alg1(&spec8, SchedulerKind::Fifo, 0);
+    metrics.push(Metric {
+        name: "e2_alg1_pulses_n8",
+        value: alg1.total_messages as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Both,
+    });
+
+    // E5 — one fixed-seed anonymous election; pulses follow the sampled IDs.
+    let anon = elect_anonymous(16, &SamplingConfig::new(2.0), SchedulerKind::Fifo, 7);
+    metrics.push(Metric {
+        name: "e5_anon_pulses_n16_c2_seed7",
+        value: anon.messages as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Both,
+    });
+
+    // E15 — dedup memory: fingerprint index vs the byte cost it replaces.
+    let spec3 = RingSpec::oriented(vec![1, 2, 4]);
+    let snap = explore(
+        &spec3.wiring(),
+        || {
+            (0..spec3.len())
+                .map(|i| Alg2Node::new(spec3.id(i), spec3.cw_port(i)))
+                .collect::<Vec<_>>()
+        },
+        |_| Ok(()),
+        |_| Ok(()),
+        ExploreLimits::default(),
+    );
+    metrics.push(Metric {
+        name: "e15_snap_configs_ring124",
+        value: snap.configs as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Both,
+    });
+    metrics.push(Metric {
+        name: "e15_snap_bytes_ring124",
+        value: snap.visited_bytes as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Increase,
+    });
+
+    // E16 — parallel explorer state counts. Single worker: the exploration
+    // order (and thus any bloom false positive) is deterministic.
+    let spec7 = RingSpec::oriented(vec![3, 5, 2, 4, 1, 6, 7]);
+    let make7 = || {
+        (0..spec7.len())
+            .map(|i| Alg2Node::new(spec7.id(i), spec7.cw_port(i)))
+            .collect::<Vec<_>>()
+    };
+    let exact = explore_parallel(
+        &spec7.wiring(),
+        make7,
+        |_| Ok(()),
+        |_| Ok(()),
+        &ExploreConfig {
+            jobs: 1,
+            ..ExploreConfig::default()
+        },
+    );
+    metrics.push(Metric {
+        name: "e16_exact_configs_alg2n7",
+        value: exact.configs as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Both,
+    });
+    let bloom = explore_parallel(
+        &spec7.wiring(),
+        make7,
+        |_| Ok(()),
+        |_| Ok(()),
+        &ExploreConfig {
+            jobs: 1,
+            dedup: DedupKind::Bloom,
+            ..ExploreConfig::default()
+        },
+    );
+    // Bloom may prune a false-positive handful; give it a 1% drift budget so
+    // an innocent fingerprint reshuffle does not fail the gate.
+    metrics.push(Metric {
+        name: "e16_bloom_configs_alg2n7",
+        value: bloom.configs as f64,
+        tolerance_pct: 1.0,
+        direction: Direction::Both,
+    });
+    metrics.push(Metric {
+        name: "e16_bloom_bytes",
+        value: bloom.visited_bytes as f64,
+        tolerance_pct: 0.0,
+        direction: Direction::Increase,
+    });
+
+    if let Some(pct) = inject_regression_pct {
+        metrics[0].value *= 1.0 + pct / 100.0;
+    }
+    metrics
+}
+
+/// Serializes metrics as the committed baseline document.
+#[must_use]
+pub fn baseline_json(metrics: &[Metric]) -> Value {
+    Value::Array(
+        metrics
+            .iter()
+            .map(|m| {
+                object([
+                    ("name", Value::Str(m.name.into())),
+                    ("value", Value::Float(m.value)),
+                    ("tolerance_pct", Value::Float(m.tolerance_pct)),
+                    ("direction", Value::Str(m.direction.as_str().into())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn lookup<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Compares the current metrics against a parsed baseline document.
+///
+/// The baseline's per-metric `tolerance_pct`/`direction` are authoritative —
+/// the gate's thresholds are version-controlled data, not code.
+#[must_use]
+pub fn compare(current: &[Metric], baseline: &Value) -> CheckReport {
+    let entries: Vec<&[(String, Value)]> = baseline
+        .as_array()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Value::as_object)
+        .collect();
+    let mut findings = Vec::new();
+    for m in current {
+        let entry = entries
+            .iter()
+            .find(|e| lookup(e, "name").and_then(Value::as_str) == Some(m.name));
+        let Some(entry) = entry else {
+            // A metric with no baseline is a hard failure: the baseline must
+            // be regenerated deliberately (`tables check --update`).
+            findings.push(Finding {
+                name: m.name.into(),
+                value: m.value,
+                baseline: None,
+                drift_pct: 0.0,
+                regressed: true,
+            });
+            continue;
+        };
+        let base = lookup(entry, "value").and_then(Value::as_f64);
+        let tolerance = lookup(entry, "tolerance_pct")
+            .and_then(Value::as_f64)
+            .unwrap_or(m.tolerance_pct);
+        let direction = lookup(entry, "direction")
+            .and_then(Value::as_str)
+            .and_then(Direction::parse)
+            .unwrap_or(m.direction);
+        let Some(base) = base else {
+            findings.push(Finding {
+                name: m.name.into(),
+                value: m.value,
+                baseline: None,
+                drift_pct: 0.0,
+                regressed: true,
+            });
+            continue;
+        };
+        let drift_pct = if base == 0.0 {
+            if m.value == 0.0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            (m.value - base) / base * 100.0
+        };
+        let over_budget = match direction {
+            Direction::Increase => drift_pct > tolerance,
+            Direction::Both => drift_pct.abs() > tolerance,
+        };
+        findings.push(Finding {
+            name: m.name.into(),
+            value: m.value,
+            baseline: Some(base),
+            drift_pct,
+            regressed: over_budget,
+        });
+    }
+    let current_names: Vec<&str> = current.iter().map(|m| m.name).collect();
+    let stale_baseline_entries = entries
+        .iter()
+        .filter_map(|e| lookup(e, "name").and_then(Value::as_str))
+        .filter(|name| !current_names.contains(name))
+        .map(String::from)
+        .collect();
+    CheckReport {
+        findings,
+        stale_baseline_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_metrics() -> Vec<Metric> {
+        vec![
+            Metric {
+                name: "alpha",
+                value: 100.0,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "beta",
+                value: 200.0,
+                tolerance_pct: 5.0,
+                direction: Direction::Increase,
+            },
+        ]
+    }
+
+    #[test]
+    fn identical_metrics_pass() {
+        let metrics = fixed_metrics();
+        let report = compare(&metrics, &baseline_json(&metrics));
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.findings.iter().all(|f| f.drift_pct == 0.0));
+    }
+
+    #[test]
+    fn the_gate_trips_on_an_injected_regression() {
+        // The acceptance criterion of the CI satellite: a synthetic +10%
+        // message-count regression must fail the gate.
+        let baseline = baseline_json(&collect_metrics(None));
+        let regressed = collect_metrics(Some(10.0));
+        let report = compare(&regressed, &baseline);
+        assert!(!report.passed());
+        let finding = &report.findings[0];
+        assert_eq!(finding.name, "e1_alg2_pulses_n8");
+        assert!(finding.regressed);
+        assert!((finding.drift_pct - 10.0).abs() < 1e-9, "{finding:?}");
+        // Only the injected metric trips.
+        assert_eq!(report.findings.iter().filter(|f| f.regressed).count(), 1);
+    }
+
+    #[test]
+    fn collected_metrics_are_deterministic() {
+        let a = collect_metrics(None);
+        let b = collect_metrics(None);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert!((x.value - y.value).abs() < f64::EPSILON, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn tolerance_and_direction_come_from_the_baseline() {
+        let mut metrics = fixed_metrics();
+        let baseline = baseline_json(&metrics);
+        // +4% on a 5%-tolerance Increase metric: passes.
+        metrics[1].value = 208.0;
+        assert!(compare(&metrics, &baseline).passed());
+        // -40% on an Increase metric: an improvement, still passes.
+        metrics[1].value = 120.0;
+        assert!(compare(&metrics, &baseline).passed());
+        // +6%: over budget.
+        metrics[1].value = 212.0;
+        assert!(!compare(&metrics, &baseline).passed());
+    }
+
+    #[test]
+    fn missing_and_stale_entries_fail() {
+        let metrics = fixed_metrics();
+        let baseline = baseline_json(&metrics[..1]);
+        let report = compare(&metrics, &baseline);
+        assert!(!report.passed());
+        assert!(report.findings[1].baseline.is_none() && report.findings[1].regressed);
+
+        let baseline = baseline_json(&metrics);
+        let report = compare(&metrics[..1], &baseline);
+        assert!(!report.passed());
+        assert_eq!(report.stale_baseline_entries, vec!["beta".to_string()]);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_parser() {
+        let metrics = fixed_metrics();
+        let text = baseline_json(&metrics).to_string_compact();
+        let parsed = co_json::parse(&text).expect("baseline JSON must parse");
+        let report = compare(&metrics, &parsed);
+        assert!(report.passed(), "{}", report.render());
+    }
+}

@@ -1,4 +1,4 @@
-//! Experiments E0–E15: one function per quantitative claim of the paper.
+//! Experiments E0–E16: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -53,11 +53,14 @@ pub enum Experiment {
     E14,
     /// Snapshot explorer vs the reference: explored-state counts and dedup bytes.
     E15,
+    /// Parallel frontier-sharded exploration: speedup grid and exhaustive
+    /// fault model-checking.
+    E16,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 16] = [
+    pub const ALL: [Experiment; 17] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -74,6 +77,7 @@ impl Experiment {
         Experiment::E13,
         Experiment::E14,
         Experiment::E15,
+        Experiment::E16,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -109,6 +113,7 @@ pub fn run_experiment_with(exp: Experiment, jobs: usize) -> Table {
         Experiment::E5 => e5_anonymous_jobs(jobs),
         Experiment::E8 => e8_baselines_jobs(jobs),
         Experiment::E10 => e10_invariants_jobs(jobs),
+        Experiment::E16 => e16_parallel_explore_jobs(jobs),
         _ => run_sequential(exp),
     }
 }
@@ -131,6 +136,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E13 => e13_model_violations(),
         Experiment::E14 => e14_universal_simulation(),
         Experiment::E15 => e15_explore_dedup(),
+        Experiment::E16 => e16_parallel_explore(),
     }
 }
 
@@ -968,22 +974,17 @@ pub fn e14_universal_simulation() -> Table {
     t
 }
 
-/// E15 — explored-state accounting: fingerprint dedup vs the reference.
+/// E15 — explored-state accounting: engines × dedup backends × worker counts.
 #[must_use]
 pub fn e15_explore_dedup() -> Table {
     use co_core::Alg2Node;
-    use co_net::explore::{explore, explore_reference, ExploreLimits};
+    use co_net::explore::{explore, explore_parallel, explore_reference, ExploreConfig};
+    use co_net::DedupKind;
     let mut t = Table::new(
-        "E15 — snapshot explorer vs reference: explored states and dedup bytes",
-        "fingerprint dedup (8 B/config) covers the same state space in far less memory",
+        "E15 — explorer grid: sequential / reference / parallel × {exact, bloom}",
+        "fingerprint dedup (8 B/config) and the parallel explorer cover the same state space",
         vec![
-            "ring",
-            "configs (snap)",
-            "configs (ref)",
-            "bytes (snap)",
-            "bytes (ref)",
-            "ratio",
-            "complete",
+            "ring", "engine", "jobs", "configs", "bytes", "complete", "agree",
         ],
     );
     let mut all_ok = true;
@@ -1005,7 +1006,7 @@ pub fn e15_explore_dedup() -> Table {
             make,
             |_| Ok(()),
             |_| Ok(()),
-            ExploreLimits::default(),
+            co_net::explore::ExploreLimits::default(),
         );
         let reference = explore_reference(
             &spec.wiring(),
@@ -1023,28 +1024,316 @@ pub fn e15_explore_dedup() -> Table {
             },
             |_| Ok(()),
             |_| Ok(()),
-            ExploreLimits::default(),
+            co_net::explore::ExploreLimits::default(),
         );
-        let ok = snap.complete
+        // Reference agreement requires identical state counts and a strictly
+        // larger footprint for the tuple-keyed set.
+        let ref_ok = snap.complete
             && reference.complete
             && snap.configs == reference.configs
             && snap.visited_bytes < reference.visited_bytes;
-        all_ok &= ok;
-        let ratio = reference.visited_bytes as f64 / snap.visited_bytes.max(1) as f64;
+        all_ok &= ref_ok;
         t.row(vec![
             format!("{ids:?}"),
+            "seq/exact".into(),
+            "1".into(),
             snap.configs.to_string(),
-            reference.configs.to_string(),
             snap.visited_bytes.to_string(),
-            reference.visited_bytes.to_string(),
-            format!("{ratio:.1}x"),
-            (snap.complete && reference.complete).to_string(),
+            snap.complete.to_string(),
+            "-".into(),
         ]);
+        t.row(vec![
+            format!("{ids:?}"),
+            "reference".into(),
+            "1".into(),
+            reference.configs.to_string(),
+            reference.visited_bytes.to_string(),
+            reference.complete.to_string(),
+            ref_ok.to_string(),
+        ]);
+        for (kind, jobs) in [
+            (DedupKind::Exact, 1usize),
+            (DedupKind::Exact, 4),
+            (DedupKind::Bloom, 4),
+        ] {
+            let config = ExploreConfig {
+                jobs,
+                dedup: kind,
+                ..ExploreConfig::default()
+            };
+            let par = explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), &config);
+            // Exact parallel must agree bit-for-bit on the count; bloom may
+            // only prune via false positives, never add states.
+            let agree = match kind {
+                DedupKind::Exact => par.complete && par.configs == snap.configs,
+                DedupKind::Bloom => {
+                    par.complete
+                        && par.configs <= snap.configs
+                        && par.configs * 100 >= snap.configs * 99
+                }
+            };
+            all_ok &= agree;
+            t.row(vec![
+                format!("{ids:?}"),
+                format!("par/{kind}"),
+                jobs.to_string(),
+                par.configs.to_string(),
+                par.visited_bytes.to_string(),
+                par.complete.to_string(),
+                agree.to_string(),
+            ]);
+        }
     }
     t.set_verdict(if all_ok {
-        "identical state spaces, with the fingerprint index several times smaller"
+        "identical state spaces across engines and worker counts; fingerprints far smaller than the reference"
     } else {
         "UNEXPECTED: explorer disagreement or no memory saving"
+    });
+    t
+}
+
+/// E16 — parallel explorer at its default worker grid.
+#[must_use]
+pub fn e16_parallel_explore() -> Table {
+    e16_parallel_explore_jobs(0)
+}
+
+/// E16 — parallel frontier-sharded exploration: speedup grid and exhaustive
+/// fault model-checking.
+///
+/// `jobs <= 1` runs the default 1/2/4/8 worker grid; otherwise the grid is
+/// `[1, jobs]`.
+#[must_use]
+pub fn e16_parallel_explore_jobs(jobs: usize) -> Table {
+    use co_core::{Alg1Node, Alg2Node};
+    use co_net::explore::{explore, explore_parallel, ExploreConfig, ExploreLimits};
+    use co_net::{DedupKind, FaultPlan};
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E16 — parallel frontier-sharded exploration: speedup and exhaustive faults",
+        "work stealing makes larger rings and exhaustive fault injection model-checkable",
+        vec![
+            "workload",
+            "backend",
+            "jobs",
+            "configs",
+            "quiescent",
+            "bytes",
+            "ms",
+            "complete",
+            "agree",
+        ],
+    );
+    let worker_grid: Vec<usize> = if jobs <= 1 {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![1, jobs]
+    };
+    let max_jobs = worker_grid.iter().copied().max().unwrap_or(1);
+    let mut all_ok = true;
+
+    // -- Part 1: speedup grid -------------------------------------------------
+    // Two workloads: the n=4 Algorithm 1 ring of the PR acceptance criterion
+    // (Alg 1 quiesces per Corollary 13, so every maximal schedule ends in a
+    // countable quiescent configuration), and an n=7 Algorithm 2 ring whose
+    // ~20k-configuration space is large enough for work stealing to pay off.
+    enum Nodes {
+        A1(Vec<u64>),
+        A2(Vec<u64>),
+    }
+    let workloads = [
+        ("alg1 n=4", Nodes::A1(vec![2, 4, 1, 3])),
+        ("alg2 n=7", Nodes::A2(vec![3, 5, 2, 4, 1, 6, 7])),
+    ];
+    for (label, nodes) in &workloads {
+        let (spec, is_alg1) = match nodes {
+            Nodes::A1(ids) => (RingSpec::oriented(ids.clone()), true),
+            Nodes::A2(ids) => (RingSpec::oriented(ids.clone()), false),
+        };
+        // Run one engine configuration, dispatching on the protocol type.
+        let run = |engine_jobs: Option<usize>, kind: DedupKind| {
+            let config = ExploreConfig {
+                jobs: engine_jobs.unwrap_or(1),
+                dedup: kind,
+                ..ExploreConfig::default()
+            };
+            let start = Instant::now();
+            let report = if is_alg1 {
+                let make = || {
+                    (0..spec.len())
+                        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+                        .collect::<Vec<Alg1Node>>()
+                };
+                match engine_jobs {
+                    None => explore(
+                        &spec.wiring(),
+                        make,
+                        |_| Ok(()),
+                        |_| Ok(()),
+                        ExploreLimits::default(),
+                    ),
+                    Some(_) => {
+                        explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), &config)
+                    }
+                }
+            } else {
+                let make = || {
+                    (0..spec.len())
+                        .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                        .collect::<Vec<Alg2Node>>()
+                };
+                match engine_jobs {
+                    None => explore(
+                        &spec.wiring(),
+                        make,
+                        |_| Ok(()),
+                        |_| Ok(()),
+                        ExploreLimits::default(),
+                    ),
+                    Some(_) => {
+                        explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), &config)
+                    }
+                }
+            };
+            (report, start.elapsed().as_millis())
+        };
+        let (seq, seq_ms) = run(None, DedupKind::Exact);
+        all_ok &= seq.complete && seq.violations.is_empty();
+        t.row(vec![
+            (*label).into(),
+            "seq/exact".into(),
+            "1".into(),
+            seq.configs.to_string(),
+            seq.quiescent_configs.to_string(),
+            seq.visited_bytes.to_string(),
+            seq_ms.to_string(),
+            seq.complete.to_string(),
+            "-".into(),
+        ]);
+        // Exact at every worker count; bloom only at the widest — its point is
+        // the fixed memory footprint, not the scaling curve.
+        let grid = worker_grid
+            .iter()
+            .map(|&w| (DedupKind::Exact, w))
+            .chain(std::iter::once((DedupKind::Bloom, max_jobs)));
+        for (kind, w) in grid {
+            let (par, ms) = run(Some(w), kind);
+            // The verdict only depends on deterministic quantities: config
+            // counts, byte totals and verdict agreement. Wall-clock columns
+            // are informational.
+            let agree = match kind {
+                DedupKind::Exact => {
+                    par.complete
+                        && par.configs == seq.configs
+                        && par.quiescent_configs == seq.quiescent_configs
+                        && par.violations.is_empty()
+                }
+                DedupKind::Bloom => {
+                    par.complete
+                        && par.configs <= seq.configs
+                        && par.configs * 1000 >= seq.configs * 999
+                        && par.violations.is_empty()
+                }
+            };
+            all_ok &= agree;
+            t.row(vec![
+                (*label).into(),
+                format!("par/{kind}"),
+                w.to_string(),
+                par.configs.to_string(),
+                par.quiescent_configs.to_string(),
+                par.visited_bytes.to_string(),
+                ms.to_string(),
+                par.complete.to_string(),
+                agree.to_string(),
+            ]);
+        }
+    }
+
+    // -- Part 2: exhaustive fault model-checking (E13, quantified ∀ schedules) -
+    // E13 samples one schedule per fault; here every schedule of the faulted
+    // n=3 instance is explored. The quiescence predicate is inverted: a
+    // violation would mean some schedule *survives* the fault and still elects
+    // correctly — we verify none does.
+    let spec3 = RingSpec::oriented(vec![3u64, 5, 2]);
+    let leader = spec3.max_position();
+    let predicted = spec3.len() as u64 * (2 * spec3.id_max() + 1);
+    let make3 = || {
+        (0..spec3.len())
+            .map(|i| co_core::Alg2Node::new(spec3.id(i), spec3.cw_port(i)))
+            .collect::<Vec<co_core::Alg2Node>>()
+    };
+    for (label, plan, bounded) in [
+        // A dropped pulse only shrinks the state space: the exploration is
+        // exhaustive and proves the fault deadlocks EVERY schedule.
+        ("drop seq 4", FaultPlan::new().drop_seq(4), false),
+        // A duplicated pulse circulates forever (the gate defers it but never
+        // absorbs it), so the space is infinite; the search is bounded and the
+        // claim is over every configuration within the bound.
+        ("duplicate seq 1", FaultPlan::new().duplicate_seq(1), true),
+    ] {
+        let config = ExploreConfig {
+            jobs: max_jobs,
+            faults: plan,
+            limits: ExploreLimits {
+                max_configs: if bounded { 50_000 } else { 2_000_000 },
+                ..ExploreLimits::default()
+            },
+            ..ExploreConfig::default()
+        };
+        let start = Instant::now();
+        let par = explore_parallel(
+            &spec3.wiring(),
+            make3,
+            |_| Ok(()),
+            |state| {
+                let healthy = state.terminated.iter().all(|&x| x)
+                    && state
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .all(|(i, n)| (n.role() == Role::Leader) == (i == leader))
+                    && state.sent == predicted;
+                if healthy {
+                    Err("schedule survived the fault with a healthy election".into())
+                } else {
+                    Ok(())
+                }
+            },
+            &config,
+        );
+        let ms = start.elapsed().as_millis();
+        // "agree" here means the fault is fatal: no explored quiescent
+        // configuration passed the healthy-election predicate. The drop run
+        // must additionally be exhaustive and actually reach (deadlocked)
+        // quiescent configurations; the duplicate run must keep generating
+        // state (the stray pulse never quiesces healthily), hence hits the
+        // configuration bound.
+        let fatal = par.violations.is_empty()
+            && if bounded {
+                !par.complete
+            } else {
+                par.complete && par.quiescent_configs > 0
+            };
+        all_ok &= fatal;
+        t.row(vec![
+            format!("alg2 n=3 {label}"),
+            "par/exact".into(),
+            max_jobs.to_string(),
+            par.configs.to_string(),
+            par.quiescent_configs.to_string(),
+            par.visited_bytes.to_string(),
+            ms.to_string(),
+            par.complete.to_string(),
+            fatal.to_string(),
+        ]);
+    }
+
+    t.set_verdict(if all_ok {
+        "parallel sweep matches the sequential verdict, and no schedule survives an injected fault"
+    } else {
+        "UNEXPECTED: parallel/sequential disagreement or a fault-surviving schedule"
     });
     t
 }
@@ -1058,7 +1347,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e16"), None);
+        assert_eq!(Experiment::parse("e17"), None);
     }
 
     #[test]

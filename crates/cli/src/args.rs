@@ -81,7 +81,7 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E15).
+        /// Experiments to run (empty = all of E0–E16).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
         jobs: usize,
@@ -110,6 +110,10 @@ pub enum Command {
         protocol: ProtocolChoice,
         /// Configuration cap before giving up.
         max_configs: usize,
+        /// Worker threads (0 = one per core, 1 = single-threaded).
+        jobs: usize,
+        /// Fingerprint dedup backend.
+        dedup: co_net::DedupKind,
     },
     /// Print usage.
     Help,
@@ -267,6 +271,7 @@ impl Cli {
         let mut protocol: Option<ProtocolChoice> = None;
         let mut schedule: Option<Schedule> = None;
         let mut max_configs = 2_000_000usize;
+        let mut dedup = co_net::DedupKind::Exact;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, ParseError> {
@@ -332,7 +337,7 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e15"))
+                        err(format!("unknown experiment '{name}'; expected e0..e16"))
                     })?);
                 }
                 "--jobs" => {
@@ -352,6 +357,14 @@ impl Cli {
                     max_configs = value("--max-configs")?
                         .parse()
                         .map_err(|_| err("--max-configs must be an integer"))?;
+                }
+                "--dedup" => {
+                    let name = value("--dedup")?;
+                    dedup = co_net::DedupKind::parse(name).ok_or_else(|| {
+                        err(format!(
+                            "unknown dedup backend '{name}'; expected exact|bloom"
+                        ))
+                    })?;
                 }
                 "--graph" => graph = GraphSpec::parse(value("--graph")?)?,
                 "--root" => {
@@ -401,6 +414,8 @@ impl Cli {
             "explore" => Command::Explore {
                 protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
                 max_configs,
+                jobs,
+                dedup,
             },
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(err(format!("unknown command '{other}'; try 'help'"))),
@@ -425,7 +440,7 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E15)
+  tables      Regenerate the paper's experiment tables (E0..E16)
   record      Run once, printing a replayable delivery schedule
   replay      Deterministically re-execute a recorded schedule
   shrink      Find a monitor-violating schedule, then ddmin-minimize it
@@ -445,10 +460,11 @@ OPTIONS:
   --algo A            baseline: cr|hs|peterson|franklin
   --graph G --root R  echo: ring:N | complete:N | path:N, wave root
   --exp eN            tables: select an experiment (repeatable; default all)
-  --jobs N            tables: worker threads per grid (0 = one per core)
+  --jobs N            tables/explore: worker threads (0 = one per core)
   --protocol P        record/replay/shrink/explore: alg1|alg2|alg3|ungated
   --schedule S        replay: comma-separated channel picks from 'record'
   --max-configs N     explore: configuration cap (default 2000000)
+  --dedup B           explore: fingerprint backend, exact|bloom (default exact)
 "
     .to_owned()
 }
@@ -554,8 +570,22 @@ mod tests {
             Command::Explore {
                 protocol: ProtocolChoice::Ungated,
                 max_configs: 500,
+                jobs: 1,
+                dedup: co_net::DedupKind::Exact,
             }
         );
+
+        let cli = Cli::parse(["explore", "--jobs", "8", "--dedup", "bloom"]).expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Explore {
+                protocol: ProtocolChoice::Alg2,
+                max_configs: 2_000_000,
+                jobs: 8,
+                dedup: co_net::DedupKind::Bloom,
+            }
+        );
+        assert!(Cli::parse(["explore", "--dedup", "cuckoo"]).is_err());
     }
 
     #[test]

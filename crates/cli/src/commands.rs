@@ -9,7 +9,7 @@ use co_core::invariants::{Alg2MonitorObserver, CcwInstanceView};
 use co_core::lower_bound::solitude_pattern_alg2;
 use co_core::{runner, Alg1Node, Alg2Node, Alg3Node, IdScheme, Role};
 use co_json::{array, object, Value};
-use co_net::explore::{explore, ExploreLimits};
+use co_net::explore::{explore_parallel, ExploreConfig, ExploreLimits};
 use co_net::{
     shrink_schedule, Budget, Protocol, Pulse, RingSpec, RunReport, Schedule, SchedulerKind,
     Simulation, Snapshot,
@@ -69,7 +69,9 @@ pub fn run(cli: &Cli) -> CommandOutput {
         Command::Explore {
             protocol,
             max_configs,
-        } => explore_cmd(&cli.opts, *protocol, *max_configs),
+            jobs,
+            dedup,
+        } => explore_cmd(&cli.opts, *protocol, *max_configs, *jobs, *dedup),
     }
 }
 
@@ -272,38 +274,64 @@ where
     ok(text, json)
 }
 
-fn explore_cmd(opts: &CommonOpts, protocol: ProtocolChoice, max_configs: usize) -> CommandOutput {
+fn explore_cmd(
+    opts: &CommonOpts,
+    protocol: ProtocolChoice,
+    max_configs: usize,
+    jobs: usize,
+    dedup: co_net::DedupKind,
+) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
+    let config = ExploreConfig {
+        limits: ExploreLimits {
+            max_configs,
+            ..ExploreLimits::default()
+        },
+        jobs,
+        dedup,
+        ..ExploreConfig::default()
+    };
     match protocol {
-        ProtocolChoice::Alg1 => explore_with(&spec, protocol, max_configs, alg1_nodes(&spec)),
-        ProtocolChoice::Alg2 => explore_with(&spec, protocol, max_configs, alg2_nodes(&spec)),
-        ProtocolChoice::Alg3 => explore_with(&spec, protocol, max_configs, alg3_nodes(&spec)),
-        ProtocolChoice::Ungated => explore_with(&spec, protocol, max_configs, ungated_nodes(&spec)),
+        ProtocolChoice::Alg1 => explore_with(&spec, protocol, &config, alg1_nodes(&spec)),
+        ProtocolChoice::Alg2 => explore_with(&spec, protocol, &config, alg2_nodes(&spec)),
+        ProtocolChoice::Alg3 => explore_with(&spec, protocol, &config, alg3_nodes(&spec)),
+        ProtocolChoice::Ungated => explore_with(&spec, protocol, &config, ungated_nodes(&spec)),
     }
 }
 
 fn explore_with<P>(
     spec: &RingSpec,
     protocol: ProtocolChoice,
-    max_configs: usize,
+    config: &ExploreConfig,
     nodes: Vec<P>,
 ) -> CommandOutput
 where
-    P: Protocol<Pulse> + Snapshot + Clone,
+    P: Protocol<Pulse> + Snapshot + Clone + Sync,
+    P::State: Send,
 {
-    let limits = ExploreLimits {
-        max_configs,
-        ..ExploreLimits::default()
-    };
-    let report = explore(&spec.wiring(), || nodes, |_| Ok(()), |_| Ok(()), limits);
+    let report = explore_parallel(
+        &spec.wiring(),
+        move || nodes.clone(),
+        |_| Ok(()),
+        |_| Ok(()),
+        config,
+    );
     let text = format!(
         "exhaustive exploration of {protocol} on {spec}\n\
+         workers: {} | dedup: {}\n\
          configurations: {} ({} quiescent) | complete: {}\n\
-         dedup index: {} bytes (8 per configuration)\n",
-        report.configs, report.quiescent_configs, report.complete, report.visited_bytes,
+         dedup index: {} bytes\n",
+        config.jobs,
+        config.dedup,
+        report.configs,
+        report.quiescent_configs,
+        report.complete,
+        report.visited_bytes,
     );
     let json = object([
         ("protocol", Value::from(protocol.to_string())),
+        ("jobs", Value::from(config.jobs)),
+        ("dedup", Value::from(config.dedup.to_string())),
         ("configs", Value::from(report.configs)),
         ("quiescent_configs", Value::from(report.quiescent_configs)),
         ("complete", Value::from(report.complete)),

@@ -3,7 +3,9 @@
 //! The CLI and the bench harness emit machine-readable JSON next to their
 //! human-readable text. The build environment cannot fetch `serde_json`, so
 //! this crate provides the small subset actually needed: an owned [`Value`]
-//! tree, compact and pretty writers, and ergonomic constructors.
+//! tree, compact and pretty writers, ergonomic constructors, and a strict
+//! recursive-descent [`parse`] for reading documents back (the benchmark
+//! regression gate reads its committed baseline through it).
 //!
 //! Object keys preserve insertion order, which keeps emitted documents
 //! byte-stable across runs — the harness determinism tests rely on that.
@@ -65,6 +67,35 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` for any numeric variant.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(x) => Some(*x as f64),
+            Value::Int(x) => Some(*x as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the entries of an object, in insertion order.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the items of an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
             _ => None,
         }
     }
@@ -250,6 +281,274 @@ where
     Value::Array(items.into_iter().map(Into::into).collect())
 }
 
+/// A parse failure: what went wrong and the byte offset where it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input at which the failure was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// Strict: trailing input after the top-level value, trailing commas,
+/// unquoted keys, and comments are all rejected. Numbers parse as
+/// [`Value::UInt`] / [`Value::Int`] when they are plain integers in range,
+/// and as [`Value::Float`] otherwise — matching what the writers emit, so
+/// `parse(v.to_string_pretty())` round-trips every tree the harness writes.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+/// Nesting depth bound — a parser recursion guard, far above any document
+/// this workspace emits.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("document nests too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.error("expected `,` or `]` in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.error("expected `:` after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(entries));
+            }
+            if !self.eat(b',') {
+                return Err(self.error("expected `,` or `}` in object"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.error("control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: the input is a &str, so the sequence
+                    // is valid; copy its remaining continuation bytes.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hex4 = |p: &mut Self| -> Result<u32, ParseError> {
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.error("truncated \\u escape"));
+            }
+            let digits = std::str::from_utf8(&p.bytes[p.pos..end])
+                .ok()
+                .and_then(|s| u32::from_str_radix(s, 16).ok())
+                .ok_or_else(|| p.error("invalid \\u escape"))?;
+            p.pos = end;
+            Ok(digits)
+        };
+        let first = hex4(self)?;
+        // Surrogate pair handling for the astral plane.
+        if (0xD800..0xDC00).contains(&first) {
+            if !(self.eat(b'\\') && self.eat(b'u')) {
+                return Err(self.error("unpaired surrogate"));
+            }
+            let second = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.error("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number spans ASCII bytes");
+        if !is_float {
+            if let Ok(x) = text.parse::<u64>() {
+                return Ok(Value::UInt(x));
+            }
+            if let Ok(x) = text.parse::<i64>() {
+                return Ok(Value::Int(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ParseError {
+                message: "invalid number".to_owned(),
+                offset: start,
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,5 +605,96 @@ mod tests {
     fn empty_containers() {
         assert_eq!(Value::Array(vec![]).to_string_pretty(), "[]");
         assert_eq!(Value::Object(vec![]).to_string_compact(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = object([
+            ("n", Value::from(5u64)),
+            ("neg", Value::from(-3i64)),
+            ("pi", Value::from(3.25f64)),
+            ("name", Value::from("ring\nwith \"quotes\"")),
+            ("ok", Value::from(true)),
+            ("none", Value::Null),
+            ("xs", array([1u64, 2u64, 3u64])),
+            (
+                "nested",
+                object([("deep", array(vec![Value::Object(vec![])]))]),
+            ),
+        ]);
+        assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
+        assert_eq!(parse(&v.to_string_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_numbers_pick_natural_variants() {
+        assert_eq!(parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("-1.5e-2").unwrap(), Value::Float(-0.015));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\t\u0041\u00e9""#).unwrap(),
+            Value::Str("a\tAé".to_owned())
+        );
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::Str("😀".to_owned())
+        );
+        assert_eq!(
+            parse("\"héllo→\"").unwrap(),
+            Value::Str("héllo→".to_owned())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "[1,",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "truex",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "[1] extra",
+            "+1",
+            "--1",
+            "\"\\q\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse("[1, oops]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("at byte 4"));
+    }
+
+    #[test]
+    fn accessors_cover_numeric_variants() {
+        assert_eq!(Value::UInt(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Int(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert!(Value::Object(vec![]).as_object().is_some());
+        assert!(Value::Array(vec![]).as_array().is_some());
+        assert!(Value::Null.as_object().is_none());
     }
 }

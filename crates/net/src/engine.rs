@@ -896,6 +896,16 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         self.started
     }
 
+    /// The next global send sequence number (total sends attempted so far,
+    /// including dropped and duplicated ones).
+    ///
+    /// This is the counter [`FaultPlan`] triggers on; the explorer needs it
+    /// to keep fingerprints sound while a fault plan is still active.
+    #[must_use]
+    pub fn send_seq(&self) -> u64 {
+        self.send_seq
+    }
+
     fn deliver<H: EventHandler<M>>(&mut self, handler: &mut H, channel: usize) -> EngineStep {
         if let Some(rec) = &mut self.recorded {
             rec.push(ChannelId::from_index(channel));

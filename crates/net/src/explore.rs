@@ -62,14 +62,18 @@
 //! assert!(report.quiescent_configs >= 1);
 //! ```
 
+use crate::dedup::{DedupKind, ShardedIndex};
+use crate::faults::FaultPlan;
 use crate::message::Pulse;
 use crate::port::Port;
 use crate::sched::FifoScheduler;
-use crate::sim::{Context, Protocol, Simulation};
-use crate::snapshot::Snapshot;
+use crate::sim::{Context, Protocol, SimSnapshot, Simulation};
+use crate::snapshot::{Fingerprint, Snapshot};
 use crate::topology::{ChannelId, Wiring};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Bounds on the exploration.
 #[derive(Copy, Clone, Debug)]
@@ -245,6 +249,268 @@ where
     }
 }
 
+/// Configuration for [`explore_parallel`].
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Bounds shared with the sequential explorer.
+    pub limits: ExploreLimits,
+    /// Worker threads; `0` means all available cores.
+    pub jobs: usize,
+    /// Visited-fingerprint backend (see [`crate::dedup`]).
+    pub dedup: DedupKind,
+    /// Expected number of configurations, used to size the Bloom backend.
+    /// Ignored by the exact backend.
+    pub bloom_capacity: usize,
+    /// Target false-positive probability for the Bloom backend.
+    pub bloom_fp_budget: f64,
+    /// Channel faults to apply along every explored path.
+    ///
+    /// Faults trigger on the global send sequence number, which the plain
+    /// configuration fingerprint deliberately omits; while the plan has
+    /// faults left to fire, the explorer therefore mixes the (clamped) send
+    /// counter into the fingerprint so deduplication stays sound.
+    pub faults: FaultPlan,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            limits: ExploreLimits::default(),
+            jobs: 0,
+            dedup: DedupKind::Exact,
+            bloom_capacity: 1 << 20,
+            bloom_fp_budget: 1e-4,
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+/// Resolves `0` to the number of available cores.
+fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// The configuration fingerprint used for deduplication, fault-aware.
+///
+/// Without faults this is exactly [`Simulation::fingerprint`]. With a fault
+/// plan, two configurations that hash equal but differ in how many sends
+/// have happened can still diverge (a pending `drop_seq`/`duplicate_seq`
+/// fires for one and not the other), so the send counter — clamped to just
+/// past the plan's [`FaultPlan::horizon`], beyond which the plan is inert —
+/// is mixed in.
+fn config_fingerprint<P>(sim: &Simulation<Pulse, P>, fault_horizon: Option<u64>) -> u64
+where
+    P: Protocol<Pulse> + Snapshot,
+{
+    let base = sim.fingerprint();
+    match fault_horizon {
+        None => base,
+        Some(h) => {
+            let mut fp = Fingerprint::new();
+            fp.write_u64(base);
+            fp.write_u64(sim.send_seq().min(h + 1));
+            fp.finish()
+        }
+    }
+}
+
+/// Work-stealing, frontier-sharded parallel version of [`explore`].
+///
+/// A fixed pool of `config.jobs` workers (scoped std threads) each runs the
+/// same DFS loop as the sequential explorer over its own frontier shard of
+/// `(SimSnapshot, depth)` items, stealing from other shards when its own
+/// runs dry. Every worker owns a private [`Simulation`] it restores
+/// checkpoints into, so only snapshots — plain data — cross threads.
+/// Deduplication goes through a [`ShardedIndex`] ([`crate::dedup::FP_SHARDS`]
+/// locks keyed by fingerprint prefix) with the backend chosen by
+/// `config.dedup`: `exact` reproduces the sequential explorer's visited set
+/// bit-for-bit, `bloom` trades a measured false-positive budget for fixed
+/// memory.
+///
+/// Guarantees, asserted by differential tests against [`explore`]:
+///
+/// * with the exact backend and no limits hit, `configs`,
+///   `quiescent_configs`, `visited_bytes`, and the violation verdict are
+///   identical to the sequential explorer for every worker count —
+///   a successor is pushed only by the worker that *admitted* its
+///   fingerprint, so each configuration is processed exactly once;
+/// * with the Bloom backend, a false positive can only prune a subtree
+///   (under-count states), never fabricate one: reported violations are
+///   always real;
+/// * unlike [`explore`], a [`FaultPlan`] may be supplied; fingerprints are
+///   then extended per [`FaultPlan::horizon`] so dedup stays sound while
+///   faults can still fire.
+///
+/// When limits are hit the run stops early with `complete = false`; because
+/// workers race to the limit, `configs` may overshoot `max_configs` by up to
+/// one per worker.
+pub fn explore_parallel<P, FM, FS, FQ>(
+    wiring: &Wiring,
+    make_nodes: FM,
+    safety: FS,
+    at_quiescence: FQ,
+    config: &ExploreConfig,
+) -> ExploreReport
+where
+    P: Protocol<Pulse> + Snapshot + Clone,
+    P::State: Send,
+    FM: Fn() -> Vec<P> + Sync,
+    FS: Fn(&ExploreState<P>) -> Result<(), String> + Sync,
+    FQ: Fn(&ExploreState<P>) -> Result<(), String> + Sync,
+{
+    let jobs = effective_jobs(config.jobs);
+    let limits = config.limits;
+    let horizon = config.faults.horizon();
+
+    // Seed: the started initial configuration.
+    let nodes = make_nodes();
+    assert_eq!(nodes.len(), wiring.len(), "one protocol instance per node");
+    let mut seed_sim: Simulation<Pulse, P> =
+        Simulation::new(wiring.clone(), nodes, Box::new(FifoScheduler::new()));
+    seed_sim.set_faults(config.faults.clone());
+    seed_sim.start();
+
+    let index = ShardedIndex::new(config.dedup, config.bloom_capacity, config.bloom_fp_budget);
+    index.insert(config_fingerprint(&seed_sim, horizon));
+    if index.bytes() > limits.max_state_bytes {
+        // A preallocating backend can blow the byte budget before the first
+        // delivery; report the same "budget starved" shape the sequential
+        // explorer would.
+        return ExploreReport {
+            configs: index.admitted(),
+            quiescent_configs: 0,
+            violations: Vec::new(),
+            complete: false,
+            visited_bytes: index.bytes(),
+        };
+    }
+
+    // One frontier shard per worker; each worker pops its own back (LIFO,
+    // depth-first) and steals from other shards' fronts (oldest first,
+    // which tends to hand over large subtrees).
+    type Frontier<P> = Mutex<VecDeque<(SimSnapshot<Pulse, P>, usize)>>;
+    let shards: Vec<Frontier<P>> = (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    shards[0]
+        .lock()
+        .expect("fresh shard")
+        .push_back((seed_sim.snapshot(), 0));
+
+    // In-flight item count: incremented before a push, decremented after an
+    // item is fully processed. Zero with all shards empty means done.
+    let pending = AtomicUsize::new(1);
+    let stop = AtomicBool::new(false);
+    let truncated = AtomicBool::new(false);
+    let quiescent = AtomicUsize::new(0);
+    let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let shards = &shards;
+            let index = &index;
+            let pending = &pending;
+            let stop = &stop;
+            let truncated = &truncated;
+            let quiescent = &quiescent;
+            let violations = &violations;
+            let make_nodes = &make_nodes;
+            let safety = &safety;
+            let at_quiescence = &at_quiescence;
+            let faults = &config.faults;
+            scope.spawn(move || {
+                let mut sim: Simulation<Pulse, P> =
+                    Simulation::new(wiring.clone(), make_nodes(), Box::new(FifoScheduler::new()));
+                sim.set_faults(faults.clone());
+                sim.start();
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // Own shard first (LIFO — depth-first), then steal from
+                    // the front of the others. Each lock is taken and
+                    // released in its own statement: holding the own-shard
+                    // lock while probing a victim would deadlock two workers
+                    // stealing from each other.
+                    let mut item = shards[me].lock().expect("shard poisoned").pop_back();
+                    if item.is_none() {
+                        for d in 1..jobs {
+                            item = shards[(me + d) % jobs]
+                                .lock()
+                                .expect("shard poisoned")
+                                .pop_front();
+                            if item.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some((snapshot, depth)) = item else {
+                        if pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    sim.restore(&snapshot);
+                    let state = state_of(&sim);
+                    if let Err(e) = safety(&state) {
+                        note_violation(
+                            &mut violations.lock().expect("violations poisoned"),
+                            format!("safety: {e}"),
+                        );
+                    }
+                    if state.is_quiescent() {
+                        quiescent.fetch_add(1, Ordering::Relaxed);
+                        if let Err(e) = at_quiescence(&state) {
+                            note_violation(
+                                &mut violations.lock().expect("violations poisoned"),
+                                format!("at quiescence: {e}"),
+                            );
+                        }
+                    } else if depth >= limits.max_depth {
+                        truncated.store(true, Ordering::Release);
+                    } else {
+                        for channel in sim.ready_channels() {
+                            sim.restore(&snapshot);
+                            sim.step_channel(channel)
+                                .expect("ready channel has a message");
+                            let fp = config_fingerprint(&sim, horizon);
+                            if !index.insert(fp) {
+                                continue;
+                            }
+                            if index.admitted() > limits.max_configs
+                                || index.bytes() > limits.max_state_bytes
+                            {
+                                truncated.store(true, Ordering::Release);
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                            pending.fetch_add(1, Ordering::AcqRel);
+                            shards[me]
+                                .lock()
+                                .expect("shard poisoned")
+                                .push_back((sim.snapshot(), depth + 1));
+                        }
+                    }
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                }
+            });
+        }
+    });
+
+    ExploreReport {
+        configs: index.admitted(),
+        quiescent_configs: quiescent.into_inner(),
+        violations: violations.into_inner().expect("violations poisoned"),
+        complete: !truncated.into_inner(),
+        visited_bytes: index.bytes(),
+    }
+}
+
 /// The previous-generation explorer, kept as a differential-testing oracle.
 ///
 /// Instead of snapshots and fingerprints it re-implements delivery on a bare
@@ -308,6 +574,7 @@ where
     let mut violations: Vec<String> = Vec::new();
     let mut quiescent_configs = 0usize;
     let mut complete = true;
+    let mut budget_exhausted = false;
 
     visited.insert(key_of(&initial));
     // DFS stack of (state, depth).
@@ -354,19 +621,24 @@ where
                 continue;
             }
             // Same accounting rule as [`explore`]: only new entries pay.
+            // A config whose key was already present above costs nothing —
+            // this prospective (visited.len() + 1) charge must only ever be
+            // applied to a key that is actually about to be inserted, and
+            // only here. (An earlier revision re-evaluated this charge after
+            // the loop as well, double-counting the key and aborting runs
+            // whose budget was exactly tight; `budget_exhausted` records the
+            // one legitimate trigger site.)
             if visited.len() >= limits.max_configs
                 || (visited.len() + 1) * bytes_per_config > limits.max_state_bytes
             {
                 complete = false;
+                budget_exhausted = true;
                 break;
             }
             visited.insert(key);
             stack.push((next, depth + 1));
         }
-        if !complete
-            && (visited.len() >= limits.max_configs
-                || (visited.len() + 1) * bytes_per_config > limits.max_state_bytes)
-        {
+        if budget_exhausted {
             break;
         }
     }
@@ -537,6 +809,296 @@ mod tests {
         );
         assert!(!reference.complete, "tuple index must exceed the budget");
         assert!(reference.configs < snap.configs);
+    }
+
+    #[test]
+    fn reference_bytes_are_exactly_per_config() {
+        // Satellite audit: every dedup entry must be charged exactly once.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let n = spec.wiring().len();
+        let channels = spec.wiring().channel_count();
+        let bytes_per_config =
+            channels * std::mem::size_of::<u32>() + n + n * std::mem::size_of::<(u32, u32)>();
+        for max_depth in [4, 8, usize::MAX] {
+            let report = explore_reference(
+                &spec.wiring(),
+                mini_ring,
+                |node| (node.id, node.rho),
+                mini_safety,
+                mini_quiescence,
+                ExploreLimits {
+                    max_depth,
+                    ..ExploreLimits::default()
+                },
+            );
+            assert_eq!(
+                report.visited_bytes,
+                report.configs * bytes_per_config,
+                "at max_depth={max_depth}: a re-queued config must not be re-charged"
+            );
+        }
+    }
+
+    /// Node 0 fires one pulse out of each port at start and echoes every
+    /// received pulse back; node 1 goes quiet or bounces forever depending
+    /// on which port its first pulse arrived on. On the n=2 double edge
+    /// this yields exactly the DFS shape that exposed the reference
+    /// explorer's byte double-count: the bouncing subtree is explored first
+    /// (tripping the depth limit), while the quiet branch — whose quiescent
+    /// child is the run's final dedup insert — lingers at the stack bottom.
+    #[derive(Clone, Debug)]
+    struct EchoFork {
+        node: usize,
+        first: Option<Port>,
+        received: u32,
+    }
+
+    impl Protocol<Pulse> for EchoFork {
+        type Output = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+            if self.node == 0 {
+                ctx.send(Port::Zero, Pulse);
+                ctx.send(Port::One, Pulse);
+            }
+        }
+        fn on_message(&mut self, p: Port, _m: Pulse, ctx: &mut Context<'_, Pulse>) {
+            self.received += 1;
+            if self.node == 0 {
+                ctx.send(p, Pulse);
+            } else if *self.first.get_or_insert(p) == Port::Zero {
+                ctx.send(Port::One, Pulse);
+            }
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+
+    #[test]
+    fn tight_budget_does_not_abort_a_depth_limited_reference_run() {
+        // Regression test for the double-count: with a depth limit already
+        // marking the run incomplete, a byte budget that exactly covers the
+        // visited set used to trip the (visited + 1) re-charge after the
+        // branch loop and abort with the quiet branch's quiescent
+        // configuration still on the stack — uncounted, its at-quiescence
+        // predicate never run.
+        let spec = RingSpec::oriented(vec![1, 2]);
+        let ring = || -> Vec<EchoFork> {
+            (0..2)
+                .map(|node| EchoFork {
+                    node,
+                    first: None,
+                    received: 0,
+                })
+                .collect()
+        };
+        let key = |n: &EchoFork| (n.node, n.first.map(|p| p as u8), n.received);
+        let max_depth = 4;
+        let unlimited = explore_reference(
+            &spec.wiring(),
+            ring,
+            key,
+            |_| Ok(()),
+            |_| Err("flagged".into()),
+            ExploreLimits {
+                max_depth,
+                ..ExploreLimits::default()
+            },
+        );
+        assert!(!unlimited.complete, "depth limit must bite for this test");
+        assert_eq!(unlimited.quiescent_configs, 1);
+        let tight = explore_reference(
+            &spec.wiring(),
+            ring,
+            key,
+            |_| Ok(()),
+            |_| Err("flagged".into()),
+            ExploreLimits {
+                max_depth,
+                max_state_bytes: unlimited.visited_bytes,
+                ..ExploreLimits::default()
+            },
+        );
+        assert_eq!(tight.configs, unlimited.configs);
+        assert_eq!(
+            tight.quiescent_configs, 1,
+            "an exactly-tight budget must not skip the queued quiescent config"
+        );
+        assert_eq!(
+            tight.violations, unlimited.violations,
+            "skipping the quiescent config would silently drop its violation"
+        );
+        assert_eq!(tight.visited_bytes, unlimited.visited_bytes);
+    }
+
+    #[test]
+    fn parallel_exact_matches_sequential_for_all_worker_counts() {
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let sequential = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            ExploreLimits::default(),
+        );
+        for jobs in [1, 2, 4, 8] {
+            let parallel = explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                mini_safety,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs,
+                    ..ExploreConfig::default()
+                },
+            );
+            assert_eq!(parallel.configs, sequential.configs, "jobs={jobs}");
+            assert_eq!(
+                parallel.quiescent_configs, sequential.quiescent_configs,
+                "jobs={jobs}"
+            );
+            assert_eq!(parallel.visited_bytes, sequential.visited_bytes);
+            assert!(parallel.complete);
+            assert!(parallel.violations.is_empty(), "{:?}", parallel.violations);
+        }
+    }
+
+    #[test]
+    fn parallel_bloom_uses_fixed_memory() {
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let exact = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 4,
+                ..ExploreConfig::default()
+            },
+        );
+        let bloom = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 4,
+                dedup: DedupKind::Bloom,
+                bloom_capacity: 4_096,
+                bloom_fp_budget: 1e-4,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(bloom.complete);
+        assert!(bloom.violations.is_empty(), "{:?}", bloom.violations);
+        // At 1e-4 over a few hundred states, misses are overwhelmingly
+        // unlikely; allow equality-or-undercount as the contract.
+        assert!(bloom.configs <= exact.configs);
+        assert!(
+            bloom.configs * 100 >= exact.configs * 99,
+            "excessive FP loss"
+        );
+        // Memory is the preallocated filter, independent of states visited.
+        let empty_budget = ShardedIndex::new(DedupKind::Bloom, 4_096, 1e-4).bytes();
+        assert_eq!(bloom.visited_bytes, empty_budget);
+    }
+
+    #[test]
+    fn parallel_detects_the_same_violations() {
+        // Break the quiescence predicate so every quiescent config violates.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let bad = |_: &ExploreState<MiniAlg1>| -> Result<(), String> { Err("always wrong".into()) };
+        let sequential = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            bad,
+            ExploreLimits::default(),
+        );
+        let parallel = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            bad,
+            &ExploreConfig::default(),
+        );
+        assert!(!sequential.violations.is_empty());
+        assert!(!parallel.violations.is_empty());
+        assert_eq!(
+            parallel.violations.is_empty(),
+            sequential.violations.is_empty()
+        );
+    }
+
+    #[test]
+    fn parallel_respects_limits() {
+        let spec = RingSpec::oriented(vec![1, 2]);
+        let jobs = 4;
+        let report = explore_parallel(
+            &spec.wiring(),
+            || vec![MiniAlg1 { id: 50, rho: 0 }, MiniAlg1 { id: 60, rho: 0 }],
+            |_| Ok(()),
+            |_| Ok(()),
+            &ExploreConfig {
+                jobs,
+                limits: ExploreLimits {
+                    max_configs: 16,
+                    max_depth: 8,
+                    max_state_bytes: usize::MAX,
+                },
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(!report.complete);
+        // Workers race to the limit: at most one overshoot per worker.
+        assert!(
+            report.configs <= 16 + jobs + 1,
+            "configs={}",
+            report.configs
+        );
+    }
+
+    #[test]
+    fn faulty_exploration_finds_the_deadlock_and_stays_deterministic() {
+        // Exhaustive exploration under a FaultPlan: dropping the fifth send
+        // (seq 4 — *which* pulse that is depends on the delivery order, so
+        // the fault-aware fingerprint is load-bearing here) starves the
+        // counters and some schedule must reach quiescence early, violating
+        // the all-counters-at-ID_max predicate. The clean run stays green.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let clean = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig::default(),
+        );
+        assert!(clean.complete && clean.violations.is_empty());
+        let faults = FaultPlan::new().drop_seq(4);
+        let run = |jobs: usize| {
+            explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                mini_safety,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs,
+                    faults: faults.clone(),
+                    ..ExploreConfig::default()
+                },
+            )
+        };
+        let faulty = run(1);
+        assert!(faulty.complete);
+        assert!(
+            !faulty.violations.is_empty(),
+            "a dropped pulse must starve some schedule short of quiescence targets"
+        );
+        // Exact-backend exploration is deterministic in the worker count.
+        let faulty4 = run(4);
+        assert_eq!(faulty.configs, faulty4.configs);
+        assert_eq!(faulty.quiescent_configs, faulty4.quiescent_configs);
+        assert_eq!(faulty.violations.is_empty(), faulty4.violations.is_empty());
     }
 
     #[test]

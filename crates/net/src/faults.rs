@@ -75,6 +75,22 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.drops.is_empty() && self.duplicates.is_empty()
     }
+
+    /// The largest send sequence number any fault in this plan triggers on,
+    /// or `None` for an empty plan.
+    ///
+    /// Beyond the horizon the plan is inert: two configurations whose send
+    /// counters both exceed it behave identically under this plan. The
+    /// explorer uses this to keep fingerprint deduplication sound in the
+    /// presence of faults — it mixes `min(send_seq, horizon + 1)` into the
+    /// configuration fingerprint, so states that the plan could still
+    /// distinguish are never merged, while the state space stays finite.
+    #[must_use]
+    pub fn horizon(&self) -> Option<u64> {
+        let last_drop = self.drops.iter().next_back().copied();
+        let last_dup = self.duplicates.iter().next_back().copied();
+        last_drop.max(last_dup)
+    }
 }
 
 /// Counters of faults actually applied during a run.
@@ -102,5 +118,16 @@ mod tests {
         assert!(!plan.should_duplicate(1));
         assert!(!plan.is_empty());
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn horizon_is_the_last_faulted_seq() {
+        assert_eq!(FaultPlan::new().horizon(), None);
+        assert_eq!(FaultPlan::new().drop_seq(3).horizon(), Some(3));
+        assert_eq!(FaultPlan::new().duplicate_seq(9).horizon(), Some(9));
+        assert_eq!(
+            FaultPlan::new().drop_seq(4).duplicate_seq(2).horizon(),
+            Some(4)
+        );
     }
 }

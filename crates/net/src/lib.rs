@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod dedup;
 pub mod engine;
 pub mod explore;
 pub mod faults;
@@ -77,6 +78,7 @@ pub mod threaded;
 pub mod topology;
 pub mod trace;
 
+pub use dedup::{DedupKind, FingerprintStore, ShardedIndex};
 pub use engine::{
     CoreSnapshot, EngineEvent, EngineStep, EventCore, EventHandler, FaultKind, Observer,
     RunMetrics, Topology,

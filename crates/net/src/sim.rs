@@ -537,6 +537,13 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
         self.core.stats()
     }
 
+    /// The next global send sequence number — the counter
+    /// [`FaultPlan`] faults trigger on.
+    #[must_use]
+    pub fn send_seq(&self) -> u64 {
+        self.core.send_seq()
+    }
+
     /// The network wiring.
     #[must_use]
     pub fn wiring(&self) -> &Wiring {

@@ -1,0 +1,293 @@
+//! Acceptance for the parallel frontier-sharded explorer.
+//!
+//! Three properties gate the engine:
+//!
+//! 1. with the exact backend it is a drop-in replacement for the sequential
+//!    explorer — identical configuration counts, quiescent counts, byte
+//!    accounting and violation verdicts, at every worker count;
+//! 2. the bloom backend never *invents* a violation and — across a seeded
+//!    sweep of random faulted instances — never misses one the exact backend
+//!    finds (false positives can only prune already-visited states);
+//! 3. the n=4 Algorithm 1 sweep of the PR acceptance criterion completes.
+
+use content_oblivious::core::ablation::UngatedAlg2Node;
+use content_oblivious::core::{Alg1Node, Alg2Node, Alg3Node, IdScheme, Role};
+use content_oblivious::net::explore::{
+    explore, explore_parallel, ExploreConfig, ExploreLimits, ExploreState,
+};
+use content_oblivious::net::{DedupKind, FaultPlan, RingSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn alg2_nodes(spec: &RingSpec) -> Vec<Alg2Node> {
+    (0..spec.len())
+        .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+        .collect()
+}
+
+fn no_check<P>(_: &ExploreState<P>) -> Result<(), String> {
+    Ok(())
+}
+
+#[test]
+fn parallel_exact_is_a_drop_in_for_the_sequential_explorer() {
+    // One protocol per snapshot-capable family, including the deliberately
+    // broken ablation (its state space is infinite, so both engines must
+    // agree they truncated).
+    let spec = RingSpec::oriented(vec![3u64, 1, 2]);
+
+    let seq_alg1 = explore(
+        &spec.wiring(),
+        || {
+            (0..spec.len())
+                .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<_>>()
+        },
+        no_check,
+        no_check,
+        ExploreLimits::default(),
+    );
+    let seq_alg2 = explore(
+        &spec.wiring(),
+        || alg2_nodes(&spec),
+        no_check,
+        no_check,
+        ExploreLimits::default(),
+    );
+    let seq_alg3 = explore(
+        &spec.wiring(),
+        || {
+            (0..spec.len())
+                .map(|i| Alg3Node::new(spec.id(i), IdScheme::Improved))
+                .collect::<Vec<_>>()
+        },
+        no_check,
+        no_check,
+        ExploreLimits::default(),
+    );
+
+    for jobs in [1usize, 2, 4, 8] {
+        let config = ExploreConfig {
+            jobs,
+            ..ExploreConfig::default()
+        };
+        let par = explore_parallel(
+            &spec.wiring(),
+            || {
+                (0..spec.len())
+                    .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+                    .collect::<Vec<_>>()
+            },
+            no_check,
+            no_check,
+            &config,
+        );
+        assert_eq!(par.configs, seq_alg1.configs, "alg1 configs at jobs={jobs}");
+        assert_eq!(par.quiescent_configs, seq_alg1.quiescent_configs);
+        assert_eq!(par.visited_bytes, seq_alg1.visited_bytes);
+        assert!(par.complete && par.violations.is_empty());
+
+        let par = explore_parallel(
+            &spec.wiring(),
+            || alg2_nodes(&spec),
+            no_check,
+            no_check,
+            &config,
+        );
+        assert_eq!(par.configs, seq_alg2.configs, "alg2 configs at jobs={jobs}");
+        assert_eq!(par.quiescent_configs, seq_alg2.quiescent_configs);
+        assert!(par.complete && par.violations.is_empty());
+
+        let par = explore_parallel(
+            &spec.wiring(),
+            || {
+                (0..spec.len())
+                    .map(|i| Alg3Node::new(spec.id(i), IdScheme::Improved))
+                    .collect::<Vec<_>>()
+            },
+            no_check,
+            no_check,
+            &config,
+        );
+        assert_eq!(par.configs, seq_alg3.configs, "alg3 configs at jobs={jobs}");
+        assert!(par.complete && par.violations.is_empty());
+    }
+}
+
+#[test]
+fn parallel_agrees_with_sequential_on_the_ablation() {
+    // The deliberately broken ablation (E11) livelocks under adversarial
+    // schedules, but its *deduplicated* state space on this tiny ring is
+    // still finite — the engines must agree on it exactly.
+    let spec = RingSpec::oriented(vec![2u64, 3, 1]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| UngatedAlg2Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<_>>()
+    };
+    let seq = explore(
+        &spec.wiring(),
+        make,
+        no_check,
+        no_check,
+        ExploreLimits::default(),
+    );
+    assert!(seq.complete);
+    let par = explore_parallel(
+        &spec.wiring(),
+        make,
+        no_check,
+        no_check,
+        &ExploreConfig {
+            jobs: 4,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(par.complete);
+    assert_eq!(par.configs, seq.configs);
+    assert_eq!(par.quiescent_configs, seq.quiescent_configs);
+}
+
+#[test]
+fn both_engines_truncate_a_genuinely_infinite_space() {
+    // A duplicated pulse never quiesces under Algorithm 2 (the gate defers
+    // it forever), so the state space is infinite: neither engine may claim
+    // completeness under a configuration cap.
+    let spec = RingSpec::oriented(vec![3u64, 5, 2]);
+    let limits = ExploreLimits {
+        max_configs: 3_000,
+        ..ExploreLimits::default()
+    };
+    let plan = FaultPlan::new().duplicate_seq(1);
+    let seq = explore_parallel(
+        &spec.wiring(),
+        || alg2_nodes(&spec),
+        no_check,
+        no_check,
+        &ExploreConfig {
+            jobs: 1,
+            limits,
+            faults: plan.clone(),
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(!seq.complete);
+    let par = explore_parallel(
+        &spec.wiring(),
+        || alg2_nodes(&spec),
+        no_check,
+        no_check,
+        &ExploreConfig {
+            jobs: 4,
+            limits,
+            faults: plan,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(!par.complete);
+}
+
+/// The quiescence predicate of the fault sweep: flag any quiescent
+/// configuration that still looks like a healthy election, so a "violation"
+/// means a schedule survived the fault.
+fn healthy_election_flag(
+    spec: &RingSpec,
+) -> impl Fn(&ExploreState<Alg2Node>) -> Result<(), String> + Sync + '_ {
+    let leader = spec.max_position();
+    let predicted = spec.len() as u64 * (2 * spec.id_max() + 1);
+    move |state| {
+        let healthy = state.terminated.iter().all(|&x| x)
+            && state
+                .nodes
+                .iter()
+                .enumerate()
+                .all(|(i, n)| (n.role() == Role::Leader) == (i == leader))
+            && state.sent == predicted;
+        if healthy {
+            Err("healthy election under fault".into())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[test]
+fn bloom_never_misses_a_violation_the_exact_backend_finds() {
+    // 50 seeded random faulted n=3 instances. Dropped pulses keep the state
+    // space finite; the healthy-election predicate turns "a schedule survives
+    // the fault" into a violation. The bloom backend may prune via false
+    // positives but, at the default 1e-4 budget on spaces of a few hundred
+    // states, it must reach the same verdict as the exact backend — and it
+    // must never report a violation the exact backend does not (bloom
+    // explores a subset of the exact space).
+    let mut rng = StdRng::seed_from_u64(0x5EED_B100);
+    for trial in 0..50 {
+        let ids: Vec<u64> = (0..3).map(|_| rng.gen_range(1..=7)).collect();
+        let spec = RingSpec::oriented(ids.clone());
+        let drop_at = rng.gen_range(1..=8);
+        let plan = FaultPlan::new().drop_seq(drop_at);
+        let run = |dedup: DedupKind| {
+            explore_parallel(
+                &spec.wiring(),
+                || alg2_nodes(&spec),
+                no_check,
+                healthy_election_flag(&spec),
+                &ExploreConfig {
+                    jobs: 4,
+                    dedup,
+                    faults: plan.clone(),
+                    ..ExploreConfig::default()
+                },
+            )
+        };
+        let exact = run(DedupKind::Exact);
+        let bloom = run(DedupKind::Bloom);
+        assert!(exact.complete, "trial {trial} ids {ids:?} drop {drop_at}");
+        assert!(bloom.complete, "trial {trial} ids {ids:?} drop {drop_at}");
+        assert_eq!(
+            exact.violations.is_empty(),
+            bloom.violations.is_empty(),
+            "trial {trial}: ids {ids:?} drop {drop_at} — exact found {:?}, bloom found {:?}",
+            exact.violations,
+            bloom.violations
+        );
+        assert!(
+            bloom.configs <= exact.configs,
+            "trial {trial}: bloom visited more states than exact"
+        );
+    }
+}
+
+#[test]
+fn acceptance_n4_alg1_sweep_with_bloom_and_8_workers() {
+    let spec = RingSpec::oriented(vec![2u64, 4, 1, 3]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<_>>()
+    };
+    let seq = explore(
+        &spec.wiring(),
+        make,
+        no_check,
+        no_check,
+        ExploreLimits::default(),
+    );
+    assert!(seq.complete && seq.violations.is_empty());
+    let par = explore_parallel(
+        &spec.wiring(),
+        make,
+        no_check,
+        no_check,
+        &ExploreConfig {
+            jobs: 8,
+            dedup: DedupKind::Bloom,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(par.complete && par.violations.is_empty());
+    // Parallel/sequential equivalence: bloom can only under-count, and at
+    // this scale the 1e-4 false-positive budget means it does not.
+    assert_eq!(par.configs, seq.configs);
+    assert_eq!(par.quiescent_configs, seq.quiescent_configs);
+}
