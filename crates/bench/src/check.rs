@@ -2,7 +2,9 @@
 //!
 //! Collects a small set of *deterministic* metrics drawn from the experiment
 //! catalogue (message complexity from E1/E2, an anonymous-election sample from
-//! E5, dedup memory from E15 and explorer state counts from E16) and compares
+//! E5, dedup memory from E15, explorer state counts from E16, and the E17
+//! scaling invariants: step count and per-backend peak queue bytes at
+//! n = 1000) and compares
 //! them against the committed baseline `bench_baseline.json`. CI runs
 //! `tables check` on every push: a metric that drifts outside its per-metric
 //! tolerance fails the build before the regression can land.
@@ -235,10 +237,72 @@ pub fn collect_metrics(inject_regression_pct: Option<f64>) -> Vec<Metric> {
         direction: Direction::Increase,
     });
 
+    metrics.extend(e17_metrics().iter().cloned());
+
     if let Some(pct) = inject_regression_pct {
         metrics[0].value *= 1.0 + pct / 100.0;
     }
     metrics
+}
+
+/// E17 — scaling invariants on the n = 1000 Algorithm 2 ring under Fifo.
+///
+/// The step count is backend-independent by construction; the two peak
+/// queue byte counts pin the storage cost of each backend on the exact
+/// same delivery sequence.
+///
+/// This is by far the most expensive gate metric (two 2-million-step
+/// elections: ~2 s in release, over a minute per call in debug), and it is
+/// a pure function of a fixed seed, so it is collected once per process.
+/// Its run-to-run determinism is pinned elsewhere: `tests/record_replay.rs`
+/// and `tests/backend_equivalence.rs` cover the underlying simulations, and
+/// the release gate compares against the *committed* baseline file, which
+/// trips on any cross-process drift.
+fn e17_metrics() -> &'static [Metric; 3] {
+    use co_core::runner;
+    use co_net::{RingSpec, SchedulerKind};
+    use std::sync::OnceLock;
+
+    static CELL: OnceLock<[Metric; 3]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let spec1000 = RingSpec::oriented((1..=1000).collect::<Vec<u64>>());
+        let mut peaks = [0usize; 2];
+        let mut steps = 0u64;
+        for (slot, backend) in [co_net::QueueBackend::Vec, co_net::QueueBackend::Counter]
+            .into_iter()
+            .enumerate()
+        {
+            let out = runner::run_alg2_scaled(
+                &spec1000,
+                SchedulerKind::Fifo,
+                0,
+                backend,
+                co_net::Budget::default(),
+            );
+            peaks[slot] = out.peak_queue_bytes;
+            steps = out.report.steps;
+        }
+        [
+            Metric {
+                name: "e17_peak_queue_bytes_vec_n1000",
+                value: peaks[0] as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e17_peak_queue_bytes_counter_n1000",
+                value: peaks[1] as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e17_alg2_steps_n1000",
+                value: steps as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+        ]
+    })
 }
 
 /// Serializes metrics as the committed baseline document.

@@ -1,4 +1,4 @@
-//! Experiments E0–E16: one function per quantitative claim of the paper.
+//! Experiments E0–E17: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -56,11 +56,14 @@ pub enum Experiment {
     /// Parallel frontier-sharded exploration: speedup grid and exhaustive
     /// fault model-checking.
     E16,
+    /// Scaling: thousand-node rings under both queue backends, plus the
+    /// million-pulse single-channel burst that motivates the counter store.
+    E17,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 17] = [
+    pub const ALL: [Experiment; 18] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -78,6 +81,7 @@ impl Experiment {
         Experiment::E14,
         Experiment::E15,
         Experiment::E16,
+        Experiment::E17,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -114,6 +118,7 @@ pub fn run_experiment_with(exp: Experiment, jobs: usize) -> Table {
         Experiment::E8 => e8_baselines_jobs(jobs),
         Experiment::E10 => e10_invariants_jobs(jobs),
         Experiment::E16 => e16_parallel_explore_jobs(jobs),
+        Experiment::E17 => e17_scaling_jobs(jobs),
         _ => run_sequential(exp),
     }
 }
@@ -137,6 +142,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E14 => e14_universal_simulation(),
         Experiment::E15 => e15_explore_dedup(),
         Experiment::E16 => e16_parallel_explore(),
+        Experiment::E17 => e17_scaling(),
     }
 }
 
@@ -1338,6 +1344,244 @@ pub fn e16_parallel_explore_jobs(jobs: usize) -> Table {
     t
 }
 
+/// E17 — thousand-node scaling under both queue backends (default scale).
+#[must_use]
+pub fn e17_scaling() -> Table {
+    e17_scaling_jobs(1)
+}
+
+/// E17 — thousand-node scaling under both queue backends.
+///
+/// Three workloads, each at `n ∈ {100, 500, 1000, 2000, 5000}` under both
+/// the generic `VecDeque` store and the run-length counter store:
+///
+/// 1. **token** — one pulse circulating the ring for a fixed 500 k
+///    deliveries. The message count is fixed while `n` grows 50×, so with
+///    incremental ready tracking steps/sec stays flat in `n` (the old
+///    per-step `ready_buf` rebuild was O(channels) even with one pulse in
+///    flight).
+/// 2. **election matrix** — Alg1/Alg2/Alg3 with contiguous IDs, exact to
+///    the paper's complexity formulas. Step and pulse counts must be
+///    byte-identical across backends; wall-time and peak queue bytes are
+///    informational. At this scale wall-time is dominated by the
+///    scheduler's O(ready) scan (see `--profile`), so the big cells run
+///    minutes — the matrix fans across `jobs` workers.
+/// 3. **burst** — 10⁶ pulses fired into a single channel, isolating the
+///    memory claim: the counter store keeps one 16-byte `(head_seq, len)`
+///    run however many pulses are queued; the `VecDeque` store pays one
+///    envelope each.
+#[must_use]
+pub fn e17_scaling_jobs(jobs: usize) -> Table {
+    use co_net::{Context, Port, Pulse, QueueBackend};
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E17 — scaling: thousand-node rings, pluggable queue backends",
+        "identical counts under both stores; ready upkeep O(1)/step; counter store O(runs) memory",
+        vec![
+            "workload",
+            "n",
+            "backend",
+            "steps",
+            "pulses",
+            "exact",
+            "peak queue B",
+            "ms",
+            "Ksteps/s",
+        ],
+    );
+    let ns = [100usize, 500, 1000, 2000, 5000];
+    let mut all_ok = true;
+    let row_of = |workload: String,
+                  n: usize,
+                  backend: QueueBackend,
+                  steps: u64,
+                  pulses: u64,
+                  exact: bool,
+                  peak: usize,
+                  ms: u128| {
+        let ksteps = steps as f64 / 1e3 / (ms.max(1) as f64 / 1e3);
+        vec![
+            workload,
+            n.to_string(),
+            backend.to_string(),
+            steps.to_string(),
+            pulses.to_string(),
+            exact.to_string(),
+            peak.to_string(),
+            ms.to_string(),
+            format!("{ksteps:.0}"),
+        ]
+    };
+
+    // -- Workload 1: fixed message count, growing ring ------------------------
+    // One token relayed clockwise forever; the budget cuts it off after
+    // exactly 500 k deliveries on every ring size.
+    #[derive(Clone, Debug)]
+    struct Token {
+        starts: bool,
+    }
+    impl Protocol<Pulse> for Token {
+        type Output = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+            if self.starts {
+                ctx.send(Port::One, Pulse);
+            }
+        }
+        fn on_message(&mut self, _p: Port, _m: Pulse, ctx: &mut Context<'_, Pulse>) {
+            ctx.send(Port::One, Pulse);
+        }
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+    const TOKEN_STEPS: u64 = 500_000;
+    for n in ns {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        for backend in QueueBackend::ALL {
+            let nodes = (0..n).map(|i| Token { starts: i == 0 }).collect();
+            let mut sim: Simulation<Pulse, Token> = Simulation::with_backend(
+                spec.wiring(),
+                nodes,
+                SchedulerKind::Fifo.build(0),
+                backend,
+            );
+            let start = Instant::now();
+            let run = sim.run(Budget::steps(TOKEN_STEPS));
+            let ms = start.elapsed().as_millis();
+            // Exactly one pulse is ever in flight: the budget, not
+            // quiescence, ends the run, after TOKEN_STEPS deliveries and
+            // TOKEN_STEPS + 1 sends.
+            let exact = run.outcome == Outcome::BudgetExhausted
+                && run.steps == TOKEN_STEPS
+                && run.total_sent == TOKEN_STEPS + 1;
+            all_ok &= exact;
+            t.row(row_of(
+                "token 500k".into(),
+                n,
+                backend,
+                run.steps,
+                run.total_sent,
+                exact,
+                sim.peak_queue_bytes(),
+                ms,
+            ));
+        }
+    }
+
+    // -- Workload 2: the election matrix --------------------------------------
+    // Alg2 at n = 5000 with contiguous IDs sends n(2n+1) ≈ 50 M pulses,
+    // which exceeds the 50 M-step default budget — size it explicitly.
+    let budget = Budget::steps(120_000_000);
+    let cells: Vec<(usize, &str, QueueBackend)> = ns
+        .iter()
+        .flat_map(|&n| {
+            ["alg1", "alg2", "alg3"]
+                .into_iter()
+                .flat_map(move |alg| QueueBackend::ALL.map(|b| (n, alg, b)))
+        })
+        .collect();
+    let results = crate::parallel::par_map(&cells, jobs, |&(n, alg, backend)| {
+        let spec = RingSpec::oriented((1..=n as u64).collect());
+        let start = Instant::now();
+        let out = match alg {
+            "alg1" => runner::run_alg1_scaled(&spec, SchedulerKind::Fifo, 0, backend, budget),
+            "alg2" => runner::run_alg2_scaled(&spec, SchedulerKind::Fifo, 0, backend, budget),
+            _ => runner::run_alg3_scaled(
+                &spec,
+                IdScheme::Improved,
+                SchedulerKind::Fifo,
+                0,
+                backend,
+                budget,
+            ),
+        };
+        let ms = start.elapsed().as_millis();
+        (out, ms)
+    });
+    for (chunk, items) in results.chunks(2).zip(cells.chunks(2)) {
+        // Chunks pair the Vec and Counter runs of one (n, alg) cell; their
+        // step and pulse counts must be byte-identical.
+        let counts: Vec<(u64, u64)> = chunk
+            .iter()
+            .map(|(out, _)| (out.report.steps, out.report.total_messages))
+            .collect();
+        let backends_agree = counts[0] == counts[1];
+        for ((out, ms), &(n, alg, backend)) in chunk.iter().zip(items) {
+            let r = &out.report;
+            let exact = r.reached_quiescence()
+                && Some(r.total_messages) == r.predicted_messages
+                && backends_agree;
+            all_ok &= exact;
+            t.row(row_of(
+                alg.into(),
+                n,
+                backend,
+                r.steps,
+                r.total_messages,
+                exact,
+                out.peak_queue_bytes,
+                *ms,
+            ));
+        }
+    }
+
+    // -- Workload 3: the memory claim in isolation ----------------------------
+    // One node on a self-loop fires 10⁶ consecutive-seq pulses into a
+    // single channel at start, then drains them.
+    #[derive(Clone, Debug)]
+    struct Burst;
+    impl Protocol<Pulse> for Burst {
+        type Output = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, Pulse>) {
+            for _ in 0..1_000_000 {
+                ctx.send(Port::One, Pulse);
+            }
+        }
+        fn on_message(&mut self, _p: Port, _m: Pulse, _ctx: &mut Context<'_, Pulse>) {}
+        fn output(&self) -> Option<()> {
+            None
+        }
+    }
+    let spec1 = RingSpec::oriented(vec![1]);
+    let mut peaks = Vec::new();
+    for backend in QueueBackend::ALL {
+        let mut sim: Simulation<Pulse, Burst> = Simulation::with_backend(
+            spec1.wiring(),
+            vec![Burst],
+            SchedulerKind::Fifo.build(0),
+            backend,
+        );
+        let start = Instant::now();
+        let run = sim.run(Budget::steps(2_000_000));
+        let ms = start.elapsed().as_millis();
+        let exact = run.outcome == Outcome::Quiescent && run.steps == 1_000_000;
+        all_ok &= exact;
+        peaks.push(sim.peak_queue_bytes());
+        t.row(row_of(
+            "burst 1e6".into(),
+            1,
+            backend,
+            run.steps,
+            run.total_sent,
+            exact,
+            sim.peak_queue_bytes(),
+            ms,
+        ));
+    }
+    // peaks[0] is the Vec store, peaks[1] the counter store.
+    let burst_ok = peaks[0] >= 1_000_000 * 8 && peaks[1] <= 64;
+    all_ok &= burst_ok;
+
+    t.set_verdict(if all_ok {
+        "counts identical under both stores at every scale; the counter store holds a \
+         million queued pulses in one 16-byte run"
+    } else {
+        "MISMATCH: backend-dependent counts or unexpected queue memory"
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1347,7 +1591,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e17"), None);
+        assert_eq!(Experiment::parse("e18"), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo run -p co-bench --bin tables --release -- --exp e1
 //! cargo run -p co-bench --bin tables --release -- --json  # JSON lines
 //! cargo run -p co-bench --bin tables --release -- --jobs 8
+//! cargo run -p co-bench --bin tables --release -- --exp e17 --profile
 //! cargo run -p co-bench --bin tables --release -- check              # gate
 //! cargo run -p co-bench --bin tables --release -- check --update    # re-baseline
 //! ```
@@ -14,6 +15,12 @@
 //! worker threads (`--jobs 0` uses one worker per core). Every trial is
 //! seeded from its grid coordinates, so the output is byte-identical for
 //! every jobs value — only the wall clock changes.
+//!
+//! `--profile` turns on the event core's hot-path collector
+//! (`co_net::prof`) and prints a per-phase latency table (enqueue / pick /
+//! deliver / observe: sample counts, total ms, mean and tail nanoseconds)
+//! after each experiment. Collection is reset between experiments, so each
+//! profile covers exactly one table.
 //!
 //! `check` collects the deterministic gate metrics and compares them against
 //! `bench_baseline.json`, exiting nonzero on any regression. `--update`
@@ -112,19 +119,20 @@ fn main() -> ExitCode {
     let mut selected: Vec<Experiment> = Vec::new();
     let mut json = false;
     let mut jobs = 1usize;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--exp" => {
                 i += 1;
                 let Some(name) = args.get(i) else {
-                    eprintln!("--exp requires an argument (e0..e16)");
+                    eprintln!("--exp requires an argument (e0..e17)");
                     return ExitCode::FAILURE;
                 };
                 match Experiment::parse(name) {
                     Some(e) => selected.push(e),
                     None => {
-                        eprintln!("unknown experiment {name}; expected e0..e16");
+                        eprintln!("unknown experiment {name}; expected e0..e17");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -139,9 +147,10 @@ fn main() -> ExitCode {
                 jobs = n;
             }
             "--json" => json = true,
+            "--profile" => profile = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: tables [--exp eN]... [--jobs N] [--json]\n       tables check [--baseline FILE] [--update] [--inject-regression] [--report FILE]"
+                    "usage: tables [--exp eN]... [--jobs N] [--json] [--profile]\n       tables check [--baseline FILE] [--update] [--inject-regression] [--report FILE]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -155,12 +164,17 @@ fn main() -> ExitCode {
     if selected.is_empty() {
         selected = Experiment::ALL.to_vec();
     }
+    co_net::prof::set_enabled(profile);
     for exp in selected {
+        co_net::prof::reset();
         let table = run_experiment_with(exp, jobs);
         if json {
             println!("{}", table.to_json().to_string_compact());
         } else {
             println!("{table}");
+        }
+        if profile {
+            println!("hot-path profile ({exp}):\n{}", co_net::prof::report());
         }
     }
     ExitCode::SUCCESS

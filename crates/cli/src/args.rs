@@ -81,7 +81,7 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E16).
+        /// Experiments to run (empty = all of E0–E17).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
         jobs: usize,
@@ -337,7 +337,7 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e16"))
+                        err(format!("unknown experiment '{name}'; expected e0..e17"))
                     })?);
                 }
                 "--jobs" => {
@@ -440,7 +440,7 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E16)
+  tables      Regenerate the paper's experiment tables (E0..E17)
   record      Run once, printing a replayable delivery schedule
   replay      Deterministically re-execute a recorded schedule
   shrink      Find a monitor-violating schedule, then ddmin-minimize it

@@ -11,7 +11,7 @@ use crate::alg2::Alg2Node;
 use crate::alg3::{Alg3Node, Alg3Output, IdScheme};
 use crate::election::{unique_leader, ElectionReport, Role};
 use crate::invariants::{Alg2MonitorObserver, CwMonitorObserver, InvariantViolation};
-use co_net::{Budget, Port, Pulse, RingSpec, RunReport, SchedulerKind, Simulation};
+use co_net::{Budget, Port, Pulse, QueueBackend, RingSpec, RunReport, SchedulerKind, Simulation};
 
 /// Runs Algorithm 1 (stabilizing, oriented) to quiescence.
 ///
@@ -109,6 +109,97 @@ fn alg2_nodes(spec: &RingSpec) -> Vec<Alg2Node> {
 
 fn alg2_roles(sim: &Simulation<Pulse, Alg2Node>, n: usize) -> Vec<Role> {
     (0..n).map(|i| sim.node(i).role()).collect()
+}
+
+/// Result of a backend-parameterized run: election report plus queue-memory
+/// accounting. Produced by the `*_scaled` runners behind the E17 scaling
+/// experiment.
+#[derive(Clone, Debug)]
+pub struct ScaledReport {
+    /// The election outcome.
+    pub report: ElectionReport,
+    /// Queue storage backend the run used.
+    pub backend: QueueBackend,
+    /// High-water mark of queue storage bytes over the whole run.
+    pub peak_queue_bytes: usize,
+}
+
+/// Runs Algorithm 1 under an explicit queue backend and step budget.
+///
+/// Semantically identical to [`run_alg1`] — the report is byte-for-byte the
+/// same under either backend — but additionally returns the queue-memory
+/// high-water mark, and accepts a budget large enough for thousand-node
+/// rings (the default budget caps at 50 M steps, which `n = 5000` Alg2
+/// exceeds).
+#[must_use]
+pub fn run_alg1_scaled(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+    backend: QueueBackend,
+    budget: Budget,
+) -> ScaledReport {
+    let nodes = (0..spec.len())
+        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+        .collect();
+    let mut sim: Simulation<Pulse, Alg1Node> =
+        Simulation::with_backend(spec.wiring(), nodes, scheduler.build(seed), backend);
+    let run = sim.run(budget);
+    let roles: Vec<Role> = (0..spec.len()).map(|i| sim.node(i).role()).collect();
+    ScaledReport {
+        report: report_from(spec, &run, roles, Some(spec.len() as u64 * spec.id_max())),
+        backend,
+        peak_queue_bytes: sim.peak_queue_bytes(),
+    }
+}
+
+/// Runs Algorithm 2 under an explicit queue backend and step budget.
+///
+/// See [`run_alg1_scaled`] for the contract.
+#[must_use]
+pub fn run_alg2_scaled(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+    backend: QueueBackend,
+    budget: Budget,
+) -> ScaledReport {
+    let nodes = alg2_nodes(spec);
+    let mut sim: Simulation<Pulse, Alg2Node> =
+        Simulation::with_backend(spec.wiring(), nodes, scheduler.build(seed), backend);
+    let run = sim.run(budget);
+    let roles = alg2_roles(&sim, spec.len());
+    ScaledReport {
+        report: report_from(spec, &run, roles, Some(predicted_alg2(spec))),
+        backend,
+        peak_queue_bytes: sim.peak_queue_bytes(),
+    }
+}
+
+/// Runs Algorithm 3 under an explicit queue backend and step budget.
+///
+/// See [`run_alg1_scaled`] for the contract.
+#[must_use]
+pub fn run_alg3_scaled(
+    spec: &RingSpec,
+    scheme: IdScheme,
+    scheduler: SchedulerKind,
+    seed: u64,
+    backend: QueueBackend,
+    budget: Budget,
+) -> ScaledReport {
+    let nodes = (0..spec.len())
+        .map(|i| Alg3Node::new(spec.id(i), scheme))
+        .collect();
+    let mut sim: Simulation<Pulse, Alg3Node> =
+        Simulation::with_backend(spec.wiring(), nodes, scheduler.build(seed), backend);
+    let run = sim.run(budget);
+    let out = alg3_report_from(spec, scheme, &sim, &run);
+    ScaledReport {
+        report: out.report,
+        backend,
+        peak_queue_bytes: sim.peak_queue_bytes(),
+    }
 }
 
 /// Result of an Algorithm 3 run: election report plus orientation data.
@@ -278,6 +369,38 @@ mod tests {
             assert!(report.quiescently_terminated(), "bound {bound}");
             assert_eq!(report.leader, Some(1), "bound {bound}");
             assert_eq!(report.total_messages, 4 * (2 * 7 + 1), "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn scaled_runners_agree_with_plain_across_backends() {
+        let spec = RingSpec::oriented(vec![2, 6, 3, 5]);
+        let plain1 = run_alg1(&spec, SchedulerKind::Fifo, 0);
+        let plain2 = run_alg2(&spec, SchedulerKind::Fifo, 0);
+        let plain3 = run_alg3(&spec, IdScheme::Improved, SchedulerKind::Fifo, 0);
+        for backend in QueueBackend::ALL {
+            let budget = Budget::default();
+            let s1 = run_alg1_scaled(&spec, SchedulerKind::Fifo, 0, backend, budget);
+            let s2 = run_alg2_scaled(&spec, SchedulerKind::Fifo, 0, backend, budget);
+            let s3 = run_alg3_scaled(
+                &spec,
+                IdScheme::Improved,
+                SchedulerKind::Fifo,
+                0,
+                backend,
+                budget,
+            );
+            for (scaled, plain) in [(&s1, &plain1), (&s2, &plain2), (&s3, &plain3.report)] {
+                assert_eq!(scaled.backend, backend);
+                assert_eq!(scaled.report.outcome, plain.outcome, "{backend}");
+                assert_eq!(scaled.report.steps, plain.steps, "{backend}");
+                assert_eq!(
+                    scaled.report.total_messages, plain.total_messages,
+                    "{backend}"
+                );
+                assert_eq!(scaled.report.leader, plain.leader, "{backend}");
+                assert!(scaled.peak_queue_bytes > 0, "{backend}: queues were used");
+            }
         }
     }
 

@@ -2,11 +2,11 @@
 //!
 //! [`EventCore`] owns everything a discrete-event network simulation needs
 //! that is independent of the topology's port discipline: per-channel FIFO
-//! queues, the sorted non-empty channel set, scheduler dispatch, fault
-//! application ([`FaultPlan`]), budget and quiescence accounting
-//! ([`Budget`], [`Outcome`]), aggregate statistics ([`SimStats`]), and event
-//! emission to [`Observer`]s (including the optional [`Trace`] and the
-//! [`RunMetrics`] run-summary collector).
+//! queues behind a pluggable [`QueueStore`], the incrementally maintained
+//! ready list, scheduler dispatch, fault application ([`FaultPlan`]), budget
+//! and quiescence accounting ([`Budget`], [`Outcome`]), aggregate statistics
+//! ([`SimStats`]), and event emission to [`Observer`]s (including the
+//! optional [`Trace`] and the [`RunMetrics`] run-summary collector).
 //!
 //! Two abstractions parameterize the core:
 //!
@@ -23,18 +23,24 @@
 //!
 //! The core's delivery semantics are the paper's model exactly — see the
 //! [`sim`](crate::sim) module docs — and are byte-identical to the
-//! pre-unification ring engine: sequence numbers are assigned in send order,
-//! faults apply drop-then-duplicate, and the ready list offered to the
-//! scheduler is sorted by channel index.
+//! pre-unification ring engine: sequence numbers are assigned in send order
+//! and faults apply drop-then-duplicate. The ready list handed to the
+//! scheduler is a dense array updated in place on enqueue/deliver
+//! (swap-remove on empty), so its *order* is an implementation detail;
+//! schedulers must pick by channel identity / head sequence, not by array
+//! position (see [`Scheduler`]). Head sequence numbers are globally unique,
+//! so key-based picks are well-defined regardless of array order.
 
 use crate::faults::{FaultPlan, FaultStats};
-use crate::message::Message;
+use crate::message::{Message, UnitMessage};
 use crate::port::Direction;
+use crate::prof;
 use crate::sched::{ChannelView, Scheduler};
 use crate::snapshot::Schedule;
 use crate::topology::ChannelId;
 use crate::trace::{Trace, TraceEvent};
 use std::collections::VecDeque;
+use std::error::Error;
 use std::fmt;
 
 /// A channel table: how many nodes, how their ports map to directed FIFO
@@ -320,6 +326,16 @@ pub struct RunMetrics {
     pub faults: u64,
     /// Peak number of messages simultaneously in transit.
     pub max_in_flight: u64,
+    /// High-water mark of queued bytes across all channels, as accounted by
+    /// the engine's [`QueueStore`].
+    ///
+    /// This field is *backend-dependent by design* — it is the measured
+    /// footprint of the storage actually in use, not an estimate, so the
+    /// same run costs far fewer bytes under [`QueueBackend::Counter`] than
+    /// under [`QueueBackend::Vec`]. Filled in by the owning engine (events
+    /// carry no size information); stays 0 when `RunMetrics` is used as a
+    /// free-standing observer.
+    pub peak_queue_bytes: u64,
     in_flight: u64,
 }
 
@@ -507,19 +523,288 @@ pub struct EngineStep {
     pub ignored: bool,
 }
 
+/// A scheduler misbehaved and the engine refused to act on its answer.
+///
+/// Returned by [`EventCore::try_step`] / [`crate::Simulation::try_step`]
+/// *before* any engine state is mutated, so a buggy adversary cannot wedge
+/// the core half-updated — the explorer can report the offending scheduler
+/// and carry on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The scheduler returned an index outside the ready list it was shown.
+    SchedulerOutOfRange {
+        /// The index the scheduler returned.
+        pick: usize,
+        /// Length of the ready list it was picking from.
+        ready_len: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EngineError::SchedulerOutOfRange { pick, ready_len } => write!(
+                f,
+                "scheduler returned out-of-range index {pick} (ready list has {ready_len} entries)"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Which storage backend an [`EventCore`]'s [`QueueStore`] uses.
+///
+/// The two backends are observationally identical — same delivery order,
+/// same sequence numbers, same [`RunReport`]s and snapshot fingerprints —
+/// and differ only in memory footprint and constant factors (see the
+/// backend-equivalence property suite in `tests/backend_equivalence.rs`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueueBackend {
+    /// Per-channel `VecDeque` of full `(message, seq)` envelopes. Works for
+    /// any payload type; a queued message costs `size_of::<M>() + 8` bytes.
+    #[default]
+    Vec,
+    /// Run-length counters over sequence numbers, for [`UnitMessage`]
+    /// payloads only: a channel holds `(head_seq, len)` runs of consecutive
+    /// seqs, so a burst of a million queued pulses costs one 16-byte run.
+    /// Fault-injected duplicates and interleaved sends spill into further
+    /// runs; the representation stays lossless because deliveries
+    /// reconstruct the payload from `M::default()`.
+    Counter,
+}
+
+impl QueueBackend {
+    /// Both backends, in a fixed order (for test/bench grids).
+    pub const ALL: [QueueBackend; 2] = [QueueBackend::Vec, QueueBackend::Counter];
+
+    /// Parses `"vec"` / `"counter"` (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<QueueBackend> {
+        match name.to_ascii_lowercase().as_str() {
+            "vec" => Some(QueueBackend::Vec),
+            "counter" => Some(QueueBackend::Counter),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueueBackend::Vec => "vec",
+            QueueBackend::Counter => "counter",
+        })
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Envelope<M> {
     msg: M,
     seq: u64,
 }
 
+/// One channel of the counter backend: FIFO runs of consecutive sequence
+/// numbers. `runs[0]` is the head run (next delivery = its start seq); the
+/// rest is the spill list created by sequence gaps (interleaved sends on
+/// other channels) or fault-injected duplicates.
+#[derive(Clone, Debug, Default)]
+struct PulseRuns {
+    runs: VecDeque<(u64, u64)>,
+    len: usize,
+}
+
+impl PulseRuns {
+    fn push(&mut self, seq: u64) -> bool {
+        self.len += 1;
+        if let Some(last) = self.runs.back_mut() {
+            if last.0 + last.1 == seq {
+                last.1 += 1;
+                return false;
+            }
+        }
+        self.runs.push_back((seq, 1));
+        true
+    }
+
+    fn pop(&mut self) -> Option<(u64, bool)> {
+        let front = self.runs.front_mut()?;
+        let seq = front.0;
+        self.len -= 1;
+        if front.1 == 1 {
+            self.runs.pop_front();
+            Some((seq, true))
+        } else {
+            front.0 += 1;
+            front.1 -= 1;
+            Some((seq, false))
+        }
+    }
+
+    fn head_seq(&self) -> Option<u64> {
+        self.runs.front().map(|&(start, _)| start)
+    }
+}
+
+const RUN_BYTES: usize = std::mem::size_of::<(u64, u64)>();
+
+#[derive(Clone, Debug)]
+enum StoreRepr<M> {
+    Vec(Vec<VecDeque<Envelope<M>>>),
+    Counter { proto: M, chans: Vec<PulseRuns> },
+}
+
+/// Pluggable per-channel FIFO storage — the concrete state behind a
+/// [`QueueBackend`].
+///
+/// The store owns only message content and sequence numbers; ready-list
+/// maintenance, statistics, and fault logic live in [`EventCore`]. It also
+/// keeps the byte accounting ([`QueueStore::queue_bytes`] /
+/// [`QueueStore::peak_queue_bytes`]) that backs `RunMetrics::
+/// peak_queue_bytes` and the E17 memory column.
+#[derive(Clone, Debug)]
+pub struct QueueStore<M> {
+    repr: StoreRepr<M>,
+    total: usize,
+    cur_bytes: usize,
+    peak_bytes: usize,
+}
+
+impl<M: Message> QueueStore<M> {
+    fn vec(channels: usize) -> QueueStore<M> {
+        QueueStore {
+            repr: StoreRepr::Vec((0..channels).map(|_| VecDeque::new()).collect()),
+            total: 0,
+            cur_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn counter(channels: usize) -> QueueStore<M>
+    where
+        M: UnitMessage,
+    {
+        QueueStore {
+            repr: StoreRepr::Counter {
+                proto: M::default(),
+                chans: vec![PulseRuns::default(); channels],
+            },
+            total: 0,
+            cur_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    /// The backend this store implements.
+    #[must_use]
+    pub fn backend(&self) -> QueueBackend {
+        match self.repr {
+            StoreRepr::Vec(_) => QueueBackend::Vec,
+            StoreRepr::Counter { .. } => QueueBackend::Counter,
+        }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        match &self.repr {
+            StoreRepr::Vec(queues) => queues.len(),
+            StoreRepr::Counter { chans, .. } => chans.len(),
+        }
+    }
+
+    /// Messages queued on one channel.
+    #[must_use]
+    pub fn len(&self, channel: usize) -> usize {
+        match &self.repr {
+            StoreRepr::Vec(queues) => queues[channel].len(),
+            StoreRepr::Counter { chans, .. } => chans[channel].len,
+        }
+    }
+
+    /// Whether no messages are queued anywhere.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Messages queued across all channels.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Sequence number of the next message `channel` would deliver.
+    #[must_use]
+    pub fn head_seq(&self, channel: usize) -> Option<u64> {
+        match &self.repr {
+            StoreRepr::Vec(queues) => queues[channel].front().map(|e| e.seq),
+            StoreRepr::Counter { chans, .. } => chans[channel].head_seq(),
+        }
+    }
+
+    /// Bytes of queued payload currently held (envelopes for the vec
+    /// backend, run entries for the counter backend; container overhead is
+    /// not counted).
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        self.cur_bytes
+    }
+
+    /// High-water mark of [`QueueStore::queue_bytes`] over the store's
+    /// lifetime.
+    #[must_use]
+    pub fn peak_queue_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    fn push(&mut self, channel: usize, msg: M, seq: u64) {
+        self.total += 1;
+        match &mut self.repr {
+            StoreRepr::Vec(queues) => {
+                queues[channel].push_back(Envelope { msg, seq });
+                self.cur_bytes += std::mem::size_of::<Envelope<M>>();
+            }
+            StoreRepr::Counter { chans, .. } => {
+                if chans[channel].push(seq) {
+                    self.cur_bytes += RUN_BYTES;
+                }
+            }
+        }
+        if self.cur_bytes > self.peak_bytes {
+            self.peak_bytes = self.cur_bytes;
+        }
+    }
+
+    fn pop(&mut self, channel: usize) -> Option<(M, u64)> {
+        match &mut self.repr {
+            StoreRepr::Vec(queues) => {
+                let envelope = queues[channel].pop_front()?;
+                self.total -= 1;
+                self.cur_bytes -= std::mem::size_of::<Envelope<M>>();
+                Some((envelope.msg, envelope.seq))
+            }
+            StoreRepr::Counter { proto, chans } => {
+                let (seq, run_freed) = chans[channel].pop()?;
+                self.total -= 1;
+                if run_freed {
+                    self.cur_bytes -= RUN_BYTES;
+                }
+                Some((proto.clone(), seq))
+            }
+        }
+    }
+}
+
 /// A full checkpoint of an [`EventCore`]'s mutable run state.
 ///
 /// Captures channel queues (messages and their sequence numbers), node
 /// termination flags, the global send counter, aggregate statistics, fault
-/// counters, and the scheduler's serialized state — everything that
-/// influences the rest of the run. Restoring a snapshot makes the core
-/// behave exactly as the captured one would from that point on.
+/// counters, the ready-list order, and the scheduler's serialized state —
+/// everything that influences the rest of the run. Restoring a snapshot
+/// makes the core behave exactly as the captured one would from that point
+/// on, including under ready-order-sensitive adversaries such as
+/// [`crate::sched::RandomScheduler`].
 ///
 /// Deliberately *not* captured: traces, metrics, attached observers, and the
 /// recorded schedule beyond its length at capture time. Those are
@@ -528,7 +813,8 @@ struct Envelope<M> {
 #[derive(Clone, Debug)]
 pub struct CoreSnapshot<M> {
     terminated: Vec<bool>,
-    queues: Vec<VecDeque<Envelope<M>>>,
+    queues: QueueStore<M>,
+    ready_order: Vec<usize>,
     stats: SimStats,
     send_seq: u64,
     started: bool,
@@ -536,6 +822,8 @@ pub struct CoreSnapshot<M> {
     scheduler_state: Vec<u64>,
     recorded_len: usize,
 }
+
+const NOT_READY: usize = usize::MAX;
 
 /// The generic event core: queues, scheduler dispatch, faults, accounting,
 /// and observer emission over any [`Topology`].
@@ -547,12 +835,14 @@ pub struct CoreSnapshot<M> {
 pub struct EventCore<M: Message, T: Topology> {
     topology: T,
     terminated: Vec<bool>,
-    queues: Vec<VecDeque<Envelope<M>>>,
-    /// Indices of non-empty channels, kept sorted — maintained
-    /// incrementally so a step costs O(#active channels), not O(n). With a
-    /// single pulse circulating (the common tail of the paper's
-    /// algorithms) a step is O(1).
-    nonempty: Vec<usize>,
+    queues: QueueStore<M>,
+    /// Dense array of non-empty channels, updated in place on
+    /// enqueue/deliver (swap-remove on empty) so `step()` never rebuilds
+    /// it — O(1) + scheduler cost per step regardless of how many channels
+    /// are active. Order is arbitrary (a function of run history);
+    /// `ready_pos` maps channel index → position, `NOT_READY` if absent.
+    ready: Vec<ChannelView>,
+    ready_pos: Vec<usize>,
     scheduler: Box<dyn Scheduler>,
     stats: SimStats,
     send_seq: u64,
@@ -561,7 +851,6 @@ pub struct EventCore<M: Message, T: Topology> {
     metrics: Option<RunMetrics>,
     observers: Vec<Box<dyn Observer>>,
     outbox: Vec<(usize, M)>,
-    ready_buf: Vec<ChannelView>,
     faults: FaultPlan,
     fault_stats: FaultStats,
     /// Channel picks made so far, when schedule recording is enabled.
@@ -569,17 +858,45 @@ pub struct EventCore<M: Message, T: Topology> {
 }
 
 impl<M: Message, T: Topology> EventCore<M, T> {
-    /// Creates an idle core over `topology`.
+    /// Creates an idle core over `topology` with the default
+    /// [`QueueBackend::Vec`] store.
     #[must_use]
     pub fn new(topology: T, scheduler: Box<dyn Scheduler>) -> EventCore<M, T> {
+        let store = QueueStore::vec(topology.channel_count());
+        EventCore::with_store(topology, scheduler, store)
+    }
+
+    /// Creates an idle core using the given queue backend.
+    ///
+    /// [`QueueBackend::Counter`] requires a [`UnitMessage`] payload — the
+    /// type system enforces that the compact store is only used where it is
+    /// lossless.
+    #[must_use]
+    pub fn with_backend(
+        topology: T,
+        scheduler: Box<dyn Scheduler>,
+        backend: QueueBackend,
+    ) -> EventCore<M, T>
+    where
+        M: UnitMessage,
+    {
+        let store = match backend {
+            QueueBackend::Vec => QueueStore::vec(topology.channel_count()),
+            QueueBackend::Counter => QueueStore::counter(topology.channel_count()),
+        };
+        EventCore::with_store(topology, scheduler, store)
+    }
+
+    fn with_store(topology: T, scheduler: Box<dyn Scheduler>, store: QueueStore<M>) -> Self {
         let n = topology.len();
         let channels = topology.channel_count();
         let stats = SimStats::for_topology(&topology);
         EventCore {
             topology,
             terminated: vec![false; n],
-            queues: (0..channels).map(|_| VecDeque::new()).collect(),
-            nonempty: Vec::new(),
+            queues: store,
+            ready: Vec::new(),
+            ready_pos: vec![NOT_READY; channels],
             scheduler,
             stats,
             send_seq: 0,
@@ -588,7 +905,6 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             metrics: None,
             observers: Vec::new(),
             outbox: Vec::new(),
-            ready_buf: Vec::new(),
             faults: FaultPlan::new(),
             fault_stats: FaultStats::default(),
             recorded: None,
@@ -599,6 +915,24 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     #[must_use]
     pub fn topology(&self) -> &T {
         &self.topology
+    }
+
+    /// The queue storage backend in use.
+    #[must_use]
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queues.backend()
+    }
+
+    /// Bytes of queued messages currently held by the [`QueueStore`].
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        self.queues.queue_bytes()
+    }
+
+    /// High-water mark of [`EventCore::queue_bytes`] over the run so far.
+    #[must_use]
+    pub fn peak_queue_bytes(&self) -> usize {
+        self.queues.peak_queue_bytes()
     }
 
     /// Installs a plan of model-violating channel faults (experiment E11).
@@ -675,6 +1009,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         CoreSnapshot {
             terminated: self.terminated.clone(),
             queues: self.queues.clone(),
+            ready_order: self.ready.iter().map(|v| v.id.index()).collect(),
             stats: self.stats.clone(),
             send_seq: self.send_seq,
             started: self.started,
@@ -687,18 +1022,22 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     /// Restores a state previously captured by [`EventCore::snapshot`].
     ///
     /// The snapshot must come from a core over the same topology (same
-    /// channel count) with the same scheduler type installed.
+    /// channel count), the same [`QueueBackend`], and the same scheduler
+    /// type.
     pub fn restore(&mut self, snapshot: &CoreSnapshot<M>) {
         assert_eq!(
-            snapshot.queues.len(),
-            self.queues.len(),
+            snapshot.queues.channel_count(),
+            self.queues.channel_count(),
             "snapshot is for a different topology"
+        );
+        assert_eq!(
+            snapshot.queues.backend(),
+            self.queues.backend(),
+            "snapshot is for a different queue backend"
         );
         self.terminated.clone_from(&snapshot.terminated);
         self.queues.clone_from(&snapshot.queues);
-        self.nonempty = (0..self.queues.len())
-            .filter(|&ch| !self.queues[ch].is_empty())
-            .collect();
+        self.rebuild_ready(&snapshot.ready_order);
         self.stats.clone_from(&snapshot.stats);
         self.send_seq = snapshot.send_seq;
         self.started = snapshot.started;
@@ -709,13 +1048,35 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         }
     }
 
+    /// Rebuilds the dense ready array (in the given order) from the queue
+    /// store, re-establishing the `ready`/`ready_pos` invariant after a
+    /// restore.
+    fn rebuild_ready(&mut self, order: &[usize]) {
+        self.ready.clear();
+        self.ready_pos.fill(NOT_READY);
+        for &ch in order {
+            let head_seq = self
+                .queues
+                .head_seq(ch)
+                .expect("snapshot ready order lists only non-empty channels");
+            self.ready_pos[ch] = self.ready.len();
+            self.ready.push(ChannelView {
+                id: ChannelId::from_index(ch),
+                queue_len: self.queues.len(ch),
+                head_seq,
+                direction: self.topology.direction(ch),
+            });
+        }
+    }
+
     fn observing(&self) -> bool {
         self.trace.is_some() || self.metrics.is_some() || !self.observers.is_empty()
     }
 
     fn emit(&mut self, event: EngineEvent) {
-        if let Some(t) = &mut self.trace {
-            t.on_event(&event);
+        let t = prof::start();
+        if let Some(tr) = &mut self.trace {
+            tr.on_event(&event);
         }
         if let Some(m) = &mut self.metrics {
             m.on_event(&event);
@@ -723,6 +1084,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         for o in &mut self.observers {
             o.on_event(&event);
         }
+        prof::stop(prof::Phase::Observe, t);
     }
 
     /// Injects a spurious message into a channel, as forbidden channel
@@ -738,16 +1100,31 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                 seq,
             });
         }
-        self.enqueue(channel, Envelope { msg, seq });
+        self.enqueue(channel, msg, seq);
     }
 
-    fn enqueue(&mut self, channel: usize, envelope: Envelope<M>) {
-        if self.queues[channel].is_empty() {
-            if let Err(at) = self.nonempty.binary_search(&channel) {
-                self.nonempty.insert(at, channel);
+    fn enqueue(&mut self, channel: usize, msg: M, seq: u64) {
+        let t = prof::start();
+        self.queues.push(channel, msg, seq);
+        let pos = self.ready_pos[channel];
+        if pos == NOT_READY {
+            self.ready_pos[channel] = self.ready.len();
+            self.ready.push(ChannelView {
+                id: ChannelId::from_index(channel),
+                queue_len: 1,
+                head_seq: seq,
+                direction: self.topology.direction(channel),
+            });
+        } else {
+            self.ready[pos].queue_len += 1;
+        }
+        if let Some(m) = &mut self.metrics {
+            let peak = self.queues.peak_queue_bytes() as u64;
+            if peak > m.peak_queue_bytes {
+                m.peak_queue_bytes = peak;
             }
         }
-        self.queues[channel].push_back(envelope);
+        prof::stop(prof::Phase::Enqueue, t);
     }
 
     fn flush_outbox(&mut self, node: usize, outbox: &mut Vec<(usize, M)>) {
@@ -785,16 +1162,10 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                     kind: FaultKind::Duplicated,
                     seq: dup_seq,
                 });
-                self.enqueue(
-                    channel,
-                    Envelope {
-                        msg: msg.clone(),
-                        seq,
-                    },
-                );
-                self.enqueue(channel, Envelope { msg, seq: dup_seq });
+                self.enqueue(channel, msg.clone(), seq);
+                self.enqueue(channel, msg, dup_seq);
             } else {
-                self.enqueue(channel, Envelope { msg, seq });
+                self.enqueue(channel, msg, seq);
             }
         }
     }
@@ -826,6 +1197,34 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         }
     }
 
+    /// Delivers one message chosen by the scheduler, validating the
+    /// scheduler's answer before acting on it.
+    ///
+    /// Starts the run if [`EventCore::start`] has not run yet. Returns
+    /// `Ok(None)` when the network is quiescent (no messages in transit)
+    /// and `Err` — with the engine state untouched — if the scheduler
+    /// returns an out-of-range index.
+    pub fn try_step<H: EventHandler<M>>(
+        &mut self,
+        handler: &mut H,
+    ) -> Result<Option<EngineStep>, EngineError> {
+        self.start(handler);
+        if self.ready.is_empty() {
+            return Ok(None);
+        }
+        let t = prof::start();
+        let pick = self.scheduler.pick(&self.ready);
+        prof::stop(prof::Phase::Pick, t);
+        if pick >= self.ready.len() {
+            return Err(EngineError::SchedulerOutOfRange {
+                pick,
+                ready_len: self.ready.len(),
+            });
+        }
+        let channel = self.ready[pick].id.index();
+        Ok(Some(self.deliver(handler, channel)))
+    }
+
     /// Delivers one message chosen by the scheduler.
     ///
     /// Starts the run if [`EventCore::start`] has not run yet. Returns
@@ -833,30 +1232,14 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     ///
     /// # Panics
     ///
-    /// Panics if the scheduler returns an out-of-range index.
+    /// Panics if the scheduler returns an out-of-range index (before any
+    /// engine state is mutated — see [`EventCore::try_step`] for the
+    /// non-panicking form).
     pub fn step<H: EventHandler<M>>(&mut self, handler: &mut H) -> Option<EngineStep> {
-        self.start(handler);
-        self.ready_buf.clear();
-        for &ch in &self.nonempty {
-            let head = self.queues[ch].front().expect("nonempty set is accurate");
-            let id = ChannelId::from_index(ch);
-            self.ready_buf.push(ChannelView {
-                id,
-                queue_len: self.queues[ch].len(),
-                head_seq: head.seq,
-                direction: self.topology.direction(ch),
-            });
+        match self.try_step(handler) {
+            Ok(step) => step,
+            Err(e) => panic!("{e}"),
         }
-        if self.ready_buf.is_empty() {
-            return None;
-        }
-        let pick = self.scheduler.pick(&self.ready_buf);
-        assert!(
-            pick < self.ready_buf.len(),
-            "scheduler returned out-of-range index {pick}"
-        );
-        let channel = self.ready_buf[pick].id.index();
-        Some(self.deliver(handler, channel))
     }
 
     /// Delivers the head message of a *specific* non-empty channel,
@@ -872,7 +1255,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         channel: usize,
     ) -> Option<EngineStep> {
         self.start(handler);
-        if self.queues[channel].is_empty() {
+        if self.queues.len(channel) == 0 {
             return None;
         }
         Some(self.deliver(handler, channel))
@@ -881,13 +1264,15 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     /// Indices of channels with at least one queued message, sorted.
     #[must_use]
     pub fn ready_channels(&self) -> Vec<usize> {
-        self.nonempty.clone()
+        let mut channels: Vec<usize> = self.ready.iter().map(|v| v.id.index()).collect();
+        channels.sort_unstable();
+        channels
     }
 
     /// Number of messages queued on `channel`.
     #[must_use]
     pub fn queue_len(&self, channel: usize) -> usize {
-        self.queues[channel].len()
+        self.queues.len(channel)
     }
 
     /// Whether the start-up actions have run.
@@ -911,12 +1296,24 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             rec.push(ChannelId::from_index(channel));
         }
         let direction = self.topology.direction(channel);
-        let envelope = self.queues[channel]
-            .pop_front()
+        let (msg, seq) = self
+            .queues
+            .pop(channel)
             .expect("delivered channel is non-empty");
-        if self.queues[channel].is_empty() {
-            if let Ok(at) = self.nonempty.binary_search(&channel) {
-                self.nonempty.remove(at);
+        let pos = self.ready_pos[channel];
+        debug_assert_ne!(pos, NOT_READY, "delivered channel is in the ready array");
+        match self.queues.head_seq(channel) {
+            Some(next_head) => {
+                let view = &mut self.ready[pos];
+                view.queue_len -= 1;
+                view.head_seq = next_head;
+            }
+            None => {
+                self.ready.swap_remove(pos);
+                self.ready_pos[channel] = NOT_READY;
+                if let Some(moved) = self.ready.get(pos) {
+                    self.ready_pos[moved.id.index()] = pos;
+                }
             }
         }
         let (node, port) = self.topology.endpoint(channel);
@@ -926,11 +1323,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         if ignored {
             self.stats.delivered_to_terminated += 1;
             if self.observing() {
-                self.emit(EngineEvent::DeliverIgnored {
-                    node,
-                    port,
-                    seq: envelope.seq,
-                });
+                self.emit(EngineEvent::DeliverIgnored { node, port, seq });
             }
         } else {
             self.stats.total_delivered += 1;
@@ -939,18 +1332,14 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                 self.emit(EngineEvent::Deliver {
                     node,
                     port,
-                    seq: envelope.seq,
+                    seq,
                     direction,
                 });
             }
+            let t = prof::start();
             let mut outbox = std::mem::take(&mut self.outbox);
-            handler.on_message(
-                node,
-                self.topology.degree(node),
-                port,
-                envelope.msg,
-                &mut outbox,
-            );
+            handler.on_message(node, self.topology.degree(node), port, msg, &mut outbox);
+            prof::stop(prof::Phase::Deliver, t);
             self.flush_outbox(node, &mut outbox);
             self.outbox = outbox;
             self.note_termination(node, handler);
@@ -960,7 +1349,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             channel,
             node,
             port,
-            seq: envelope.seq,
+            seq,
             direction,
             ignored,
         }
@@ -1006,24 +1395,22 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     /// Number of messages currently in transit.
     #[must_use]
     pub fn in_flight(&self) -> u64 {
-        self.queues.iter().map(|q| q.len() as u64).sum()
+        self.queues.total_len() as u64
     }
 
     /// Number of in-transit messages on channels tagged `direction`.
     #[must_use]
     pub fn in_flight_direction(&self, direction: Direction) -> u64 {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter(|(ch, _)| self.topology.direction(*ch) == Some(direction))
-            .map(|(_, q)| q.len() as u64)
+        (0..self.queues.channel_count())
+            .filter(|&ch| self.topology.direction(ch) == Some(direction))
+            .map(|ch| self.queues.len(ch) as u64)
             .sum()
     }
 
     /// Whether no messages are in transit.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.in_flight() == 0
+        self.queues.is_empty()
     }
 
     /// Whether the given node has terminated.
@@ -1043,6 +1430,7 @@ impl<M: Message, T: Topology + fmt::Debug> fmt::Debug for EventCore<M, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventCore")
             .field("topology", &self.topology)
+            .field("backend", &self.queues.backend())
             .field("in_flight", &self.in_flight())
             .field("stats", &self.stats)
             .finish()
@@ -1121,5 +1509,85 @@ mod tests {
                 seq: 7
             }
         );
+    }
+
+    #[test]
+    fn queue_backend_parses_and_displays() {
+        for backend in QueueBackend::ALL {
+            assert_eq!(QueueBackend::parse(&backend.to_string()), Some(backend));
+        }
+        assert_eq!(QueueBackend::parse("VEC"), Some(QueueBackend::Vec));
+        assert_eq!(QueueBackend::parse("ring-buffer"), None);
+        assert_eq!(QueueBackend::default(), QueueBackend::Vec);
+    }
+
+    #[test]
+    fn engine_error_displays_the_offense() {
+        let e = EngineError::SchedulerOutOfRange {
+            pick: 9,
+            ready_len: 2,
+        };
+        let text = e.to_string();
+        assert!(text.contains('9') && text.contains('2'), "{text}");
+    }
+
+    #[test]
+    fn pulse_runs_merge_consecutive_seqs() {
+        let mut runs = PulseRuns::default();
+        // A burst of consecutive seqs collapses into one run.
+        assert!(runs.push(10)); // new run
+        assert!(!runs.push(11));
+        assert!(!runs.push(12));
+        // A gap spills into a second run.
+        assert!(runs.push(20));
+        assert_eq!(runs.len, 4);
+        assert_eq!(runs.runs.len(), 2);
+        assert_eq!(runs.head_seq(), Some(10));
+        // FIFO pop order with exact seqs preserved.
+        assert_eq!(runs.pop(), Some((10, false)));
+        assert_eq!(runs.pop(), Some((11, false)));
+        assert_eq!(runs.pop(), Some((12, true)));
+        assert_eq!(runs.head_seq(), Some(20));
+        assert_eq!(runs.pop(), Some((20, true)));
+        assert_eq!(runs.pop(), None);
+    }
+
+    #[test]
+    fn counter_store_is_fifo_with_byte_accounting() {
+        use crate::message::Pulse;
+        let mut store: QueueStore<Pulse> = QueueStore::counter(2);
+        assert_eq!(store.backend(), QueueBackend::Counter);
+        // Interleave two channels: ch0 gets seqs 0,1,3 (gap), ch1 gets 2.
+        store.push(0, Pulse, 0);
+        store.push(0, Pulse, 1);
+        store.push(1, Pulse, 2);
+        store.push(0, Pulse, 3);
+        assert_eq!(store.len(0), 3);
+        assert_eq!(store.len(1), 1);
+        assert_eq!(store.total_len(), 4);
+        // ch0 holds runs [(0,2),(3,1)], ch1 holds [(2,1)]: three runs.
+        assert_eq!(store.queue_bytes(), 3 * RUN_BYTES);
+        assert_eq!(store.head_seq(0), Some(0));
+        assert_eq!(store.pop(0), Some((Pulse, 0)));
+        assert_eq!(store.pop(0), Some((Pulse, 1)));
+        assert_eq!(store.pop(0), Some((Pulse, 3)));
+        assert_eq!(store.pop(0), None);
+        assert_eq!(store.queue_bytes(), RUN_BYTES);
+        assert_eq!(store.peak_queue_bytes(), 3 * RUN_BYTES);
+        assert_eq!(store.pop(1), Some((Pulse, 2)));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn vec_store_counts_envelope_bytes() {
+        let mut store: QueueStore<u64> = QueueStore::vec(1);
+        assert_eq!(store.backend(), QueueBackend::Vec);
+        store.push(0, 99, 0);
+        store.push(0, 100, 1);
+        let per_msg = std::mem::size_of::<Envelope<u64>>();
+        assert_eq!(store.queue_bytes(), 2 * per_msg);
+        assert_eq!(store.pop(0), Some((99, 0)));
+        assert_eq!(store.queue_bytes(), per_msg);
+        assert_eq!(store.peak_queue_bytes(), 2 * per_msg);
     }
 }

@@ -63,6 +63,7 @@
 //! ```
 
 use crate::dedup::{DedupKind, ShardedIndex};
+use crate::engine::QueueBackend;
 use crate::faults::FaultPlan;
 use crate::message::Pulse;
 use crate::port::Port;
@@ -188,8 +189,16 @@ where
 {
     let nodes = make_nodes();
     assert_eq!(nodes.len(), wiring.len(), "one protocol instance per node");
-    let mut sim: Simulation<Pulse, P> =
-        Simulation::new(wiring.clone(), nodes, Box::new(FifoScheduler::new()));
+    // The explorer only ever carries pulses, so it always uses the
+    // run-length counter backend; fingerprints and the visited state space
+    // are backend-independent (asserted by differential tests), but the
+    // per-snapshot queue storage is O(runs) instead of O(pulses).
+    let mut sim: Simulation<Pulse, P> = Simulation::with_backend(
+        wiring.clone(),
+        nodes,
+        Box::new(FifoScheduler::new()),
+        QueueBackend::Counter,
+    );
     sim.start();
 
     const BYTES_PER_CONFIG: usize = std::mem::size_of::<u64>();
@@ -270,6 +279,13 @@ pub struct ExploreConfig {
     /// faults left to fire, the explorer therefore mixes the (clamped) send
     /// counter into the fingerprint so deduplication stays sound.
     pub faults: FaultPlan,
+    /// Queue storage backend for the worker simulations (see
+    /// [`QueueBackend`]). The visited state space, fingerprints, and report
+    /// are identical under either backend — asserted by differential
+    /// tests — so this only trades snapshot memory for envelope generality.
+    /// Defaults to [`QueueBackend::Counter`]: the explorer only carries
+    /// pulses.
+    pub backend: QueueBackend,
 }
 
 impl Default for ExploreConfig {
@@ -281,6 +297,7 @@ impl Default for ExploreConfig {
             bloom_capacity: 1 << 20,
             bloom_fp_budget: 1e-4,
             faults: FaultPlan::new(),
+            backend: QueueBackend::Counter,
         }
     }
 }
@@ -371,8 +388,12 @@ where
     // Seed: the started initial configuration.
     let nodes = make_nodes();
     assert_eq!(nodes.len(), wiring.len(), "one protocol instance per node");
-    let mut seed_sim: Simulation<Pulse, P> =
-        Simulation::new(wiring.clone(), nodes, Box::new(FifoScheduler::new()));
+    let mut seed_sim: Simulation<Pulse, P> = Simulation::with_backend(
+        wiring.clone(),
+        nodes,
+        Box::new(FifoScheduler::new()),
+        config.backend,
+    );
     seed_sim.set_faults(config.faults.clone());
     seed_sim.start();
 
@@ -422,9 +443,14 @@ where
             let safety = &safety;
             let at_quiescence = &at_quiescence;
             let faults = &config.faults;
+            let backend = config.backend;
             scope.spawn(move || {
-                let mut sim: Simulation<Pulse, P> =
-                    Simulation::new(wiring.clone(), make_nodes(), Box::new(FifoScheduler::new()));
+                let mut sim: Simulation<Pulse, P> = Simulation::with_backend(
+                    wiring.clone(),
+                    make_nodes(),
+                    Box::new(FifoScheduler::new()),
+                    backend,
+                );
                 sim.set_faults(faults.clone());
                 sim.start();
                 loop {
@@ -960,6 +986,40 @@ mod tests {
             assert_eq!(parallel.visited_bytes, sequential.visited_bytes);
             assert!(parallel.complete);
             assert!(parallel.violations.is_empty(), "{:?}", parallel.violations);
+        }
+    }
+
+    #[test]
+    fn queue_backends_enumerate_the_same_state_space() {
+        // The visited set, quiescent count, and verdict must not depend on
+        // how the per-channel queues are stored.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let sequential = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            ExploreLimits::default(),
+        );
+        for backend in QueueBackend::ALL {
+            let report = explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                mini_safety,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs: 1,
+                    backend,
+                    ..ExploreConfig::default()
+                },
+            );
+            assert_eq!(report.configs, sequential.configs, "{backend}");
+            assert_eq!(
+                report.quiescent_configs, sequential.quiescent_configs,
+                "{backend}"
+            );
+            assert!(report.complete, "{backend}");
+            assert!(report.violations.is_empty(), "{backend}");
         }
     }
 

@@ -70,6 +70,7 @@ pub mod graph;
 pub mod message;
 pub mod multiport;
 pub mod port;
+pub mod prof;
 pub mod sched;
 pub mod shrink;
 pub mod sim;
@@ -80,11 +81,11 @@ pub mod trace;
 
 pub use dedup::{DedupKind, FingerprintStore, ShardedIndex};
 pub use engine::{
-    CoreSnapshot, EngineEvent, EngineStep, EventCore, EventHandler, FaultKind, Observer,
-    RunMetrics, Topology,
+    CoreSnapshot, EngineError, EngineEvent, EngineStep, EventCore, EventHandler, FaultKind,
+    Observer, QueueBackend, QueueStore, RunMetrics, Topology,
 };
 pub use faults::{FaultPlan, FaultStats};
-pub use message::{Message, Pulse};
+pub use message::{Message, Pulse, UnitMessage};
 pub use multiport::{GraphContext, GraphProtocol, GraphSim, GraphWiring};
 pub use port::{Direction, Port};
 pub use sched::{ChannelView, Scheduler, SchedulerKind};

@@ -35,6 +35,21 @@ impl fmt::Display for Pulse {
     }
 }
 
+/// A message type with exactly one observable value.
+///
+/// Marker for payloads whose content carries no information — every value is
+/// indistinguishable from [`Default::default`]. Channels carrying a
+/// `UnitMessage` can therefore store queued traffic as *counters* instead of
+/// per-message envelopes: the run-length
+/// [`QueueBackend::Counter`](crate::QueueBackend::Counter) store
+/// reconstructs each delivered message from `M::default()`.
+///
+/// Only implement this for types where that reconstruction is lossless,
+/// i.e. types with a single value. [`Pulse`] is the canonical instance.
+pub trait UnitMessage: Message + Default {}
+
+impl UnitMessage for Pulse {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

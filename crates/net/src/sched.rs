@@ -32,7 +32,14 @@ pub struct ChannelView {
 /// The asynchrony adversary: picks which ready channel delivers next.
 ///
 /// Implementations must return an index into `ready` (not a [`ChannelId`]).
-/// `ready` is always non-empty and sorted by channel index.
+/// `ready` is always non-empty, but its *order is unspecified*: the engine
+/// maintains it as a dense array updated in place (swap-remove on empty),
+/// so positions are an artifact of run history. Deterministic adversaries
+/// must therefore pick by channel *identity* — `id`, `head_seq` (globally
+/// unique across channels), `queue_len`, `direction` — rather than by array
+/// position. Index-based picks (e.g. [`RandomScheduler`]) remain
+/// deterministic per run because the engine's array evolution is itself
+/// deterministic, but they are not stable under re-orderings.
 ///
 /// Any implementation yields *some* valid asynchronous schedule: per-channel
 /// FIFO is enforced by the simulator and every message is eventually
@@ -217,12 +224,17 @@ impl RoundRobinScheduler {
 
 impl Scheduler for RoundRobinScheduler {
     fn pick(&mut self, ready: &[ChannelView]) -> usize {
-        // Deliver from the first ready channel whose index is >= cursor,
-        // wrapping around; then advance the cursor past it.
+        // Deliver from the lowest-indexed ready channel at or past the
+        // cursor, wrapping to the lowest overall; then advance the cursor
+        // past it. Keyed on channel index, not array position, so the pick
+        // is independent of the ready array's order.
+        let cursor = self.cursor;
         let pick = ready
             .iter()
-            .position(|v| v.id.index() >= self.cursor)
-            .unwrap_or(0);
+            .enumerate()
+            .min_by_key(|(_, v)| (v.id.index() < cursor, v.id.index()))
+            .map(|(i, _)| i)
+            .expect("ready is non-empty");
         self.cursor = ready[pick].id.index() + 1;
         pick
     }
@@ -377,12 +389,13 @@ impl Scheduler for BoundedDelayScheduler {
         for v in ready {
             self.deadlines.entry(v.id).or_insert(picks + bound);
         }
-        // Deliver any overdue head first (oldest deadline).
+        // Deliver any overdue head first (oldest deadline; ties broken by
+        // channel index so the pick never depends on map iteration order).
         if let Some((&id, _)) = self
             .deadlines
             .iter()
             .filter(|(_, &d)| d <= picks)
-            .min_by_key(|(_, &d)| d)
+            .min_by_key(|(id, &d)| (d, id.index()))
         {
             let at = ready
                 .iter()
@@ -733,6 +746,25 @@ mod tests {
         assert_eq!(s.pick(&ready), 1);
         assert_eq!(s.pick(&ready), 2);
         assert_eq!(s.pick(&ready), 0); // wraps
+    }
+
+    #[test]
+    fn round_robin_is_ready_order_independent() {
+        // The engine's ready array is dense and unsorted; the same ready
+        // *set* must yield the same channel regardless of array order.
+        let sorted = [
+            view(0, 1, 0, None),
+            view(2, 1, 1, None),
+            view(5, 1, 2, None),
+        ];
+        let shuffled = [sorted[2], sorted[0], sorted[1]];
+        let mut a = RoundRobinScheduler::new();
+        let mut b = RoundRobinScheduler::new();
+        for _ in 0..5 {
+            let pa = a.pick(&sorted);
+            let pb = b.pick(&shuffled);
+            assert_eq!(sorted[pa].id, shuffled[pb].id);
+        }
     }
 
     #[test]

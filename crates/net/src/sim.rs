@@ -24,9 +24,12 @@
 //! global state between events; for whole runs, attach a [`SimObserver`]
 //! via [`Simulation::run_observed`].
 
-use crate::engine::{CoreSnapshot, EngineStep, EventCore, EventHandler, Observer, RunMetrics};
+use crate::engine::{
+    CoreSnapshot, EngineError, EngineStep, EventCore, EventHandler, Observer, QueueBackend,
+    RunMetrics,
+};
 use crate::faults::{FaultPlan, FaultStats};
-use crate::message::Message;
+use crate::message::{Message, UnitMessage};
 use crate::port::{Direction, Port};
 use crate::sched::{ReplayScheduler, Scheduler};
 use crate::snapshot::{Fingerprint, Schedule, Snapshot};
@@ -280,6 +283,58 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
         }
     }
 
+    /// Creates a simulation using the given queue storage backend.
+    ///
+    /// [`QueueBackend::Counter`] requires a [`UnitMessage`] payload (e.g.
+    /// [`Pulse`](crate::Pulse)); it stores queued traffic as run-length
+    /// counters instead of per-message envelopes, making thousand-node rings
+    /// with millions of queued pulses cheap. Behaviour is identical to
+    /// [`Simulation::new`] in every observable way — see
+    /// `tests/backend_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the wiring's node count.
+    #[must_use]
+    pub fn with_backend(
+        wiring: Wiring,
+        nodes: Vec<P>,
+        scheduler: Box<dyn Scheduler>,
+        backend: QueueBackend,
+    ) -> Simulation<M, P>
+    where
+        M: UnitMessage,
+    {
+        assert_eq!(
+            nodes.len(),
+            wiring.len(),
+            "one protocol instance per node required"
+        );
+        Simulation {
+            core: EventCore::with_backend(wiring, scheduler, backend),
+            nodes,
+        }
+    }
+
+    /// The queue storage backend in use.
+    #[must_use]
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.core.queue_backend()
+    }
+
+    /// Bytes of queued messages currently held by the engine's
+    /// [`QueueStore`](crate::QueueStore).
+    #[must_use]
+    pub fn queue_bytes(&self) -> usize {
+        self.core.queue_bytes()
+    }
+
+    /// High-water mark of [`Simulation::queue_bytes`] over the run so far.
+    #[must_use]
+    pub fn peak_queue_bytes(&self) -> usize {
+        self.core.peak_queue_bytes()
+    }
+
     fn handler(nodes: &mut [P]) -> RingHandler<'_, M, P> {
         RingHandler {
             nodes,
@@ -346,9 +401,24 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     ///
     /// Starts the simulation if [`Simulation::start`] has not run yet.
     /// Returns `None` when the network is quiescent (no messages in transit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler returns an out-of-range index; use
+    /// [`Simulation::try_step`] to get a typed [`EngineError`] instead.
     pub fn step(&mut self) -> Option<StepInfo> {
         let mut handler = Self::handler(&mut self.nodes);
         self.core.step(&mut handler).map(StepInfo::from_engine)
+    }
+
+    /// Like [`Simulation::step`], but reports a misbehaving scheduler as a
+    /// typed [`EngineError`] — with the simulation state untouched —
+    /// instead of panicking.
+    pub fn try_step(&mut self) -> Result<Option<StepInfo>, EngineError> {
+        let mut handler = Self::handler(&mut self.nodes);
+        self.core
+            .try_step(&mut handler)
+            .map(|step| step.map(StepInfo::from_engine))
     }
 
     /// Runs until quiescence or budget exhaustion.
@@ -877,6 +947,83 @@ mod tests {
         b.run(Budget::default());
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), ring_sim(3, 2).fingerprint());
+    }
+
+    #[test]
+    fn counter_backend_reproduces_vec_backend_run() {
+        let spec = RingSpec::oriented(vec![1, 2, 3, 4]);
+        let nodes: Vec<Ticker> = (0..4).map(|_| Ticker::new(6)).collect();
+        let mut vec_sim: Simulation<Pulse, Ticker> = Simulation::with_backend(
+            spec.wiring(),
+            nodes,
+            Box::new(FifoScheduler::new()),
+            QueueBackend::Vec,
+        );
+        assert_eq!(vec_sim.queue_backend(), QueueBackend::Vec);
+        let nodes: Vec<Ticker> = (0..4).map(|_| Ticker::new(6)).collect();
+        let mut ctr_sim: Simulation<Pulse, Ticker> = Simulation::with_backend(
+            spec.wiring(),
+            nodes,
+            Box::new(FifoScheduler::new()),
+            QueueBackend::Counter,
+        );
+        assert_eq!(ctr_sim.queue_backend(), QueueBackend::Counter);
+        let vec_report = vec_sim.run(Budget::default());
+        let ctr_report = ctr_sim.run(Budget::default());
+        assert_eq!(vec_report, ctr_report);
+        assert_eq!(vec_sim.stats(), ctr_sim.stats());
+        assert_eq!(vec_sim.fingerprint(), ctr_sim.fingerprint());
+        // Both backends measured real bytes; the accounting is nonzero and
+        // backend-specific.
+        assert!(vec_sim.peak_queue_bytes() > 0);
+        assert!(ctr_sim.peak_queue_bytes() > 0);
+    }
+
+    /// A deliberately broken adversary: always answers an index far past
+    /// the ready list.
+    #[derive(Clone, Debug)]
+    struct OutOfRangeScheduler;
+    impl Scheduler for OutOfRangeScheduler {
+        fn pick(&mut self, ready: &[ChannelView]) -> usize {
+            ready.len() + 41
+        }
+    }
+    use crate::sched::ChannelView;
+
+    #[test]
+    fn try_step_reports_buggy_scheduler_without_mutating_state() {
+        let spec = RingSpec::oriented(vec![1, 2, 3]);
+        let nodes = (0..3).map(|_| Ticker::new(2)).collect();
+        let mut sim: Simulation<Pulse, Ticker> =
+            Simulation::new(spec.wiring(), nodes, Box::new(OutOfRangeScheduler));
+        sim.start();
+        let before_steps = sim.stats().steps;
+        let before_in_flight = sim.in_flight();
+        let err = sim.try_step().expect_err("scheduler is out of range");
+        assert_eq!(
+            err,
+            EngineError::SchedulerOutOfRange {
+                pick: 3 + 41,
+                ready_len: 3
+            }
+        );
+        // The error is raised before any delivery: nothing moved.
+        assert_eq!(sim.stats().steps, before_steps);
+        assert_eq!(sim.in_flight(), before_in_flight);
+        // A fixed scheduler resumes the wedged-free engine normally.
+        sim.core.set_scheduler(Box::new(FifoScheduler::new()));
+        let report = sim.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range index")]
+    fn step_panics_on_buggy_scheduler() {
+        let spec = RingSpec::oriented(vec![1, 2]);
+        let nodes = (0..2).map(|_| Ticker::new(2)).collect();
+        let mut sim: Simulation<Pulse, Ticker> =
+            Simulation::new(spec.wiring(), nodes, Box::new(OutOfRangeScheduler));
+        sim.step();
     }
 
     #[test]

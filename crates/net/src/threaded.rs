@@ -14,10 +14,11 @@
 use crate::message::Message;
 use crate::port::Port;
 use crate::sim::{Context, Protocol};
+use crate::snapshot::Schedule;
 use crate::topology::{ChannelId, NodeIndex, Wiring};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Options for a threaded run.
@@ -32,6 +33,11 @@ pub struct ThreadedOptions {
     /// If nonzero, each node sleeps up to this many microseconds (seeded by
     /// node index) before processing each message, perturbing schedules.
     pub max_jitter_us: u64,
+    /// Record the global delivery order as a [`Schedule`] (in
+    /// `ThreadedReport::schedule`), replayable on the discrete-event
+    /// [`Simulation`](crate::Simulation) — the cross-engine
+    /// divergence-replay tool. Adds one mutex acquisition per delivery.
+    pub record: bool,
 }
 
 impl Default for ThreadedOptions {
@@ -41,6 +47,7 @@ impl Default for ThreadedOptions {
             quiescence_polls: 3,
             poll_interval: Duration::from_millis(2),
             max_jitter_us: 0,
+            record: false,
         }
     }
 }
@@ -67,11 +74,24 @@ pub struct ThreadedReport<P> {
     pub total_delivered: u64,
     /// The final protocol instances, in node order.
     pub nodes: Vec<P>,
+    /// The global delivery order, when [`ThreadedOptions::record`] was set.
+    ///
+    /// Each entry is the channel whose head message a node dequeued,
+    /// logged at dequeue time — before the node processes the message and
+    /// sends its replies — so the recorded order respects causality: the
+    /// delivery that *produced* a message is always logged before the
+    /// delivery *of* that message. Replaying the schedule on a fresh
+    /// [`Simulation`](crate::Simulation) of the same configuration
+    /// therefore always finds the picked channel non-empty and reproduces
+    /// the threaded execution's per-node delivery counts exactly.
+    pub schedule: Option<Schedule>,
 }
 
 struct NodeHarness<M> {
     rx: [Receiver<M>; 2],
     tx: [Sender<M>; 2],
+    /// `in_channel[q]` = the network channel delivering into port `q`.
+    in_channel: [ChannelId; 2],
 }
 
 /// Runs one protocol instance per node on dedicated OS threads.
@@ -112,14 +132,17 @@ where
     // (v, q)'s link partner, i.e. endpoint(v, q) read backwards.
     let mut harnesses: Vec<NodeHarness<M>> = Vec::with_capacity(n);
     for v in 0..n {
-        let rx = [Port::Zero, Port::One].map(|q| {
+        let in_channel = [Port::Zero, Port::One].map(|q| {
             let (u, p) = wiring.endpoint(ChannelId::new(v, q));
-            receivers[ChannelId::new(u, p).index()]
+            ChannelId::new(u, p)
+        });
+        let rx = in_channel.map(|ch| {
+            receivers[ch.index()]
                 .take()
                 .expect("each channel has exactly one consumer")
         });
         let tx = [Port::Zero, Port::One].map(|p| senders[ChannelId::new(v, p).index()].clone());
-        harnesses.push(NodeHarness { rx, tx });
+        harnesses.push(NodeHarness { rx, tx, in_channel });
     }
 
     let sent = Arc::new(AtomicU64::new(0));
@@ -127,6 +150,9 @@ where
     let busy = Arc::new(AtomicUsize::new(0));
     let terminated_count = Arc::new(AtomicUsize::new(0));
     let stop = Arc::new(AtomicBool::new(false));
+    let picks: Option<Arc<Mutex<Vec<ChannelId>>>> = opts
+        .record
+        .then(|| Arc::new(Mutex::new(Vec::with_capacity(1024))));
 
     let mut handles = Vec::with_capacity(n);
     for (v, (mut proto, harness)) in nodes.into_iter().zip(harnesses).enumerate() {
@@ -135,6 +161,7 @@ where
         let busy = Arc::clone(&busy);
         let terminated_count = Arc::clone(&terminated_count);
         let stop = Arc::clone(&stop);
+        let picks = picks.clone();
         let max_jitter_us = opts.max_jitter_us;
         let handle = std::thread::Builder::new()
             .name(format!("co-node-{v}"))
@@ -176,6 +203,14 @@ where
                         std::thread::sleep(Duration::from_micros(500));
                         continue;
                     };
+                    // Log the pick at dequeue time, before processing:
+                    // replies to this message can only be logged later, so
+                    // the recorded order respects causality.
+                    if let Some(log) = &picks {
+                        log.lock()
+                            .expect("pick log lock")
+                            .push(harness.in_channel[port.index()]);
+                    }
                     busy.fetch_add(1, Ordering::SeqCst);
                     if max_jitter_us > 0 {
                         // xorshift jitter: cheap, deterministic per node.
@@ -239,11 +274,17 @@ where
         .map(|h| h.join().expect("node thread panicked"))
         .collect();
 
+    let schedule = picks.map(|log| {
+        let picks = std::mem::take(&mut *log.lock().expect("pick log lock"));
+        Schedule::from_picks(picks)
+    });
+
     ThreadedReport {
         outcome,
         total_sent: sent.load(Ordering::SeqCst),
         total_delivered: delivered.load(Ordering::SeqCst),
         nodes,
+        schedule,
     }
 }
 
@@ -327,6 +368,57 @@ mod tests {
         let report = run_threaded(&spec.wiring(), nodes, &ThreadedOptions::default());
         assert_eq!(report.outcome, ThreadedOutcome::Quiescent);
         assert_eq!(report.total_sent, 0);
+    }
+
+    #[test]
+    fn threaded_recording_replays_on_the_simulator() {
+        use crate::sim::{Budget, Simulation};
+        let spec = RingSpec::oriented(vec![1, 2, 3, 4, 5]);
+        let nodes = (0..5)
+            .map(|_| LapCounter {
+                laps: 4,
+                seen: 0,
+                done: false,
+            })
+            .collect();
+        let opts = ThreadedOptions {
+            record: true,
+            max_jitter_us: 50,
+            ..ThreadedOptions::default()
+        };
+        let report = run_threaded(&spec.wiring(), nodes, &opts);
+        assert_eq!(report.outcome, ThreadedOutcome::AllTerminated);
+        let schedule = report.schedule.as_ref().expect("recording was enabled");
+        assert_eq!(schedule.len() as u64, report.total_delivered);
+
+        // The recorded schedule, replayed on the discrete-event simulator,
+        // reproduces the threaded run: same sends, same per-node receipts.
+        let nodes = (0..5)
+            .map(|_| LapCounter {
+                laps: 4,
+                seen: 0,
+                done: false,
+            })
+            .collect();
+        let mut sim: Simulation<Pulse, LapCounter> = Simulation::new(
+            spec.wiring(),
+            nodes,
+            crate::sched::SchedulerKind::Fifo.build(0),
+        );
+        let sim_report = sim.replay(schedule, Budget::steps(schedule.len() as u64));
+        assert_eq!(sim_report.total_sent, report.total_sent);
+        assert_eq!(sim_report.steps, report.total_delivered);
+        for (v, node) in report.nodes.iter().enumerate() {
+            assert_eq!(sim.node(v).seen, node.seen, "node {v} diverged");
+        }
+    }
+
+    #[test]
+    fn unrecorded_runs_have_no_schedule() {
+        let spec = RingSpec::oriented(vec![1, 2, 3]);
+        let nodes = vec![Silent, Silent, Silent];
+        let report = run_threaded(&spec.wiring(), nodes, &ThreadedOptions::default());
+        assert!(report.schedule.is_none());
     }
 
     #[test]

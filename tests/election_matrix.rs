@@ -186,3 +186,34 @@ fn duplicate_ids_lemma16_all_max_holders_win_alg1() {
         assert_eq!(leaders, vec![0, 2, 3], "{kind}");
     }
 }
+
+/// Timed large-n smoke: the n = 2000 Algorithm 2 election on the counter
+/// queue backend, exact to Theorem 1. Ignored in the default test run (it
+/// delivers ~16 M pulses); CI runs it in release as the `large-n-smoke`
+/// job with a hard timeout.
+#[test]
+#[ignore = "large; run explicitly (CI large-n-smoke job)"]
+fn large_ring_smoke_n2000_counter_backend() {
+    use content_oblivious::net::{Budget, QueueBackend};
+    let n = 2000usize;
+    let spec = RingSpec::oriented((1..=n as u64).collect());
+    let out = runner::run_alg2_scaled(
+        &spec,
+        SchedulerKind::Fifo,
+        0,
+        QueueBackend::Counter,
+        Budget::steps(20_000_000),
+    );
+    assert!(out.report.quiescently_terminated());
+    assert_eq!(
+        out.report.total_messages,
+        n as u64 * (2 * n as u64 + 1),
+        "Theorem 1 at n = 2000"
+    );
+    assert_eq!(out.report.leader, Some(n - 1));
+    assert!(
+        out.peak_queue_bytes > 0 && out.peak_queue_bytes < 1 << 20,
+        "counter store stays under a megabyte, got {}",
+        out.peak_queue_bytes
+    );
+}
