@@ -4,7 +4,7 @@
 //! catalogue (message complexity from E1/E2, an anonymous-election sample from
 //! E5, dedup memory from E15, explorer state counts from E16, and the E17
 //! scaling invariants: step count and per-backend peak queue bytes at
-//! n = 1000) and compares
+//! n = 1000, plus the E18 pick-latency guards) and compares
 //! them against the committed baseline `bench_baseline.json`. CI runs
 //! `tables check` on every push: a metric that drifts outside its per-metric
 //! tolerance fails the build before the regression can land.
@@ -13,6 +13,13 @@
 //! clock, no ambient randomness (seeds are fixed, explorers run single
 //! worker). Wall-clock performance is tracked by the [`crate::harness`]
 //! benches instead, which are too noisy to gate on.
+//!
+//! The `e18_*` metrics are the one deliberate exception: they time the
+//! scheduler pick path (the target of the incremental-index work) and so
+//! *are* wall-clock. They carry a 400% `Increase`-only tolerance — wide
+//! enough for any CI-runner speed difference, tight enough to trip if a
+//! pick ever falls from O(log C) back to an O(ready) scan (a ~80× swing
+//! at 4000 channels).
 
 use co_json::{object, Value};
 
@@ -238,6 +245,7 @@ pub fn collect_metrics(inject_regression_pct: Option<f64>) -> Vec<Metric> {
     });
 
     metrics.extend(e17_metrics().iter().cloned());
+    metrics.extend(e18_metrics().iter().cloned());
 
     if let Some(pct) = inject_regression_pct {
         metrics[0].value *= 1.0 + pct / 100.0;
@@ -300,6 +308,96 @@ fn e17_metrics() -> &'static [Metric; 3] {
                 value: steps as f64,
                 tolerance_pct: 0.0,
                 direction: Direction::Both,
+            },
+        ]
+    })
+}
+
+/// E18 — scheduler pick-path latency (the wall-clock exception; see the
+/// module docs).
+///
+/// Two micro-benchmarks drive a scheduler's incremental index through the
+/// exact per-step sequence the engine uses — `indexed_pick` followed by an
+/// `on_head_change` re-key — over a 4000-channel ready set, and one macro
+/// metric times the full 8-scheduler matrix on the n = 5000 Algorithm 2
+/// election (budget-capped so debug test runs stay affordable). Collected
+/// once per process (`OnceLock`): the in-process gate tests compare a
+/// cached value against itself, so only the release CI comparison against
+/// the committed baseline ever sees cross-run timing variance — absorbed
+/// by the 400% tolerance.
+fn e18_metrics() -> &'static [Metric; 3] {
+    use co_core::runner;
+    use co_net::sched::{FifoScheduler, LongestQueueScheduler};
+    use co_net::{
+        Budget, ChannelId, ChannelView, QueueBackend, RingSpec, Scheduler, SchedulerKind,
+    };
+    use std::hint::black_box;
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// ns/op of `indexed_pick` + `on_head_change` over `channels` ready
+    /// channels, re-keyed by `key` per op.
+    fn pick_ns(scheduler: &mut dyn Scheduler, channels: usize, ops: u64) -> f64 {
+        let views: Vec<ChannelView> = (0..channels)
+            .map(|i| ChannelView {
+                id: ChannelId::from_index(i),
+                queue_len: 1 + i % 5,
+                head_seq: i as u64,
+                direction: None,
+            })
+            .collect();
+        scheduler.rebuild_index(&views);
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for seq in channels as u64..channels as u64 + ops {
+            let id = scheduler.indexed_pick().expect("scheduler keeps an index");
+            sink ^= id.index();
+            scheduler.on_head_change(ChannelView {
+                id,
+                queue_len: 1 + id.index() % 5,
+                head_seq: seq,
+                direction: None,
+            });
+        }
+        black_box(sink);
+        start.elapsed().as_nanos() as f64 / ops as f64
+    }
+
+    static CELL: OnceLock<[Metric; 3]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let fifo = pick_ns(&mut FifoScheduler::new(), 4000, 200_000);
+        let longest = pick_ns(&mut LongestQueueScheduler::new(), 4000, 200_000);
+        let spec5k = RingSpec::oriented((1..=5000u64).collect::<Vec<u64>>());
+        let start = Instant::now();
+        for kind in SchedulerKind::ALL {
+            let out = runner::run_alg2_scaled(
+                &spec5k,
+                kind,
+                0,
+                QueueBackend::Counter,
+                Budget::steps(100_000),
+            );
+            assert_eq!(out.report.steps, 100_000, "budget-capped cell under {kind}");
+        }
+        let matrix_ms = start.elapsed().as_millis() as f64;
+        [
+            Metric {
+                name: "e18_pick_ns_fifo_c4000",
+                value: fifo,
+                tolerance_pct: 400.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e18_pick_ns_longest_queue_c4000",
+                value: longest,
+                tolerance_pct: 400.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e18_matrix_wall_ms_n5000",
+                value: matrix_ms,
+                tolerance_pct: 400.0,
+                direction: Direction::Increase,
             },
         ]
     })

@@ -1,4 +1,4 @@
-//! Experiments E0–E17: one function per quantitative claim of the paper.
+//! Experiments E0–E18: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -59,11 +59,14 @@ pub enum Experiment {
     /// Scaling: thousand-node rings under both queue backends, plus the
     /// million-pulse single-channel burst that motivates the counter store.
     E17,
+    /// Incremental scheduler indexes: per-scheduler pick latency (indexed
+    /// vs scan) and the n = 5000 full scheduler-matrix wall time.
+    E18,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 18] = [
+    pub const ALL: [Experiment; 19] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -82,6 +85,7 @@ impl Experiment {
         Experiment::E15,
         Experiment::E16,
         Experiment::E17,
+        Experiment::E18,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -119,6 +123,7 @@ pub fn run_experiment_with(exp: Experiment, jobs: usize) -> Table {
         Experiment::E10 => e10_invariants_jobs(jobs),
         Experiment::E16 => e16_parallel_explore_jobs(jobs),
         Experiment::E17 => e17_scaling_jobs(jobs),
+        Experiment::E18 => e18_sched_index_jobs(jobs),
         _ => run_sequential(exp),
     }
 }
@@ -143,6 +148,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E15 => e15_explore_dedup(),
         Experiment::E16 => e16_parallel_explore(),
         Experiment::E17 => e17_scaling(),
+        Experiment::E18 => e18_sched_index(),
     }
 }
 
@@ -1582,6 +1588,148 @@ pub fn e17_scaling_jobs(jobs: usize) -> Table {
     t
 }
 
+/// E18 — incremental scheduler indexes (default scale).
+#[must_use]
+pub fn e18_sched_index() -> Table {
+    e18_sched_index_jobs(1)
+}
+
+/// E18 — incremental scheduler indexes: O(log C) adversary picks.
+///
+/// Two workloads:
+///
+/// 1. **pick latency** — the n = 2000 Algorithm 2 election (4000 channels)
+///    under every deterministic adversary, run twice per scheduler: once
+///    with the incrementally maintained index answering picks, once forced
+///    onto the retained O(ready) scan path. Each run is capped at the same
+///    2 M-delivery budget (Theorem 1 puts the full election at
+///    n(2n+1) ≈ 16 M pulses, so every cell exhausts it at exactly the same
+///    configuration) and bracketed by the [`co_net::prof`] collector, so
+///    the rows report the measured per-pick mean and the pick phase's
+///    share of hot-path time. Exactness demands identical step counts
+///    *and* identical configuration fingerprints between the two modes —
+///    the indexes change the clock, never the schedule — and, for every
+///    scheduler that keeps an index, an indexed mean no worse than the
+///    scan mean. Runs sequentially: the profiler is process-global.
+/// 2. **matrix n = 5000** — the full 8-scheduler matrix on the n = 5000
+///    Algorithm 2 election (indexed, counter backend, the same 2 M cap),
+///    fanned across `jobs` workers: the wall-time row that used to be
+///    scheduler-bound.
+#[must_use]
+pub fn e18_sched_index_jobs(jobs: usize) -> Table {
+    use co_core::Alg2Node;
+    use co_net::{prof, Pulse, QueueBackend};
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E18 — incremental scheduler indexes: O(log C) adversary picks",
+        "indexed picks are bit-identical to scans and ≥10× faster; pick no longer dominates",
+        vec![
+            "workload",
+            "scheduler",
+            "n",
+            "pick path",
+            "steps",
+            "pick mean ns",
+            "pick %",
+            "exact",
+            "ms",
+        ],
+    );
+    let mut all_ok = true;
+    const CAP: u64 = 2_000_000;
+
+    // -- Workload 1: per-scheduler pick latency, indexed vs scan --------------
+    let was_profiling = prof::enabled();
+    let n = 2000usize;
+    let spec = RingSpec::oriented((1..=n as u64).collect());
+    for kind in SchedulerKind::ALL {
+        // (steps, fingerprint, pick mean ns, pick share %, wall ms) per mode.
+        let mut modes = Vec::new();
+        for indexed in [true, false] {
+            let nodes = (0..n)
+                .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                .collect();
+            let mut sim: Simulation<Pulse, Alg2Node> =
+                Simulation::new(spec.wiring(), nodes, kind.build(0));
+            sim.set_indexed_picks(indexed);
+            prof::reset();
+            prof::set_enabled(true);
+            let start = Instant::now();
+            let run = sim.run(Budget::steps(CAP));
+            let ms = start.elapsed().as_millis();
+            prof::set_enabled(false);
+            let report = prof::report();
+            let pick = report.phase(prof::Phase::Pick).clone();
+            let hot_ns: u64 = prof::Phase::ALL
+                .iter()
+                .map(|&p| report.phase(p).total_ns)
+                .sum();
+            let share = pick.total_ns as f64 / hot_ns.max(1) as f64 * 100.0;
+            modes.push((run.steps, sim.fingerprint(), pick.mean_ns(), share, ms));
+        }
+        let (indexed, scan) = (&modes[0], &modes[1]);
+        // The index may change the clock, never the schedule. Random keeps
+        // no index (both modes are the same scan), so its means only differ
+        // by timing noise and are not compared.
+        let exact = indexed.0 == CAP
+            && scan.0 == CAP
+            && indexed.1 == scan.1
+            && (kind == SchedulerKind::Random || indexed.2 <= scan.2);
+        all_ok &= exact;
+        for (label, m) in [("indexed", indexed), ("scan", scan)] {
+            t.row(vec![
+                "pick latency".into(),
+                kind.to_string(),
+                n.to_string(),
+                label.into(),
+                m.0.to_string(),
+                m.2.to_string(),
+                format!("{:.1}", m.3),
+                exact.to_string(),
+                m.4.to_string(),
+            ]);
+        }
+    }
+    prof::reset();
+    prof::set_enabled(was_profiling);
+
+    // -- Workload 2: the full scheduler matrix at n = 5000 --------------------
+    let spec5k = RingSpec::oriented((1..=5000u64).collect());
+    let kinds: Vec<SchedulerKind> = SchedulerKind::ALL.to_vec();
+    let results = crate::parallel::par_map(&kinds, jobs, |&kind| {
+        let start = Instant::now();
+        let out =
+            runner::run_alg2_scaled(&spec5k, kind, 0, QueueBackend::Counter, Budget::steps(CAP));
+        (out.report.steps, start.elapsed().as_millis())
+    });
+    for (&kind, &(steps, ms)) in kinds.iter().zip(&results) {
+        // Theorem 1 puts the full election at 5000 × 10001 ≈ 50 M pulses
+        // under *any* schedule, so every cell must exhaust the 2 M cap.
+        let exact = steps == CAP;
+        all_ok &= exact;
+        t.row(vec![
+            "matrix".into(),
+            kind.to_string(),
+            "5000".into(),
+            "indexed".into(),
+            steps.to_string(),
+            "-".into(),
+            "-".into(),
+            exact.to_string(),
+            ms.to_string(),
+        ]);
+    }
+
+    t.set_verdict(if all_ok {
+        "indexed and scan runs reach identical configurations at identical step counts; \
+         every indexed adversary picks no slower than its scan twin"
+    } else {
+        "MISMATCH: indexed/scan divergence or an index slower than its scan"
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1591,7 +1739,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e18"), None);
+        assert_eq!(Experiment::parse("e19"), None);
     }
 
     #[test]

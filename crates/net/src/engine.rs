@@ -538,6 +538,12 @@ pub enum EngineError {
         /// Length of the ready list it was picking from.
         ready_len: usize,
     },
+    /// The scheduler's indexed fast path named a channel with no queued
+    /// messages (a broken incremental index).
+    SchedulerIdleChannel {
+        /// The channel the scheduler named.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -546,6 +552,10 @@ impl fmt::Display for EngineError {
             EngineError::SchedulerOutOfRange { pick, ready_len } => write!(
                 f,
                 "scheduler returned out-of-range index {pick} (ready list has {ready_len} entries)"
+            ),
+            EngineError::SchedulerIdleChannel { channel } => write!(
+                f,
+                "scheduler's indexed pick named channel {channel}, which is not ready"
             ),
         }
     }
@@ -844,6 +854,11 @@ pub struct EventCore<M: Message, T: Topology> {
     ready: Vec<ChannelView>,
     ready_pos: Vec<usize>,
     scheduler: Box<dyn Scheduler>,
+    /// Whether `try_step` consults the scheduler's incremental index
+    /// (`indexed_pick`) before falling back to the O(ready) scan `pick`.
+    /// The index itself is always maintained (the hooks are cheap no-ops for
+    /// scan-only schedulers), so toggling is safe at any point mid-run.
+    indexed_picks: bool,
     stats: SimStats,
     send_seq: u64,
     started: bool,
@@ -898,6 +913,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             ready: Vec::new(),
             ready_pos: vec![NOT_READY; channels],
             scheduler,
+            indexed_picks: true,
             stats,
             send_seq: 0,
             started: false,
@@ -983,9 +999,28 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     ///
     /// Used by replay (install a [`crate::sched::ReplayScheduler`] on a
     /// fresh core) and by exploration (drive the core channel-by-channel
-    /// while keeping a trivial scheduler installed).
+    /// while keeping a trivial scheduler installed). The incoming
+    /// scheduler's incremental index is seeded from the current ready set,
+    /// so a mid-run swap keeps indexed picks exact.
     pub fn set_scheduler(&mut self, scheduler: Box<dyn Scheduler>) {
         self.scheduler = scheduler;
+        self.scheduler.rebuild_index(&self.ready);
+    }
+
+    /// Enables or disables the indexed fast-pick path (on by default).
+    ///
+    /// Indexed and scan picks are bit-identical for every built-in
+    /// scheduler (proved by `tests/sched_index_equivalence.rs`); the toggle
+    /// exists to measure and cross-check the two paths. The index stays
+    /// maintained either way, so the switch is safe mid-run.
+    pub fn set_indexed_picks(&mut self, enabled: bool) {
+        self.indexed_picks = enabled;
+    }
+
+    /// Whether the indexed fast-pick path is enabled.
+    #[must_use]
+    pub fn indexed_picks(&self) -> bool {
+        self.indexed_picks
     }
 
     /// Starts recording the sequence of channel picks as a [`Schedule`].
@@ -1043,6 +1078,10 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         self.started = snapshot.started;
         self.fault_stats = snapshot.fault_stats;
         self.scheduler.restore_state(&snapshot.scheduler_state);
+        // Indexes are derived state: absent from `CoreSnapshot` and
+        // `save_state` layouts by design, rebuilt from the restored ready
+        // set instead.
+        self.scheduler.rebuild_index(&self.ready);
         if let Some(rec) = &mut self.recorded {
             rec.truncate(snapshot.recorded_len);
         }
@@ -1109,14 +1148,18 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         let pos = self.ready_pos[channel];
         if pos == NOT_READY {
             self.ready_pos[channel] = self.ready.len();
-            self.ready.push(ChannelView {
+            let view = ChannelView {
                 id: ChannelId::from_index(channel),
                 queue_len: 1,
                 head_seq: seq,
                 direction: self.topology.direction(channel),
-            });
+            };
+            self.ready.push(view);
+            self.scheduler.on_ready(view);
         } else {
             self.ready[pos].queue_len += 1;
+            let view = self.ready[pos];
+            self.scheduler.on_head_change(view);
         }
         if let Some(m) = &mut self.metrics {
             let peak = self.queues.peak_queue_bytes() as u64;
@@ -1213,16 +1256,37 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             return Ok(None);
         }
         let t = prof::start();
-        let pick = self.scheduler.pick(&self.ready);
+        let picked = if self.indexed_picks {
+            match self.scheduler.indexed_pick() {
+                Some(id) => {
+                    let ch = id.index();
+                    if ch >= self.ready_pos.len() || self.ready_pos[ch] == NOT_READY {
+                        prof::stop(prof::Phase::Pick, t);
+                        return Err(EngineError::SchedulerIdleChannel { channel: ch });
+                    }
+                    ch
+                }
+                // No index kept (e.g. `RandomScheduler`): scan fallback.
+                None => self.scan_pick()?,
+            }
+        } else {
+            self.scan_pick()?
+        };
         prof::stop(prof::Phase::Pick, t);
+        Ok(Some(self.deliver(handler, picked)))
+    }
+
+    /// The O(ready) pick path: shows the scheduler the ready slice and
+    /// validates its answer. Returns the picked *channel* index.
+    fn scan_pick(&mut self) -> Result<usize, EngineError> {
+        let pick = self.scheduler.pick(&self.ready);
         if pick >= self.ready.len() {
             return Err(EngineError::SchedulerOutOfRange {
                 pick,
                 ready_len: self.ready.len(),
             });
         }
-        let channel = self.ready[pick].id.index();
-        Ok(Some(self.deliver(handler, channel)))
+        Ok(self.ready[pick].id.index())
     }
 
     /// Delivers one message chosen by the scheduler.
@@ -1307,6 +1371,8 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                 let view = &mut self.ready[pos];
                 view.queue_len -= 1;
                 view.head_seq = next_head;
+                let view = *view;
+                self.scheduler.on_head_change(view);
             }
             None => {
                 self.ready.swap_remove(pos);
@@ -1314,6 +1380,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                 if let Some(moved) = self.ready.get(pos) {
                     self.ready_pos[moved.id.index()] = pos;
                 }
+                self.scheduler.on_unready(ChannelId::from_index(channel));
             }
         }
         let (node, port) = self.topology.endpoint(channel);

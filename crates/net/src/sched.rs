@@ -14,6 +14,8 @@ use crate::port::Direction;
 use crate::topology::ChannelId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// A read-only view of one non-empty channel offered to the scheduler.
@@ -27,6 +29,109 @@ pub struct ChannelView {
     pub head_seq: u64,
     /// Direction tag of the channel, if the topology is a ring.
     pub direction: Option<Direction>,
+}
+
+/// An incrementally maintained ordered index over the ready set.
+///
+/// Maps each ready channel to an `Ord` key and keeps the `(key, channel)`
+/// pairs in a [`BTreeSet`], so the minimum / maximum / successor ready
+/// channel under a scheduler's order is an O(log C) query instead of an
+/// O(ready) scan per pick. A parallel `key_of` table remembers each
+/// channel's current key, so re-keying and removal need only the channel
+/// index — which is all the engine's incremental hooks provide.
+///
+/// Because every built-in deterministic scheduler keys on `head_seq`
+/// (globally unique across channels), the trailing channel index never
+/// decides an ordering among simultaneously ready channels; it only makes
+/// set elements unique.
+#[derive(Clone, Debug)]
+pub struct ReadyIndex<K: Ord + Copy> {
+    set: BTreeSet<(K, usize)>,
+    key_of: Vec<Option<K>>,
+}
+
+impl<K: Ord + Copy> Default for ReadyIndex<K> {
+    fn default() -> Self {
+        ReadyIndex::new()
+    }
+}
+
+impl<K: Ord + Copy> ReadyIndex<K> {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> ReadyIndex<K> {
+        ReadyIndex {
+            set: BTreeSet::new(),
+            key_of: Vec::new(),
+        }
+    }
+
+    /// Inserts `channel` under `key`, replacing any previous key (upsert).
+    pub fn insert(&mut self, channel: usize, key: K) {
+        if self.key_of.len() <= channel {
+            self.key_of.resize(channel + 1, None);
+        }
+        match self.key_of[channel].replace(key) {
+            Some(old) if old == key => {} // already indexed under this key
+            Some(old) => {
+                self.set.remove(&(old, channel));
+                self.set.insert((key, channel));
+            }
+            None => {
+                self.set.insert((key, channel));
+            }
+        }
+    }
+
+    /// Removes `channel` if present.
+    pub fn remove(&mut self, channel: usize) {
+        if let Some(old) = self.key_of.get_mut(channel).and_then(Option::take) {
+            self.set.remove(&(old, channel));
+        }
+    }
+
+    /// Whether `channel` is currently indexed.
+    #[must_use]
+    pub fn contains(&self, channel: usize) -> bool {
+        self.key_of.get(channel).is_some_and(Option::is_some)
+    }
+
+    /// Drops every entry (the channel-capacity table is kept allocated).
+    pub fn clear(&mut self) {
+        self.set.clear();
+        self.key_of.fill(None);
+    }
+
+    /// Number of indexed channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no channel is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The channel with the smallest `(key, channel)` pair.
+    #[must_use]
+    pub fn first(&self) -> Option<usize> {
+        self.set.first().map(|&(_, ch)| ch)
+    }
+
+    /// The channel with the largest `(key, channel)` pair.
+    #[must_use]
+    pub fn last(&self) -> Option<usize> {
+        self.set.last().map(|&(_, ch)| ch)
+    }
+
+    /// The smallest entry at or after `(key, channel)` — the successor
+    /// query behind round-robin cursors.
+    #[must_use]
+    pub fn first_at_or_after(&self, key: K, channel: usize) -> Option<usize> {
+        self.set.range((key, channel)..).next().map(|&(_, ch)| ch)
+    }
 }
 
 /// The asynchrony adversary: picks which ready channel delivers next.
@@ -65,6 +170,53 @@ pub trait Scheduler: fmt::Debug {
     /// Must accept exactly the vectors its own `save_state` produces;
     /// the default (for stateless schedulers) ignores the input.
     fn restore_state(&mut self, _state: &[u64]) {}
+
+    /// Picks the next channel *by identity* from the scheduler's
+    /// incrementally maintained index, if it keeps one.
+    ///
+    /// `None` means "no index — show me the ready slice": the engine falls
+    /// back to [`Scheduler::pick`]. An implementation returning `Some(id)`
+    /// must name a currently ready channel and must choose exactly the
+    /// channel its own `pick` would have chosen on the same ready set — the
+    /// property suite in `tests/sched_index_equivalence.rs` holds every
+    /// built-in index to that contract. Implementations with per-pick side
+    /// effects (cursors, phase counters) must apply them here exactly as in
+    /// `pick`: the engine calls only one of the two per step.
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        None
+    }
+
+    /// A channel became ready: its queue went from empty to non-empty.
+    ///
+    /// Driven by the engine on every enqueue into an empty channel
+    /// (including fault injections), before the next pick. The default — for
+    /// scan-only adversaries — ignores it.
+    fn on_ready(&mut self, view: ChannelView) {
+        let _ = view;
+    }
+
+    /// A ready channel's view changed in place: its head advanced after a
+    /// delivery left messages queued, or its queue grew on enqueue. Fired
+    /// for *any* in-place `head_seq`/`queue_len` change, so indexes keyed on
+    /// either stay current.
+    fn on_head_change(&mut self, view: ChannelView) {
+        let _ = view;
+    }
+
+    /// A channel stopped being ready: its queue drained to empty.
+    fn on_unready(&mut self, id: ChannelId) {
+        let _ = id;
+    }
+
+    /// Rebuilds the incremental index from scratch from the full ready set.
+    ///
+    /// Called by the engine after a snapshot restore or a scheduler swap, so
+    /// indexes never need to appear in [`Scheduler::save_state`] layouts or
+    /// `CoreSnapshot`s — they are derived state. The default (scan-only
+    /// schedulers) does nothing.
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        let _ = ready;
+    }
 }
 
 /// Globally FIFO: always delivers the oldest in-flight message.
@@ -84,13 +236,15 @@ pub trait Scheduler: fmt::Debug {
 /// assert_eq!(FifoScheduler::new().pick(&ready), 1); // oldest send first
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct FifoScheduler(());
+pub struct FifoScheduler {
+    index: ReadyIndex<u64>,
+}
 
 impl FifoScheduler {
     /// Creates a new FIFO scheduler.
     #[must_use]
     pub fn new() -> FifoScheduler {
-        FifoScheduler(())
+        FifoScheduler::default()
     }
 }
 
@@ -103,6 +257,29 @@ impl Scheduler for FifoScheduler {
             .map(|(i, _)| i)
             .expect("ready is non-empty")
     }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.index.first().map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.index.insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.index.insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.index.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.index.clear();
+        for v in ready {
+            self.index.insert(v.id.index(), v.head_seq);
+        }
+    }
 }
 
 /// The canonical scheduler of Definition 21: delivers messages one by one in
@@ -111,13 +288,24 @@ impl Scheduler for FifoScheduler {
 /// Ties can only occur between messages sent during the same event; the
 /// direction tag orders those (CW before CCW, untagged last).
 #[derive(Clone, Debug, Default)]
-pub struct SolitudeScheduler(());
+pub struct SolitudeScheduler {
+    index: ReadyIndex<(u64, u8)>,
+}
+
+/// CW before CCW, untagged last — the Definition-21 tie-break order.
+fn dir_rank(direction: Option<Direction>) -> u8 {
+    match direction {
+        Some(Direction::Cw) => 0,
+        Some(Direction::Ccw) => 1,
+        None => 2,
+    }
+}
 
 impl SolitudeScheduler {
     /// Creates the canonical Definition-21 scheduler.
     #[must_use]
     pub fn new() -> SolitudeScheduler {
-        SolitudeScheduler(())
+        SolitudeScheduler::default()
     }
 }
 
@@ -126,29 +314,50 @@ impl Scheduler for SolitudeScheduler {
         ready
             .iter()
             .enumerate()
-            .min_by_key(|(_, v)| {
-                let dir_rank = match v.direction {
-                    Some(Direction::Cw) => 0u8,
-                    Some(Direction::Ccw) => 1,
-                    None => 2,
-                };
-                (v.head_seq, dir_rank)
-            })
+            .min_by_key(|(_, v)| (v.head_seq, dir_rank(v.direction)))
             .map(|(i, _)| i)
             .expect("ready is non-empty")
+    }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.index.first().map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.index
+            .insert(view.id.index(), (view.head_seq, dir_rank(view.direction)));
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.index
+            .insert(view.id.index(), (view.head_seq, dir_rank(view.direction)));
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.index.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.index.clear();
+        for v in ready {
+            self.index
+                .insert(v.id.index(), (v.head_seq, dir_rank(v.direction)));
+        }
     }
 }
 
 /// Adversarially anti-FIFO: always delivers the *youngest* head message,
 /// maximally delaying old messages (while respecting per-channel FIFO).
 #[derive(Clone, Debug, Default)]
-pub struct LifoScheduler(());
+pub struct LifoScheduler {
+    index: ReadyIndex<u64>,
+}
 
 impl LifoScheduler {
     /// Creates a new anti-FIFO scheduler.
     #[must_use]
     pub fn new() -> LifoScheduler {
-        LifoScheduler(())
+        LifoScheduler::default()
     }
 }
 
@@ -161,9 +370,36 @@ impl Scheduler for LifoScheduler {
             .map(|(i, _)| i)
             .expect("ready is non-empty")
     }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.index.last().map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.index.insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.index.insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.index.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.index.clear();
+        for v in ready {
+            self.index.insert(v.id.index(), v.head_seq);
+        }
+    }
 }
 
 /// Uniformly random delivery, seeded for reproducibility.
+///
+/// The one built-in adversary that picks by array *position* rather than
+/// channel identity, so it keeps no [`ReadyIndex`]: its `indexed_pick`
+/// stays `None` and the engine always shows it the ready slice.
 ///
 /// ```rust
 /// use co_net::sched::{RandomScheduler, Scheduler};
@@ -212,13 +448,17 @@ impl Scheduler for RandomScheduler {
 #[derive(Clone, Debug, Default)]
 pub struct RoundRobinScheduler {
     cursor: usize,
+    /// Ready channels ordered by index alone — the key carries no
+    /// information, so the set is ordered by channel and the cursor's
+    /// successor is one range query.
+    index: ReadyIndex<()>,
 }
 
 impl RoundRobinScheduler {
     /// Creates a new round-robin scheduler.
     #[must_use]
     pub fn new() -> RoundRobinScheduler {
-        RoundRobinScheduler { cursor: 0 }
+        RoundRobinScheduler::default()
     }
 }
 
@@ -239,6 +479,30 @@ impl Scheduler for RoundRobinScheduler {
         pick
     }
 
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        let next = self
+            .index
+            .first_at_or_after((), self.cursor)
+            .or_else(|| self.index.first())?;
+        self.cursor = next + 1;
+        Some(ChannelId::from_index(next))
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.index.insert(view.id.index(), ());
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.index.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.index.clear();
+        for v in ready {
+            self.index.insert(v.id.index(), ());
+        }
+    }
+
     fn save_state(&self) -> Vec<u64> {
         vec![self.cursor as u64]
     }
@@ -257,13 +521,30 @@ impl Scheduler for RoundRobinScheduler {
 #[derive(Clone, Debug)]
 pub struct StarveDirectionScheduler {
     starved: Direction,
+    /// Channels not travelling the starved direction, FIFO by head seq.
+    preferred: ReadyIndex<u64>,
+    /// Channels travelling the starved direction — drained only when
+    /// `preferred` is empty.
+    deferred: ReadyIndex<u64>,
 }
 
 impl StarveDirectionScheduler {
     /// Creates a scheduler that starves the given direction.
     #[must_use]
     pub fn new(starved: Direction) -> StarveDirectionScheduler {
-        StarveDirectionScheduler { starved }
+        StarveDirectionScheduler {
+            starved,
+            preferred: ReadyIndex::new(),
+            deferred: ReadyIndex::new(),
+        }
+    }
+
+    fn tier(&mut self, direction: Option<Direction>) -> &mut ReadyIndex<u64> {
+        if direction == Some(self.starved) {
+            &mut self.deferred
+        } else {
+            &mut self.preferred
+        }
     }
 }
 
@@ -279,6 +560,38 @@ impl Scheduler for StarveDirectionScheduler {
             .map(|(i, _)| i)
             .expect("ready is non-empty")
     }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.preferred
+            .first()
+            .or_else(|| self.deferred.first())
+            .map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.tier(view.direction)
+            .insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        // A channel's direction never changes, so the upsert lands in the
+        // same tier the channel was registered in.
+        self.tier(view.direction)
+            .insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.preferred.remove(id.index());
+        self.deferred.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.preferred.clear();
+        self.deferred.clear();
+        for v in ready {
+            self.tier(v.direction).insert(v.id.index(), v.head_seq);
+        }
+    }
 }
 
 /// Starves a single node: channels *toward* the victim deliver only when
@@ -286,7 +599,13 @@ impl Scheduler for StarveDirectionScheduler {
 #[derive(Clone, Debug)]
 pub struct StarveNodeScheduler {
     victim: usize,
-    victims_channels: Vec<ChannelId>,
+    /// Channels toward the victim, hashed once in `new` so the per-candidate
+    /// membership test is O(1) instead of an O(victims) `Vec::contains`.
+    victims_channels: HashSet<ChannelId>,
+    /// Channels not aimed at the victim, FIFO by head seq.
+    preferred: ReadyIndex<u64>,
+    /// Channels toward the victim — drained only when `preferred` is empty.
+    deferred: ReadyIndex<u64>,
 }
 
 impl StarveNodeScheduler {
@@ -298,7 +617,9 @@ impl StarveNodeScheduler {
     pub fn new(victim: usize, incoming: Vec<ChannelId>) -> StarveNodeScheduler {
         StarveNodeScheduler {
             victim,
-            victims_channels: incoming,
+            victims_channels: incoming.into_iter().collect(),
+            preferred: ReadyIndex::new(),
+            deferred: ReadyIndex::new(),
         }
     }
 
@@ -306,6 +627,14 @@ impl StarveNodeScheduler {
     #[must_use]
     pub fn victim(&self) -> usize {
         self.victim
+    }
+
+    fn tier(&mut self, id: ChannelId) -> &mut ReadyIndex<u64> {
+        if self.victims_channels.contains(&id) {
+            &mut self.deferred
+        } else {
+            &mut self.preferred
+        }
     }
 }
 
@@ -321,17 +650,51 @@ impl Scheduler for StarveNodeScheduler {
             .map(|(i, _)| i)
             .expect("ready is non-empty")
     }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.preferred
+            .first()
+            .or_else(|| self.deferred.first())
+            .map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.tier(view.id).insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.tier(view.id).insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.preferred.remove(id.index());
+        self.deferred.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.preferred.clear();
+        self.deferred.clear();
+        for v in ready {
+            self.tier(v.id).insert(v.id.index(), v.head_seq);
+        }
+    }
 }
 
 /// Drains the longest queue first — a bursty, congestion-like schedule.
 #[derive(Clone, Debug, Default)]
-pub struct LongestQueueScheduler(());
+pub struct LongestQueueScheduler {
+    /// Keyed on `(queue_len, Reverse(head_seq))` so the set's maximum is the
+    /// longest queue, oldest head on ties — exactly the scan's `max_by_key`.
+    /// `on_head_change` re-keys on every in-place view change, which covers
+    /// both queue growth (enqueue) and head advance (partial drain).
+    index: ReadyIndex<(usize, Reverse<u64>)>,
+}
 
 impl LongestQueueScheduler {
     /// Creates a new longest-queue-first scheduler.
     #[must_use]
     pub fn new() -> LongestQueueScheduler {
-        LongestQueueScheduler(())
+        LongestQueueScheduler::default()
     }
 }
 
@@ -340,9 +703,35 @@ impl Scheduler for LongestQueueScheduler {
         ready
             .iter()
             .enumerate()
-            .max_by_key(|(_, v)| (v.queue_len, std::cmp::Reverse(v.head_seq)))
+            .max_by_key(|(_, v)| (v.queue_len, Reverse(v.head_seq)))
             .map(|(i, _)| i)
             .expect("ready is non-empty")
+    }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.index.last().map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.index
+            .insert(view.id.index(), (view.queue_len, Reverse(view.head_seq)));
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.index
+            .insert(view.id.index(), (view.queue_len, Reverse(view.head_seq)));
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.index.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.index.clear();
+        for v in ready {
+            self.index
+                .insert(v.id.index(), (v.queue_len, Reverse(v.head_seq)));
+        }
     }
 }
 
@@ -361,7 +750,11 @@ pub struct BoundedDelayScheduler {
     rng: StdRng,
     picks: u64,
     /// `deadline[channel] = picks-count by which its head must deliver`.
-    deadlines: std::collections::HashMap<ChannelId, u64>,
+    deadlines: HashMap<ChannelId, u64>,
+    /// Mirror of `deadlines` ordered by `(deadline, channel)`, so the
+    /// overdue lookup is a peek at the minimum instead of a map scan. Purely
+    /// derived — rebuilt on restore, absent from the serialized layout.
+    by_deadline: BTreeSet<(u64, usize)>,
 }
 
 impl BoundedDelayScheduler {
@@ -373,7 +766,14 @@ impl BoundedDelayScheduler {
             bound,
             rng: StdRng::seed_from_u64(seed),
             picks: 0,
-            deadlines: std::collections::HashMap::new(),
+            deadlines: HashMap::new(),
+            by_deadline: BTreeSet::new(),
+        }
+    }
+
+    fn forget(&mut self, id: ChannelId) {
+        if let Some(d) = self.deadlines.remove(&id) {
+            self.by_deadline.remove(&(d, id.index()));
         }
     }
 }
@@ -381,37 +781,45 @@ impl BoundedDelayScheduler {
 impl Scheduler for BoundedDelayScheduler {
     fn pick(&mut self, ready: &[ChannelView]) -> usize {
         self.picks += 1;
-        // Register deadlines for newly seen heads and drop stale entries.
         let bound = self.bound;
         let picks = self.picks;
-        self.deadlines
-            .retain(|id, _| ready.iter().any(|v| v.id == *id));
+        // Register deadlines for newly seen heads. Entries for channels this
+        // adversary delivered were removed at that pick, so under engine use
+        // the map holds only ready channels; entries made stale by
+        // out-of-band deliveries (`step_channel`, scheduler swaps) are
+        // dropped lazily during the overdue lookup below instead of an
+        // O(ready) `retain` sweep on every pick.
         for v in ready {
-            self.deadlines.entry(v.id).or_insert(picks + bound);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.deadlines.entry(v.id) {
+                e.insert(picks + bound);
+                self.by_deadline.insert((picks + bound, v.id.index()));
+            }
         }
         // Deliver any overdue head first (oldest deadline; ties broken by
         // channel index so the pick never depends on map iteration order).
-        if let Some((&id, _)) = self
-            .deadlines
-            .iter()
-            .filter(|(_, &d)| d <= picks)
-            .min_by_key(|(id, &d)| (d, id.index()))
-        {
-            let at = ready
-                .iter()
-                .position(|v| v.id == id)
-                .expect("deadline entries are ready");
+        while let Some(&(deadline, ch)) = self.by_deadline.first() {
+            if deadline > picks {
+                break;
+            }
+            let id = ChannelId::from_index(ch);
+            self.by_deadline.pop_first();
             self.deadlines.remove(&id);
-            return at;
+            if let Some(at) = ready.iter().position(|v| v.id == id) {
+                return at;
+            }
+            // Stale: the channel drained without this adversary picking it.
         }
         let at = self.rng.gen_range(0..ready.len());
-        self.deadlines.remove(&ready[at].id);
+        self.forget(ready[at].id);
         at
     }
 
     fn save_state(&self) -> Vec<u64> {
         // Layout: picks, rng[0..4], then (channel, deadline) pairs sorted by
-        // channel so the serialized form is deterministic.
+        // channel so the serialized form is deterministic. The layout
+        // predates the `by_deadline` mirror and is pinned by
+        // `bounded_delay_save_layout_is_unchanged` — the mirror is derived
+        // state and never serialized.
         let mut state = vec![self.picks];
         state.extend(self.rng.to_state());
         let mut pairs: Vec<(u64, u64)> = self
@@ -437,6 +845,11 @@ impl Scheduler for BoundedDelayScheduler {
             .chunks_exact(2)
             .map(|pair| (ChannelId::from_index(pair[0] as usize), pair[1]))
             .collect();
+        self.by_deadline = self
+            .deadlines
+            .iter()
+            .map(|(id, &d)| (d, id.index()))
+            .collect();
     }
 }
 
@@ -451,13 +864,22 @@ impl Scheduler for BoundedDelayScheduler {
 pub struct ReplayScheduler {
     script: Vec<ChannelId>,
     cursor: usize,
+    /// FIFO index over the ready set: one O(1) membership probe for the
+    /// scripted pick plus an O(log C) oldest-head fallback, replacing the
+    /// two O(ready) scans (and the fresh `FifoScheduler` allocation) the
+    /// scan path needs per fallback.
+    fifo: ReadyIndex<u64>,
 }
 
 impl ReplayScheduler {
     /// Creates a scheduler replaying `script`.
     #[must_use]
     pub fn new(script: Vec<ChannelId>) -> ReplayScheduler {
-        ReplayScheduler { script, cursor: 0 }
+        ReplayScheduler {
+            script,
+            cursor: 0,
+            fifo: ReadyIndex::new(),
+        }
     }
 
     /// How many scripted picks have been consumed.
@@ -475,7 +897,46 @@ impl Scheduler for ReplayScheduler {
                 return at;
             }
         }
-        FifoScheduler::new().pick(ready)
+        // FIFO fallback, inline: oldest head first.
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| v.head_seq)
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        // Resolve the fallback before consuming a script entry: if the
+        // index is unexpectedly empty the engine must retry via the scan
+        // path with the script position untouched.
+        let fallback = self.fifo.first().map(ChannelId::from_index)?;
+        if let Some(&want) = self.script.get(self.cursor) {
+            self.cursor += 1;
+            if self.fifo.contains(want.index()) {
+                return Some(want);
+            }
+        }
+        Some(fallback)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.fifo.insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.fifo.insert(view.id.index(), view.head_seq);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.fifo.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.fifo.clear();
+        for v in ready {
+            self.fifo.insert(v.id.index(), v.head_seq);
+        }
     }
 
     fn save_state(&self) -> Vec<u64> {
@@ -520,6 +981,28 @@ impl Scheduler for RecordingScheduler {
         let at = self.inner.pick(ready);
         self.log.borrow_mut().push(ready[at].id);
         at
+    }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        let id = self.inner.indexed_pick()?;
+        self.log.borrow_mut().push(id);
+        Some(id)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.inner.on_ready(view);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.inner.on_head_change(view);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.inner.on_unready(id);
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.inner.rebuild_index(ready);
     }
 
     fn save_state(&self) -> Vec<u64> {
@@ -570,6 +1053,39 @@ impl Scheduler for PhaseSwitchScheduler {
         };
         self.delivered += 1;
         pick
+    }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        let active = if self.delivered < self.switch_after {
+            &mut self.first
+        } else {
+            &mut self.second
+        };
+        // Count the delivery only if the active child answers by index;
+        // on `None` the engine falls back to `pick`, which counts it.
+        let id = active.indexed_pick()?;
+        self.delivered += 1;
+        Some(id)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.first.on_ready(view);
+        self.second.on_ready(view);
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.first.on_head_change(view);
+        self.second.on_head_change(view);
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.first.on_unready(id);
+        self.second.on_unready(id);
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.first.rebuild_index(ready);
+        self.second.rebuild_index(ready);
     }
 
     fn save_state(&self) -> Vec<u64> {
@@ -928,6 +1444,179 @@ mod tests {
         restored.restore_state(&saved);
         let resumed: Vec<usize> = (0..16).map(|_| restored.pick(&ready)).collect();
         assert_eq!(future, resumed);
+    }
+
+    #[test]
+    fn ready_index_orders_and_upserts() {
+        let mut idx: ReadyIndex<u64> = ReadyIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.first(), None);
+        idx.insert(3, 30);
+        idx.insert(7, 10);
+        idx.insert(1, 20);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.first(), Some(7)); // smallest key
+        assert_eq!(idx.last(), Some(3)); // largest key
+        assert!(idx.contains(1) && !idx.contains(2));
+        // Upsert re-keys in place.
+        idx.insert(7, 99);
+        assert_eq!(idx.first(), Some(1));
+        assert_eq!(idx.last(), Some(7));
+        // Same-key upsert is a no-op.
+        idx.insert(1, 20);
+        assert_eq!(idx.len(), 3);
+        idx.remove(1);
+        assert!(!idx.contains(1));
+        assert_eq!(idx.len(), 2);
+        // Removing an absent channel is harmless.
+        idx.remove(1);
+        idx.remove(40);
+        idx.clear();
+        assert!(idx.is_empty() && idx.first().is_none() && idx.last().is_none());
+    }
+
+    #[test]
+    fn ready_index_successor_query_wraps_round_robin() {
+        let mut idx: ReadyIndex<()> = ReadyIndex::new();
+        for ch in [0, 2, 5] {
+            idx.insert(ch, ());
+        }
+        assert_eq!(idx.first_at_or_after((), 0), Some(0));
+        assert_eq!(idx.first_at_or_after((), 1), Some(2));
+        assert_eq!(idx.first_at_or_after((), 3), Some(5));
+        assert_eq!(idx.first_at_or_after((), 6), None); // caller wraps to first()
+        assert_eq!(idx.first(), Some(0));
+    }
+
+    /// Drives a scheduler's hooks over a ready set so `indexed_pick` can be
+    /// exercised outside an engine.
+    fn feed(s: &mut dyn Scheduler, ready: &[ChannelView]) {
+        s.rebuild_index(ready);
+    }
+
+    #[test]
+    fn indexed_picks_match_scan_picks_for_every_kind() {
+        // One fixed ready set; the real property suite
+        // (tests/sched_index_equivalence.rs) runs randomized mutation
+        // sequences through the engine.
+        let ready = [
+            view(0, 2, 7, Some(Direction::Cw)),
+            view(3, 1, 2, Some(Direction::Ccw)),
+            view(4, 5, 11, Some(Direction::Cw)),
+            view(6, 5, 3, None),
+        ];
+        for kind in SchedulerKind::ALL {
+            if kind == SchedulerKind::Random {
+                let mut s = kind.build(5);
+                feed(s.as_mut(), &ready);
+                assert_eq!(s.indexed_pick(), None, "random keeps no index");
+                continue;
+            }
+            let mut indexed = kind.build(5);
+            let mut scan = kind.build(5);
+            feed(indexed.as_mut(), &ready);
+            for round in 0..4 {
+                let id = indexed.indexed_pick().expect("index built");
+                let at = scan.pick(&ready);
+                assert_eq!(id, ready[at].id, "{kind} diverged at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn starve_node_indexed_pick_defers_victim_channels() {
+        let incoming = vec![ChannelId::from_index(0), ChannelId::from_index(2)];
+        let mut s = StarveNodeScheduler::new(1, incoming);
+        let ready = [
+            view(0, 1, 0, None),
+            view(2, 1, 1, None),
+            view(5, 1, 9, None),
+        ];
+        s.rebuild_index(&ready);
+        // Non-victim channel 5 wins despite the younger heads toward the victim.
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(5)));
+        s.on_unready(ChannelId::from_index(5));
+        // Only victim channels left: oldest head among them.
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(0)));
+    }
+
+    #[test]
+    fn replay_indexed_pick_follows_script_with_indexed_fallback() {
+        let ready = [view(0, 1, 5, None), view(2, 1, 3, None)];
+        let mut s = ReplayScheduler::new(vec![
+            ChannelId::from_index(2),
+            ChannelId::from_index(9), // never ready: indexed FIFO fallback
+        ]);
+        // Without an index the scan path must be used instead.
+        assert_eq!(s.indexed_pick(), None);
+        assert_eq!(s.consumed(), 0, "script untouched while index is empty");
+        s.rebuild_index(&ready);
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(2))); // scripted
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(2))); // fallback: oldest head
+        assert_eq!(s.consumed(), 2);
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(2))); // script exhausted
+    }
+
+    #[test]
+    fn recording_logs_indexed_picks_too() {
+        let ready = [view(0, 1, 5, None), view(2, 1, 3, None)];
+        let (mut rec, log) = RecordingScheduler::new(Box::new(FifoScheduler::new()));
+        rec.rebuild_index(&ready);
+        let id = rec.indexed_pick().expect("inner fifo is indexed");
+        assert_eq!(id, ChannelId::from_index(2));
+        assert_eq!(*log.borrow(), vec![ChannelId::from_index(2)]);
+    }
+
+    #[test]
+    fn phase_switch_indexed_pick_counts_deliveries_once() {
+        let ready = [view(0, 1, 1, None), view(1, 1, 9, None)];
+        let mut s = PhaseSwitchScheduler::new(
+            Box::new(FifoScheduler::new()),
+            Box::new(LifoScheduler::new()),
+            2,
+        );
+        s.rebuild_index(&ready);
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(0))); // FIFO
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(0)));
+        assert_eq!(s.indexed_pick(), Some(ChannelId::from_index(1))); // LIFO
+                                                                      // A child without an index defers to the scan path without
+                                                                      // double-counting the delivery.
+        let mut mixed = PhaseSwitchScheduler::new(
+            Box::new(RandomScheduler::seeded(3)),
+            Box::new(LifoScheduler::new()),
+            1,
+        );
+        mixed.rebuild_index(&ready);
+        assert_eq!(mixed.indexed_pick(), None);
+        assert!(mixed.pick(&ready) < ready.len()); // scan path counts the delivery once
+        assert_eq!(mixed.indexed_pick(), Some(ChannelId::from_index(1))); // switched
+    }
+
+    #[test]
+    fn bounded_delay_save_layout_is_unchanged() {
+        // The serialized layout is a public stability contract:
+        // [picks, rng[0..4], (channel, deadline) pairs sorted by channel].
+        // Restoring a handcrafted vector and saving must reproduce it
+        // byte-for-byte even though the in-memory representation now keeps a
+        // derived deadline mirror.
+        let rng_words = StdRng::seed_from_u64(77).to_state();
+        let mut handcrafted = vec![42u64];
+        handcrafted.extend(rng_words);
+        handcrafted.extend([1, 50, 4, 44, 9, 60]); // pairs sorted by channel
+        let mut s = BoundedDelayScheduler::new(3, 0);
+        s.restore_state(&handcrafted);
+        assert_eq!(s.save_state(), handcrafted);
+        // And the restored deadline mirror drives picks: channel 4 has the
+        // oldest deadline (44 <= picks=42 is false... all deadlines 44..60
+        // are in the future at picks=42; two picks later 44 is overdue).
+        let ready = [
+            view(1, 1, 0, None),
+            view(4, 1, 1, None),
+            view(9, 1, 2, None),
+        ];
+        s.picks = 43; // next pick is 44: channel 4 becomes overdue
+        let at = s.pick(&ready);
+        assert_eq!(ready[at].id, ChannelId::from_index(4));
     }
 
     #[test]

@@ -350,6 +350,19 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
         self.core.set_faults(faults);
     }
 
+    /// Enables or disables the scheduler's O(log C) indexed pick path
+    /// (on by default). With it off every step uses the O(ready) scan
+    /// `pick`; both paths are pick-for-pick identical.
+    pub fn set_indexed_picks(&mut self, enabled: bool) {
+        self.core.set_indexed_picks(enabled);
+    }
+
+    /// Whether the indexed pick path is being consulted.
+    #[must_use]
+    pub fn indexed_picks(&self) -> bool {
+        self.core.indexed_picks()
+    }
+
     /// Counters of faults actually applied so far.
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
@@ -1012,6 +1025,49 @@ mod tests {
         assert_eq!(sim.in_flight(), before_in_flight);
         // A fixed scheduler resumes the wedged-free engine normally.
         sim.core.set_scheduler(Box::new(FifoScheduler::new()));
+        let report = sim.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::QuiescentTerminated);
+    }
+
+    /// A broken *indexed* adversary: the scan path is honest FIFO, but
+    /// `indexed_pick` names a channel that is never ready.
+    #[derive(Clone, Debug)]
+    struct IdleIndexScheduler;
+    impl Scheduler for IdleIndexScheduler {
+        fn pick(&mut self, ready: &[ChannelView]) -> usize {
+            ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, v)| v.head_seq)
+                .map(|(at, _)| at)
+                .expect("pick called with ready channels")
+        }
+        fn indexed_pick(&mut self) -> Option<ChannelId> {
+            Some(ChannelId::from_index(999))
+        }
+    }
+
+    #[test]
+    fn try_step_reports_idle_indexed_pick_and_scan_fallback_recovers() {
+        let spec = RingSpec::oriented(vec![1, 2, 3]);
+        let nodes = (0..3).map(|_| Ticker::new(2)).collect();
+        let mut sim: Simulation<Pulse, Ticker> =
+            Simulation::new(spec.wiring(), nodes, Box::new(IdleIndexScheduler));
+        assert!(sim.indexed_picks(), "indexed picks are on by default");
+        sim.start();
+        let before_steps = sim.stats().steps;
+        let err = sim
+            .try_step()
+            .expect_err("indexed pick names an idle channel");
+        assert_eq!(err, EngineError::SchedulerIdleChannel { channel: 999 });
+        let text = err.to_string();
+        assert!(text.contains("999") && text.contains("not ready"), "{text}");
+        // The error is raised before any delivery: nothing moved.
+        assert_eq!(sim.stats().steps, before_steps);
+        // Disabling the indexed path routes around the broken index; the
+        // honest scan `pick` finishes the election.
+        sim.set_indexed_picks(false);
+        assert!(!sim.indexed_picks());
         let report = sim.run(Budget::default());
         assert_eq!(report.outcome, Outcome::QuiescentTerminated);
     }

@@ -187,28 +187,29 @@ fn duplicate_ids_lemma16_all_max_holders_win_alg1() {
     }
 }
 
-/// Timed large-n smoke: the n = 2000 Algorithm 2 election on the counter
+/// Timed large-n smoke: the n = 5000 Algorithm 2 election on the counter
 /// queue backend, exact to Theorem 1. Ignored in the default test run (it
-/// delivers ~16 M pulses); CI runs it in release as the `large-n-smoke`
-/// job with a hard timeout.
+/// delivers ~50 M pulses — affordable since the scheduler's indexed pick
+/// path made large elections delivery-bound); CI runs it in release as the
+/// `large-n-smoke` job with a hard timeout.
 #[test]
 #[ignore = "large; run explicitly (CI large-n-smoke job)"]
-fn large_ring_smoke_n2000_counter_backend() {
+fn large_ring_smoke_n5000_counter_backend() {
     use content_oblivious::net::{Budget, QueueBackend};
-    let n = 2000usize;
+    let n = 5000usize;
     let spec = RingSpec::oriented((1..=n as u64).collect());
     let out = runner::run_alg2_scaled(
         &spec,
         SchedulerKind::Fifo,
         0,
         QueueBackend::Counter,
-        Budget::steps(20_000_000),
+        Budget::steps(120_000_000),
     );
     assert!(out.report.quiescently_terminated());
     assert_eq!(
         out.report.total_messages,
         n as u64 * (2 * n as u64 + 1),
-        "Theorem 1 at n = 2000"
+        "Theorem 1 at n = 5000"
     );
     assert_eq!(out.report.leader, Some(n - 1));
     assert!(
