@@ -4,7 +4,7 @@
 //! catalogue (message complexity from E1/E2, an anonymous-election sample from
 //! E5, dedup memory from E15, explorer state counts from E16, and the E17
 //! scaling invariants: step count and per-backend peak queue bytes at
-//! n = 1000, plus the E18 pick-latency guards) and compares
+//! n = 1000, plus the E18 pick-latency and E19 virtual-time guards) and compares
 //! them against the committed baseline `bench_baseline.json`. CI runs
 //! `tables check` on every push: a metric that drifts outside its per-metric
 //! tolerance fails the build before the regression can land.
@@ -14,9 +14,10 @@
 //! worker). Wall-clock performance is tracked by the [`crate::harness`]
 //! benches instead, which are too noisy to gate on.
 //!
-//! The `e18_*` metrics are the one deliberate exception: they time the
-//! scheduler pick path (the target of the incremental-index work) and so
-//! *are* wall-clock. They carry a 400% `Increase`-only tolerance — wide
+//! The `e18_*` timings and `e19_timer_ns_per_op` are the deliberate
+//! exception: they time the scheduler pick path (the target of the
+//! incremental-index work) and the virtual-time timer heap and so *are*
+//! wall-clock. They carry a 400% `Increase`-only tolerance — wide
 //! enough for any CI-runner speed difference, tight enough to trip if a
 //! pick ever falls from O(log C) back to an O(ready) scan (a ~80× swing
 //! at 4000 channels).
@@ -246,6 +247,7 @@ pub fn collect_metrics(inject_regression_pct: Option<f64>) -> Vec<Metric> {
 
     metrics.extend(e17_metrics().iter().cloned());
     metrics.extend(e18_metrics().iter().cloned());
+    metrics.extend(e19_metrics().iter().cloned());
 
     if let Some(pct) = inject_regression_pct {
         metrics[0].value *= 1.0 + pct / 100.0;
@@ -344,6 +346,7 @@ fn e18_metrics() -> &'static [Metric; 3] {
                 queue_len: 1 + i % 5,
                 head_seq: i as u64,
                 direction: None,
+                arrival: 0,
             })
             .collect();
         scheduler.rebuild_index(&views);
@@ -357,6 +360,7 @@ fn e18_metrics() -> &'static [Metric; 3] {
                 queue_len: 1 + id.index() % 5,
                 head_seq: seq,
                 direction: None,
+                arrival: 0,
             });
         }
         black_box(sink);
@@ -396,6 +400,101 @@ fn e18_metrics() -> &'static [Metric; 3] {
             Metric {
                 name: "e18_matrix_wall_ms_n5000",
                 value: matrix_ms,
+                tolerance_pct: 400.0,
+                direction: Direction::Increase,
+            },
+        ]
+    })
+}
+
+/// E19 — virtual-time invariants and timer-heap throughput.
+///
+/// Two exact metrics and one wall-clock metric:
+///
+/// * `e19_alg2_steps_fixed1_n300` — the n = 300 Algorithm 2 election with a
+///   `fixed:1` latency plan must deliver exactly the Theorem 1 count
+///   n(2·ID_max + 1): the clock layer may reorder deliveries in virtual
+///   time but can never change how many happen.
+/// * `e19_virtual_now_latency_n50` — the final virtual time of an n = 50
+///   election under the earliest-arrival scheduler and a seeded
+///   `uniform:1..8` plan. A pure function of the per-channel RNG streams
+///   and the arrival rule; any change to either moves it.
+/// * `e19_timer_ns_per_op` — wall-clock nanoseconds per arm/fire pair
+///   through the engine's timer heap, driven by 64 async sleepers
+///   ([`co_net::runtime`]) for 2048 rounds. Same 400% `Increase` budget as
+///   the `e18_*` timings (see the module docs).
+fn e19_metrics() -> &'static [Metric; 3] {
+    use co_core::Alg2Node;
+    use co_net::runtime::AsyncRing;
+    use co_net::{
+        Budget, LatencyModel, LatencyPlan, Outcome, Pulse, RingSpec, SchedulerKind, Simulation,
+    };
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static CELL: OnceLock<[Metric; 3]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let alg2_nodes = |spec: &RingSpec| {
+            (0..spec.len())
+                .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<_>>()
+        };
+
+        let spec300 = RingSpec::oriented((1..=300).collect::<Vec<u64>>());
+        let mut timed: Simulation<Pulse, Alg2Node> = Simulation::new(
+            spec300.wiring(),
+            alg2_nodes(&spec300),
+            SchedulerKind::Fifo.build(0),
+        );
+        timed.set_latency(LatencyPlan::new(LatencyModel::Fixed(1), 0));
+        let fixed1 = timed.run(Budget::default());
+        assert_eq!(fixed1.outcome, Outcome::QuiescentTerminated);
+
+        let spec50 = RingSpec::oriented((1..=50).collect::<Vec<u64>>());
+        let mut latency: Simulation<Pulse, Alg2Node> = Simulation::new(
+            spec50.wiring(),
+            alg2_nodes(&spec50),
+            SchedulerKind::Latency.build(0),
+        );
+        latency.set_latency(LatencyPlan::new(
+            LatencyModel::Uniform { min: 1, max: 8 },
+            0,
+        ));
+        let run50 = latency.run(Budget::default());
+        assert_eq!(run50.outcome, Outcome::QuiescentTerminated);
+
+        let (sleepers, rounds) = (64usize, 2048u64);
+        let sleep_spec = RingSpec::oriented((1..=sleepers as u64).collect::<Vec<u64>>());
+        let mut ring: AsyncRing<Pulse, ()> =
+            AsyncRing::new(sleep_spec.wiring(), SchedulerKind::Fifo.build(0), |_, h| {
+                Box::pin(async move {
+                    for _ in 0..rounds {
+                        h.sleep(1).await;
+                    }
+                })
+            });
+        let start = Instant::now();
+        ring.run(Budget::default());
+        let ops = sleepers as u64 * rounds;
+        assert_eq!(ring.stats().timer_fires, ops);
+        let timer_ns = start.elapsed().as_nanos() as f64 / ops as f64;
+
+        [
+            Metric {
+                name: "e19_alg2_steps_fixed1_n300",
+                value: fixed1.steps as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "e19_virtual_now_latency_n50",
+                value: latency.now() as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "e19_timer_ns_per_op",
+                value: timer_ns,
                 tolerance_pct: 400.0,
                 direction: Direction::Increase,
             },

@@ -1,4 +1,4 @@
-//! Experiments E0–E18: one function per quantitative claim of the paper.
+//! Experiments E0–E19: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -62,11 +62,15 @@ pub enum Experiment {
     /// Incremental scheduler indexes: per-scheduler pick latency (indexed
     /// vs scan) and the n = 5000 full scheduler-matrix wall time.
     E18,
+    /// Virtual time: clock-on vs clock-off election throughput, the
+    /// earliest-arrival scheduler under seeded latency, and timer-heap
+    /// throughput through the async facade.
+    E19,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 19] = [
+    pub const ALL: [Experiment; 20] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -86,6 +90,7 @@ impl Experiment {
         Experiment::E16,
         Experiment::E17,
         Experiment::E18,
+        Experiment::E19,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -124,6 +129,7 @@ pub fn run_experiment_with(exp: Experiment, jobs: usize) -> Table {
         Experiment::E16 => e16_parallel_explore_jobs(jobs),
         Experiment::E17 => e17_scaling_jobs(jobs),
         Experiment::E18 => e18_sched_index_jobs(jobs),
+        Experiment::E19 => e19_virtual_time_jobs(jobs),
         _ => run_sequential(exp),
     }
 }
@@ -149,6 +155,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E16 => e16_parallel_explore(),
         Experiment::E17 => e17_scaling(),
         Experiment::E18 => e18_sched_index(),
+        Experiment::E19 => e19_virtual_time(),
     }
 }
 
@@ -1730,6 +1737,162 @@ pub fn e18_sched_index_jobs(jobs: usize) -> Table {
     t
 }
 
+/// E19 — virtual time (default scale).
+#[must_use]
+pub fn e19_virtual_time() -> Table {
+    e19_virtual_time_jobs(1)
+}
+
+/// E19 — virtual time: the clock layer costs nothing it does not deliver.
+///
+/// Three workloads:
+///
+/// 1. **clock overhead** — the n = 1000 Algorithm 2 election under Fifo,
+///    once on the untimed fast path and once per timed latency model
+///    (`fixed:1`, `uniform:1..4`). Theorem 1 makes the message complexity
+///    schedule-independent and Algorithm 2's final configuration unique, so
+///    every mode must report identical step counts *and* identical
+///    configuration fingerprints — latency moves deliveries in virtual
+///    time, never changes how many happen or where the ring ends up. The
+///    wall-clock columns show what the timestamp bookkeeping costs.
+/// 2. **earliest-arrival adversary** — the `latency` scheduler (pick the
+///    earliest-timestamped head, [`co_net::sched::LatencyScheduler`]) on a
+///    seeded `uniform:1..8` plan, fanned across a latency-seed grid with
+///    `jobs` workers. Each cell runs twice; exactness demands the reruns
+///    agree byte-for-byte (steps, fingerprint, final virtual time): all
+///    sampling flows through per-channel RNGs keyed by the plan seed.
+/// 3. **timer heap** — 64 async nodes ([`co_net::runtime`]) each awaiting
+///    32 consecutive one-tick sleeps: 2048 arm/fire pairs through the
+///    engine's timer heap, every one reached by a quiescence-driven clock
+///    jump. Exactness pins the fire count and the final virtual time; the
+///    ops/ms column is the heap's throughput.
+#[must_use]
+pub fn e19_virtual_time_jobs(jobs: usize) -> Table {
+    use co_core::Alg2Node;
+    use co_net::runtime::AsyncRing;
+    use co_net::{LatencyModel, LatencyPlan, Pulse};
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E19 — virtual time: seeded latency, earliest-arrival picks, timer heap",
+        "latency timestamps reorder deliveries without changing complexity; timers are deterministic",
+        vec![
+            "workload", "mode", "n", "steps", "now", "timers", "exact", "ms",
+        ],
+    );
+    let mut all_ok = true;
+
+    // -- Workload 1: clock on vs clock off ------------------------------------
+    let n = 1000usize;
+    let spec = RingSpec::oriented((1..=n as u64).collect());
+    let modes: [(&str, LatencyModel); 3] = [
+        ("untimed", LatencyModel::Zero),
+        ("fixed:1", LatencyModel::Fixed(1)),
+        ("uniform:1..4", LatencyModel::Uniform { min: 1, max: 4 }),
+    ];
+    let mut reference: Option<(u64, u64)> = None; // (steps, fingerprint)
+    for (label, model) in modes {
+        let nodes = (0..n)
+            .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+            .collect();
+        let mut sim: Simulation<Pulse, Alg2Node> =
+            Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+        sim.set_latency(LatencyPlan::new(model, 19));
+        let start = Instant::now();
+        let run = sim.run(Budget::default());
+        let ms = start.elapsed().as_millis();
+        let cell = (run.steps, sim.fingerprint());
+        // Theorem 1: same pulse count under any timing; unique final
+        // configuration: same fingerprint. The untimed run is the referee.
+        let exact =
+            run.outcome == Outcome::QuiescentTerminated && reference.is_none_or(|r| r == cell);
+        reference.get_or_insert(cell);
+        all_ok &= exact;
+        t.row(vec![
+            "clock overhead".into(),
+            label.into(),
+            n.to_string(),
+            run.steps.to_string(),
+            sim.now().to_string(),
+            "0".into(),
+            exact.to_string(),
+            ms.to_string(),
+        ]);
+    }
+
+    // -- Workload 2: the earliest-arrival adversary over a seed grid ----------
+    let seeds: Vec<u64> = (0..8).collect();
+    let spec2 = RingSpec::oriented((1..=200u64).collect());
+    let results = crate::parallel::par_map(&seeds, jobs, |&seed| {
+        let run_once = || {
+            let nodes = (0..spec2.len())
+                .map(|i| Alg2Node::new(spec2.id(i), spec2.cw_port(i)))
+                .collect();
+            let mut sim: Simulation<Pulse, Alg2Node> =
+                Simulation::new(spec2.wiring(), nodes, SchedulerKind::Latency.build(seed));
+            sim.set_latency(LatencyPlan::new(
+                LatencyModel::Uniform { min: 1, max: 8 },
+                seed,
+            ));
+            let run = sim.run(Budget::default());
+            (run.outcome, run.steps, sim.fingerprint(), sim.now())
+        };
+        (run_once(), run_once())
+    });
+    for (&seed, (a, b)) in seeds.iter().zip(&results) {
+        let exact = a == b && a.0 == Outcome::QuiescentTerminated;
+        all_ok &= exact;
+        t.row(vec![
+            "earliest-arrival".into(),
+            format!("uniform:1..8 seed {seed}"),
+            spec2.len().to_string(),
+            a.1.to_string(),
+            a.3.to_string(),
+            "0".into(),
+            exact.to_string(),
+            "-".into(),
+        ]);
+    }
+
+    // -- Workload 3: timer-heap throughput through the async facade -----------
+    let (sleepers, rounds) = (64usize, 32u64);
+    let sleep_spec = RingSpec::oriented((1..=sleepers as u64).collect());
+    let mut ring: AsyncRing<Pulse, ()> =
+        AsyncRing::new(sleep_spec.wiring(), SchedulerKind::Fifo.build(0), |_, h| {
+            Box::pin(async move {
+                for _ in 0..rounds {
+                    h.sleep(1).await;
+                }
+            })
+        });
+    let start = Instant::now();
+    let run = ring.run(Budget::default());
+    let ms = start.elapsed().as_millis();
+    let fires = ring.stats().timer_fires;
+    let exact = run.outcome == Outcome::QuiescentTerminated
+        && fires == sleepers as u64 * rounds
+        && ring.now() == rounds;
+    all_ok &= exact;
+    t.row(vec![
+        "timer heap".into(),
+        format!("{sleepers} sleepers x {rounds}"),
+        sleepers.to_string(),
+        run.steps.to_string(),
+        ring.now().to_string(),
+        fires.to_string(),
+        exact.to_string(),
+        ms.to_string(),
+    ]);
+
+    t.set_verdict(if all_ok {
+        "clock-on runs match the untimed election exactly; seeded latency and \
+         timers replay byte-identically"
+    } else {
+        "MISMATCH: virtual time changed an outcome that must be timing-independent"
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1739,7 +1902,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e19"), None);
+        assert_eq!(Experiment::parse("e20"), None);
     }
 
     #[test]

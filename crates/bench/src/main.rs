@@ -6,7 +6,7 @@
 //! cargo run -p co-bench --bin tables --release -- --exp e1
 //! cargo run -p co-bench --bin tables --release -- --json  # JSON lines
 //! cargo run -p co-bench --bin tables --release -- --jobs 8
-//! cargo run -p co-bench --bin tables --release -- --exp e18 --profile
+//! cargo run -p co-bench --bin tables --release -- --exp e19 --profile
 //! cargo run -p co-bench --bin tables --release -- check              # gate
 //! cargo run -p co-bench --bin tables --release -- check --update    # re-baseline
 //! ```
@@ -126,13 +126,13 @@ fn main() -> ExitCode {
             "--exp" => {
                 i += 1;
                 let Some(name) = args.get(i) else {
-                    eprintln!("--exp requires an argument (e0..e18)");
+                    eprintln!("--exp requires an argument (e0..e19)");
                     return ExitCode::FAILURE;
                 };
                 match Experiment::parse(name) {
                     Some(e) => selected.push(e),
                     None => {
-                        eprintln!("unknown experiment {name}; expected e0..e18");
+                        eprintln!("unknown experiment {name}; expected e0..e19");
                         return ExitCode::FAILURE;
                     }
                 }

@@ -1,0 +1,102 @@
+//! Chang–Roberts as straight-line `async fn` node logic.
+//!
+//! The async twin of [`ChangRobertsNode`](crate::ChangRobertsNode), written
+//! over [`co_net::runtime`]. Unlike Algorithm 1 (stabilizing), Chang–Roberts
+//! *terminates*: the future returns the node's final [`Role`], which is the
+//! async facade's termination event — the node thereafter ignores all
+//! deliveries, exactly like
+//! [`Protocol::is_terminated`](co_net::Protocol::is_terminated).
+//!
+//! Both representations compile onto identical engine events and produce
+//! byte-identical [`RunReport`](co_net::RunReport)s and
+//! [`SimStats`](co_net::SimStats) under every scheduler and under
+//! record/replay — `tests/async_equivalence.rs` pins this.
+
+use crate::chang_roberts::CrMsg;
+use co_core::Role;
+use co_net::runtime::{AsyncRing, NodeFuture, NodeHandle};
+use co_net::{Port, RingSpec, Scheduler};
+
+/// The Chang–Roberts node program as a boxed future.
+///
+/// # Panics
+///
+/// Panics if `id == 0`.
+#[must_use]
+pub fn chang_roberts_future(
+    id: u64,
+    cw_port: Port,
+    h: NodeHandle<CrMsg, Role>,
+) -> NodeFuture<Role> {
+    assert!(id > 0, "IDs must be positive integers");
+    Box::pin(async move {
+        h.send(cw_port, CrMsg::Candidate(id));
+        loop {
+            let (_, msg) = h.recv().await;
+            match msg {
+                CrMsg::Candidate(j) if j > id => {
+                    h.send(cw_port, CrMsg::Candidate(j));
+                }
+                CrMsg::Candidate(j) if j == id => {
+                    // Our ID survived the whole ring: we are the maximum.
+                    h.publish(Role::Leader);
+                    h.send(cw_port, CrMsg::Elected(id));
+                }
+                CrMsg::Candidate(_) => {} // swallow smaller IDs
+                CrMsg::Elected(j) if j == id => {
+                    // Our own notification returned: everyone knows.
+                    return Role::Leader;
+                }
+                CrMsg::Elected(j) => {
+                    h.send(cw_port, CrMsg::Elected(j));
+                    return Role::NonLeader;
+                }
+            }
+        }
+    })
+}
+
+/// Builds an [`AsyncRing`] running Chang–Roberts on `spec`.
+#[must_use]
+pub fn chang_roberts_async_ring(
+    spec: &RingSpec,
+    scheduler: Box<dyn Scheduler>,
+) -> AsyncRing<CrMsg, Role> {
+    let ids: Vec<u64> = (0..spec.len()).map(|i| spec.id(i)).collect();
+    let cw_ports: Vec<Port> = (0..spec.len()).map(|i| spec.cw_port(i)).collect();
+    AsyncRing::new(spec.wiring(), scheduler, move |i, h| {
+        chang_roberts_future(ids[i], cw_ports[i], h)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_net::{Budget, Outcome, SchedulerKind};
+
+    #[test]
+    fn async_chang_roberts_elects_and_terminates() {
+        let spec = RingSpec::oriented(vec![4, 9, 1, 6]);
+        for kind in SchedulerKind::ALL {
+            let mut ring = chang_roberts_async_ring(&spec, kind.build(3));
+            let report = ring.run(Budget::default());
+            assert_eq!(report.outcome, Outcome::QuiescentTerminated, "{kind}");
+            let outputs = ring.outputs();
+            assert_eq!(outputs[1], Some(Role::Leader), "{kind}");
+            for i in [0usize, 2, 3] {
+                assert_eq!(outputs[i], Some(Role::NonLeader), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn message_counts_match_the_classic_analysis() {
+        // IDs descending clockwise: candidate of the k-th node travels k
+        // hops, total n(n+1)/2 candidate messages + n elected.
+        let n = 16u64;
+        let spec = RingSpec::oriented((1..=n).rev().collect());
+        let mut ring = chang_roberts_async_ring(&spec, SchedulerKind::Fifo.build(0));
+        let report = ring.run(Budget::default());
+        assert_eq!(report.total_sent, n * (n + 1) / 2 + n);
+    }
+}

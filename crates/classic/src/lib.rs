@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod chang_roberts;
+pub mod chang_roberts_async;
 pub mod defective;
 pub mod franklin;
 pub mod hirschberg_sinclair;
@@ -40,6 +41,7 @@ pub mod peterson;
 pub mod runner;
 
 pub use chang_roberts::ChangRobertsNode;
+pub use chang_roberts_async::{chang_roberts_async_ring, chang_roberts_future};
 pub use franklin::FranklinNode;
 pub use hirschberg_sinclair::HirschbergSinclairNode;
 pub use peterson::PetersonNode;

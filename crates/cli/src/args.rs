@@ -3,7 +3,7 @@
 //! small).
 
 use co_core::IdScheme;
-use co_net::{Schedule, SchedulerKind};
+use co_net::{LatencyModel, LatencyPlan, Schedule, SchedulerKind};
 use std::fmt;
 
 /// Options shared by every subcommand.
@@ -15,8 +15,21 @@ pub struct CommonOpts {
     pub scheduler: SchedulerKind,
     /// RNG seed for scheduler / sampling.
     pub seed: u64,
+    /// Per-channel latency model (`zero` keeps the untimed fast path).
+    pub latency: LatencyModel,
+    /// Seed of the per-channel latency streams.
+    pub latency_seed: u64,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
+}
+
+impl CommonOpts {
+    /// The latency plan these options describe (every channel gets
+    /// [`CommonOpts::latency`], seeded by [`CommonOpts::latency_seed`]).
+    #[must_use]
+    pub fn latency_plan(&self) -> LatencyPlan {
+        LatencyPlan::new(self.latency, self.latency_seed)
+    }
 }
 
 impl Default for CommonOpts {
@@ -25,6 +38,8 @@ impl Default for CommonOpts {
             ids: (1..=8).collect(),
             scheduler: SchedulerKind::Random,
             seed: 0,
+            latency: LatencyModel::Zero,
+            latency_seed: 0,
             json: false,
         }
     }
@@ -81,7 +96,7 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E17).
+        /// Experiments to run (empty = all of E0–E19).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
         jobs: usize,
@@ -225,11 +240,18 @@ fn err(msg: impl Into<String>) -> ParseError {
 }
 
 fn parse_scheduler(s: &str) -> Result<SchedulerKind, ParseError> {
+    // `Latency` is deliberately outside `SchedulerKind::ALL` (it models the
+    // network, not an adversary), so it is matched by name here.
+    if s == SchedulerKind::Latency.to_string() {
+        return Ok(SchedulerKind::Latency);
+    }
     SchedulerKind::ALL
         .into_iter()
         .find(|k| k.to_string() == s)
         .ok_or_else(|| {
-            let names: Vec<String> = SchedulerKind::ALL.iter().map(ToString::to_string).collect();
+            let mut names: Vec<String> =
+                SchedulerKind::ALL.iter().map(ToString::to_string).collect();
+            names.push(SchedulerKind::Latency.to_string());
             err(format!(
                 "unknown scheduler '{s}'; one of: {}",
                 names.join(", ")
@@ -308,6 +330,16 @@ impl Cli {
                         .parse()
                         .map_err(|_| err("--seed must be an integer"))?;
                 }
+                "--latency" => {
+                    opts.latency = value("--latency")?
+                        .parse()
+                        .map_err(|e| err(format!("bad --latency: {e}")))?;
+                }
+                "--latency-seed" => {
+                    opts.latency_seed = value("--latency-seed")?
+                        .parse()
+                        .map_err(|_| err("--latency-seed must be an integer"))?;
+                }
                 "--json" => opts.json = true,
                 "--scheme" => {
                     scheme = match value("--scheme")?.as_str() {
@@ -337,7 +369,7 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e17"))
+                        err(format!("unknown experiment '{name}'; expected e0..e19"))
                     })?);
                 }
                 "--jobs" => {
@@ -440,7 +472,7 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E17)
+  tables      Regenerate the paper's experiment tables (E0..E19)
   record      Run once, printing a replayable delivery schedule
   replay      Deterministically re-execute a recorded schedule
   shrink      Find a monitor-violating schedule, then ddmin-minimize it
@@ -451,8 +483,12 @@ OPTIONS:
   --ids a,b,c         node IDs clockwise            (default 1..=8)
   --n N               shorthand for --ids 1,...,N
   --scheduler NAME    fifo|solitude|lifo|random|round-robin|
-                      starve-cw|starve-ccw|longest-queue  (default random)
+                      starve-cw|starve-ccw|longest-queue|latency
+                                                     (default random)
   --seed S            adversary / sampling seed      (default 0)
+  --latency MODEL     per-channel delay: zero | fixed:K | uniform:MIN..MAX
+                                                     (default zero)
+  --latency-seed S    seed of the latency streams    (default 0)
   --json              machine-readable output
   --scheme S          orient: doubled|improved       (default improved)
   --c X  --trials T   anonymous: parameter and trial count
@@ -601,6 +637,31 @@ mod tests {
         assert!(Cli::parse(["elect", "--scheduler", "bogus"]).is_err());
         assert!(Cli::parse(["frobnicate"]).is_err());
         assert!(Cli::parse(["elect", "--seed"]).is_err());
+    }
+
+    #[test]
+    fn parses_latency_options() {
+        let cli = Cli::parse([
+            "elect",
+            "--latency",
+            "uniform:1..9",
+            "--latency-seed",
+            "42",
+            "--scheduler",
+            "latency",
+        ])
+        .expect("parses");
+        assert_eq!(cli.opts.latency, LatencyModel::Uniform { min: 1, max: 9 });
+        assert_eq!(cli.opts.latency_seed, 42);
+        assert_eq!(cli.opts.scheduler, SchedulerKind::Latency);
+        assert!(!cli.opts.latency_plan().is_zero());
+
+        let cli = Cli::parse(["elect"]).expect("parses");
+        assert_eq!(cli.opts.latency, LatencyModel::Zero);
+        assert!(cli.opts.latency_plan().is_zero());
+
+        assert!(Cli::parse(["elect", "--latency", "uniform:9..1"]).is_err());
+        assert!(Cli::parse(["elect", "--latency", "sometimes"]).is_err());
     }
 
     #[test]

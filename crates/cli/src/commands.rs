@@ -124,6 +124,7 @@ fn record_with<P: Protocol<Pulse>>(
     nodes: Vec<P>,
 ) -> CommandOutput {
     let mut sim = Simulation::new(spec.wiring(), nodes, opts.scheduler.build(opts.seed));
+    sim.set_latency(opts.latency_plan());
     let (report, schedule) = sim.run_recorded(Budget::default());
     let text = format!(
         "{protocol} on {spec} under {} (seed {})\n\
@@ -149,21 +150,27 @@ fn record_with<P: Protocol<Pulse>>(
 fn replay(opts: &CommonOpts, protocol: ProtocolChoice, schedule: &Schedule) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
     match protocol {
-        ProtocolChoice::Alg1 => replay_with(&spec, protocol, schedule, alg1_nodes(&spec)),
-        ProtocolChoice::Alg2 => replay_with(&spec, protocol, schedule, alg2_nodes(&spec)),
-        ProtocolChoice::Alg3 => replay_with(&spec, protocol, schedule, alg3_nodes(&spec)),
-        ProtocolChoice::Ungated => replay_with(&spec, protocol, schedule, ungated_nodes(&spec)),
+        ProtocolChoice::Alg1 => replay_with(&spec, opts, protocol, schedule, alg1_nodes(&spec)),
+        ProtocolChoice::Alg2 => replay_with(&spec, opts, protocol, schedule, alg2_nodes(&spec)),
+        ProtocolChoice::Alg3 => replay_with(&spec, opts, protocol, schedule, alg3_nodes(&spec)),
+        ProtocolChoice::Ungated => {
+            replay_with(&spec, opts, protocol, schedule, ungated_nodes(&spec))
+        }
     }
 }
 
 fn replay_with<P: Protocol<Pulse>>(
     spec: &RingSpec,
+    opts: &CommonOpts,
     protocol: ProtocolChoice,
     schedule: &Schedule,
     nodes: Vec<P>,
 ) -> CommandOutput {
     // The scheduler choice is irrelevant: the replay engine overrides it.
+    // The latency plan is not: timestamps shape the trace, so a replay must
+    // run under the same `--latency`/`--latency-seed` as the recording.
     let mut sim = Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+    sim.set_latency(opts.latency_plan());
     let report = sim.replay(schedule, Budget::default());
     let text = format!(
         "replaying {} picks of {protocol} on {spec} (deterministic)\n\
@@ -375,7 +382,7 @@ fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
 
 fn elect(opts: &CommonOpts) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
-    let report = runner::run_alg2(&spec, opts.scheduler, opts.seed);
+    let report = runner::run_alg2_latency(&spec, opts.scheduler, opts.seed, &opts.latency_plan());
     let text = format!(
         "Algorithm 2 on {spec} under {} (seed {})\noutcome: {}\n{}pulses: {} (Theorem 1 predicts {})\n",
         opts.scheduler,
@@ -390,7 +397,7 @@ fn elect(opts: &CommonOpts) -> CommandOutput {
 
 fn stabilize(opts: &CommonOpts) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
-    let report = runner::run_alg1(&spec, opts.scheduler, opts.seed);
+    let report = runner::run_alg1_latency(&spec, opts.scheduler, opts.seed, &opts.latency_plan());
     let text = format!(
         "Algorithm 1 on {spec} under {} (seed {})\noutcome: {} (stabilizing: nodes never terminate)\n{}pulses: {} (Corollary 13 predicts {})\n",
         opts.scheduler,
@@ -701,6 +708,55 @@ mod tests {
             rec.json.get("report").and_then(|r| r.get("total_sent")),
             rep.json.get("report").and_then(|r| r.get("total_sent")),
         );
+    }
+
+    #[test]
+    fn latency_record_then_replay_round_trips() {
+        fn line<'a>(cmd: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+            let mut v = vec![
+                cmd,
+                "--ids",
+                "2,3,1",
+                "--scheduler",
+                "latency",
+                "--latency",
+                "uniform:1..9",
+                "--latency-seed",
+                "7",
+            ];
+            v.extend_from_slice(extra);
+            v
+        }
+        let rec = run_line(&line("record", &[]));
+        assert_eq!(rec.code, 0);
+        let Some(Value::Str(schedule)) = rec.json.get("schedule") else {
+            panic!("schedule should be a string")
+        };
+        let rep = run_line(&line("replay", &["--schedule", schedule]));
+        assert_eq!(rep.code, 0);
+        assert_eq!(
+            rec.json.get("report").and_then(|r| r.get("total_sent")),
+            rep.json.get("report").and_then(|r| r.get("total_sent")),
+        );
+        // Same flags, same bytes: recording again is deterministic.
+        let rec2 = run_line(&line("record", &[]));
+        assert_eq!(rec.json.get("schedule"), rec2.json.get("schedule"));
+    }
+
+    #[test]
+    fn elect_accepts_latency_flags() {
+        let out = run_line(&[
+            "elect",
+            "--ids",
+            "3,9,5",
+            "--latency",
+            "fixed:4",
+            "--latency-seed",
+            "2",
+        ]);
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("quiescent termination"));
+        assert!(out.text.contains("57")); // latency never changes Theorem 1
     }
 
     #[test]

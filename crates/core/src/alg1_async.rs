@@ -1,0 +1,101 @@
+//! Algorithm 1 as straight-line `async fn` node logic.
+//!
+//! The async twin of [`Alg1Node`](crate::Alg1Node): the same pseudocode —
+//! "send one clockwise pulse, then relay every received pulse except the
+//! `ID`-th" — written as sequential control flow over
+//! [`co_net::runtime`] instead of an `on_message` state machine. Both
+//! representations compile onto identical engine events, so under any
+//! scheduler (and under record/replay) they produce byte-identical
+//! [`RunReport`](co_net::RunReport)s, [`SimStats`](co_net::SimStats), and
+//! network fingerprints — `tests/async_equivalence.rs` pins this.
+//!
+//! Algorithm 1 is quiescently *stabilizing*, not terminating: the future
+//! never returns. It reports the node's current role with
+//! [`NodeHandle::publish`] after every state change, mirroring
+//! [`Protocol::output`](co_net::Protocol::output) of the state machine.
+
+use crate::election::Role;
+use co_net::runtime::{AsyncRing, NodeFuture, NodeHandle};
+use co_net::{Port, Pulse, RingSpec, Scheduler};
+
+/// The Algorithm 1 node program as a boxed future.
+///
+/// `cw_port` is the port leading to the clockwise neighbour, as in
+/// [`Alg1Node::new`](crate::Alg1Node::new).
+///
+/// # Panics
+///
+/// Panics if `id == 0`; the paper requires positive integer IDs.
+#[must_use]
+pub fn alg1_future(id: u64, cw_port: Port, h: NodeHandle<Pulse, Role>) -> NodeFuture<Role> {
+    assert!(id > 0, "IDs must be positive integers");
+    Box::pin(async move {
+        // Initially Non-Leader; line 1: sendCW().
+        h.publish(Role::NonLeader);
+        h.send(cw_port, Pulse);
+        let mut rho_cw: u64 = 0;
+        loop {
+            let (port, Pulse) = h.recv().await;
+            debug_assert_eq!(
+                port,
+                cw_port.opposite(),
+                "Algorithm 1 received a pulse from an impossible direction"
+            );
+            // Lines 3-8: count the pulse; absorb it exactly when ρ_cw = ID.
+            rho_cw += 1;
+            if rho_cw == id {
+                h.publish(Role::Leader);
+            } else {
+                h.publish(Role::NonLeader);
+                h.send(cw_port, Pulse);
+            }
+        }
+    })
+}
+
+/// Builds an [`AsyncRing`] running Algorithm 1 on `spec`.
+///
+/// The drop-in async replacement for the usual
+/// `Simulation::new(spec.wiring(), alg1_nodes, scheduler)` construction.
+#[must_use]
+pub fn alg1_async_ring(spec: &RingSpec, scheduler: Box<dyn Scheduler>) -> AsyncRing<Pulse, Role> {
+    let ids: Vec<u64> = (0..spec.len()).map(|i| spec.id(i)).collect();
+    let cw_ports: Vec<Port> = (0..spec.len()).map(|i| spec.cw_port(i)).collect();
+    AsyncRing::new(spec.wiring(), scheduler, move |i, h| {
+        alg1_future(ids[i], cw_ports[i], h)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_net::{Budget, Outcome, SchedulerKind};
+
+    #[test]
+    fn async_alg1_stabilizes_to_max_leader() {
+        let spec = RingSpec::oriented(vec![2, 5, 1, 4]);
+        let mut ring = alg1_async_ring(&spec, SchedulerKind::Fifo.build(0));
+        let report = ring.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::Quiescent);
+        assert_eq!(report.total_sent, 4 * 5); // every node sends ID_max
+        let outputs = ring.outputs();
+        for (i, out) in outputs.iter().enumerate() {
+            let expected = if i == 1 {
+                Role::Leader
+            } else {
+                Role::NonLeader
+            };
+            assert_eq!(*out, Some(expected), "node {i}");
+        }
+    }
+
+    #[test]
+    fn single_node_ring_absorbs_its_own_pulses() {
+        let spec = RingSpec::oriented(vec![4]);
+        let mut ring = alg1_async_ring(&spec, SchedulerKind::Fifo.build(0));
+        let report = ring.run(Budget::default());
+        assert_eq!(report.outcome, Outcome::Quiescent);
+        assert_eq!(report.total_sent, 4);
+        assert_eq!(ring.outputs(), vec![Some(Role::Leader)]);
+    }
+}

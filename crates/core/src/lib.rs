@@ -41,6 +41,7 @@
 
 pub mod ablation;
 pub mod alg1;
+pub mod alg1_async;
 pub mod alg2;
 pub mod alg3;
 pub mod anonymous;
@@ -52,6 +53,7 @@ pub mod lower_bound;
 pub mod runner;
 
 pub use alg1::Alg1Node;
+pub use alg1_async::{alg1_async_ring, alg1_future};
 pub use alg2::Alg2Node;
 pub use alg3::{Alg3Node, Alg3Output, IdScheme};
 pub use election::{ElectionError, ElectionReport, Role};

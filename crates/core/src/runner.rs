@@ -11,7 +11,9 @@ use crate::alg2::Alg2Node;
 use crate::alg3::{Alg3Node, Alg3Output, IdScheme};
 use crate::election::{unique_leader, ElectionReport, Role};
 use crate::invariants::{Alg2MonitorObserver, CwMonitorObserver, InvariantViolation};
-use co_net::{Budget, Port, Pulse, QueueBackend, RingSpec, RunReport, SchedulerKind, Simulation};
+use co_net::{
+    Budget, LatencyPlan, Port, Pulse, QueueBackend, RingSpec, RunReport, SchedulerKind, Simulation,
+};
 
 /// Runs Algorithm 1 (stabilizing, oriented) to quiescence.
 ///
@@ -19,11 +21,28 @@ use co_net::{Budget, Port, Pulse, QueueBackend, RingSpec, RunReport, SchedulerKi
 /// clockwise port — Algorithm 1 is defined for oriented rings.
 #[must_use]
 pub fn run_alg1(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> ElectionReport {
+    run_alg1_latency(spec, scheduler, seed, &LatencyPlan::zero())
+}
+
+/// [`run_alg1`] under a per-channel latency plan (virtual time).
+///
+/// A zero plan keeps the engine's untimed fast path and reproduces
+/// [`run_alg1`] bit-for-bit; a non-degenerate plan timestamps every
+/// delivery, which matters to latency-aware schedulers like
+/// [`SchedulerKind::Latency`].
+#[must_use]
+pub fn run_alg1_latency(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+    latency: &LatencyPlan,
+) -> ElectionReport {
     let nodes = (0..spec.len())
         .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
         .collect();
     let mut sim: Simulation<Pulse, Alg1Node> =
         Simulation::new(spec.wiring(), nodes, scheduler.build(seed));
+    sim.set_latency(latency.clone());
     let run = sim.run(Budget::default());
     let roles: Vec<Role> = (0..spec.len()).map(|i| sim.node(i).role()).collect();
     report_from(spec, &run, roles, Some(spec.len() as u64 * spec.id_max()))
@@ -62,14 +81,40 @@ pub fn run_alg2(spec: &RingSpec, scheduler: SchedulerKind, seed: u64) -> Electio
     run_alg2_scheduler(spec, scheduler.build(seed))
 }
 
+/// [`run_alg2`] under a per-channel latency plan (virtual time).
+///
+/// A zero plan reproduces [`run_alg2`] bit-for-bit.
+#[must_use]
+pub fn run_alg2_latency(
+    spec: &RingSpec,
+    scheduler: SchedulerKind,
+    seed: u64,
+    latency: &LatencyPlan,
+) -> ElectionReport {
+    run_alg2_scheduler_latency(spec, scheduler.build(seed), latency)
+}
+
 /// Runs Algorithm 2 under an arbitrary (possibly custom) scheduler.
 #[must_use]
 pub fn run_alg2_scheduler(
     spec: &RingSpec,
     scheduler: Box<dyn co_net::Scheduler>,
 ) -> ElectionReport {
+    run_alg2_scheduler_latency(spec, scheduler, &LatencyPlan::zero())
+}
+
+/// [`run_alg2_scheduler`] under a per-channel latency plan (virtual time).
+///
+/// A zero plan reproduces [`run_alg2_scheduler`] bit-for-bit.
+#[must_use]
+pub fn run_alg2_scheduler_latency(
+    spec: &RingSpec,
+    scheduler: Box<dyn co_net::Scheduler>,
+    latency: &LatencyPlan,
+) -> ElectionReport {
     let nodes = alg2_nodes(spec);
     let mut sim: Simulation<Pulse, Alg2Node> = Simulation::new(spec.wiring(), nodes, scheduler);
+    sim.set_latency(latency.clone());
     let run = sim.run(Budget::default());
     let roles = alg2_roles(&sim, spec.len());
     report_from(spec, &run, roles, Some(predicted_alg2(spec)))

@@ -102,6 +102,7 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
                 s.termination_order.push(*node);
             }
             TraceEvent::Fault { .. } => {}
+            TraceEvent::TimerFired { .. } => {}
         }
     }
     if s.delivered > 0 {
@@ -233,6 +234,7 @@ mod tests {
                 port: 0,
                 seq,
                 direction: None,
+                at: 0,
             });
         }
         assert_eq!(fifo_violation(&forged), Some(0));

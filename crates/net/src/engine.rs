@@ -31,15 +31,17 @@
 //! position (see [`Scheduler`]). Head sequence numbers are globally unique,
 //! so key-based picks are well-defined regardless of array order.
 
+use crate::clock::{LatencyPlan, VirtualClock};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::message::{Message, UnitMessage};
 use crate::port::Direction;
 use crate::prof;
 use crate::sched::{ChannelView, Scheduler};
-use crate::snapshot::Schedule;
+use crate::snapshot::{Fingerprint, Schedule};
 use crate::topology::ChannelId;
 use crate::trace::{Trace, TraceEvent};
-use std::collections::VecDeque;
+use rand::rngs::StdRng;
+use std::collections::{BTreeSet, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -101,6 +103,26 @@ pub trait EventHandler<M: Message> {
 
     /// Whether node `node` has entered a terminating state.
     fn is_terminated(&self, node: usize) -> bool;
+
+    /// A virtual-clock timer armed by node `node` fired. `token` is the
+    /// value the node passed when arming it; sends buffer into `outbox`
+    /// exactly as in [`EventHandler::on_message`].
+    ///
+    /// Default: ignore — state-machine protocols predate timers and never
+    /// arm any, so they compile (and behave) unchanged.
+    fn on_timer(&mut self, node: usize, degree: usize, token: u64, outbox: &mut Vec<(usize, M)>) {
+        let _ = (node, degree, token, outbox);
+    }
+
+    /// Collect `(delay, token)` timer requests node `node` made during the
+    /// dispatch that just ran, pushing them into `sink`. The engine calls
+    /// this after every `on_start` / `on_message` / `on_timer` dispatch and
+    /// arms each request at `now + delay`.
+    ///
+    /// Default: no requests — again, existing handlers are unaffected.
+    fn drain_timers(&mut self, node: usize, sink: &mut Vec<(u64, u64)>) {
+        let _ = (node, sink);
+    }
 }
 
 /// A model-violating channel fault, as reported to [`Observer`]s.
@@ -157,6 +179,8 @@ pub enum EngineEvent {
         seq: u64,
         /// Direction tag of the channel, if any.
         direction: Option<Direction>,
+        /// Virtual time of the delivery (0 throughout untimed runs).
+        at: u64,
     },
     /// A message arrived at a terminated node and was ignored.
     DeliverIgnored {
@@ -178,6 +202,15 @@ pub enum EngineEvent {
         kind: FaultKind,
         /// Sequence number of the affected message.
         seq: u64,
+    },
+    /// A virtual-clock timer fired.
+    TimerFired {
+        /// The node whose timer fired.
+        node: usize,
+        /// The token the node armed the timer with.
+        token: u64,
+        /// Virtual time at which it fired (≥ the armed deadline).
+        at: u64,
     },
 }
 
@@ -207,12 +240,14 @@ pub trait Observer {
                 port,
                 seq,
                 direction,
+                at: _,
             } => self.on_deliver(node, port, seq, direction),
             EngineEvent::DeliverIgnored { node, port, seq } => {
                 self.on_deliver_ignored(node, port, seq);
             }
             EngineEvent::Terminate { node } => self.on_terminate(node),
             EngineEvent::Fault { kind, seq } => self.on_fault(kind, seq),
+            EngineEvent::TimerFired { node, token, at } => self.on_timer_fired(node, token, at),
         }
     }
 
@@ -244,6 +279,11 @@ pub trait Observer {
     /// A channel fault was applied.
     fn on_fault(&mut self, kind: FaultKind, seq: u64) {
         let _ = (kind, seq);
+    }
+
+    /// A virtual-clock timer fired.
+    fn on_timer_fired(&mut self, node: usize, token: u64, at: u64) {
+        let _ = (node, token, at);
     }
 }
 
@@ -292,17 +332,22 @@ impl Observer for Trace {
                 port,
                 seq,
                 direction,
+                at,
             } => TraceEvent::Deliver {
                 node,
                 port,
                 seq,
                 direction,
+                at,
             },
             EngineEvent::DeliverIgnored { node, port, seq } => {
                 TraceEvent::DeliverIgnored { node, port, seq }
             }
             EngineEvent::Terminate { node } => TraceEvent::Terminate { node },
             EngineEvent::Fault { kind, seq } => TraceEvent::Fault { kind, seq },
+            EngineEvent::TimerFired { node, token, at } => {
+                TraceEvent::TimerFired { node, token, at }
+            }
         });
     }
 }
@@ -464,6 +509,9 @@ pub struct SimStats {
     pub sent_by_port: Vec<Vec<u64>>,
     /// Per node: messages received (processed) at each port.
     pub recv_by_port: Vec<Vec<u64>>,
+    /// Virtual-clock timers fired (0 throughout untimed runs and for
+    /// protocols that never arm timers).
+    pub timer_fires: u64,
 }
 
 impl SimStats {
@@ -521,6 +569,8 @@ pub struct EngineStep {
     pub direction: Option<Direction>,
     /// Whether the receiver had already terminated (message ignored).
     pub ignored: bool,
+    /// Virtual time of the delivery (0 throughout untimed runs).
+    pub at: u64,
 }
 
 /// A scheduler misbehaved and the engine refused to act on its answer.
@@ -831,6 +881,51 @@ pub struct CoreSnapshot<M> {
     fault_stats: FaultStats,
     scheduler_state: Vec<u64>,
     recorded_len: usize,
+    clock: u64,
+    timer_seq: u64,
+    timers: Vec<TimerEntry>,
+    latency: Option<LatencySnapshot>,
+}
+
+/// One pending timer: `(fire_at, arm_seq, node, token)`. Ordered by deadline
+/// first, then arm order, so same-deadline timers fire in the order they
+/// were armed — deterministically.
+type TimerEntry = (u64, u64, usize, u64);
+
+/// The mutable half of a latency plan: per-channel sample streams and the
+/// arrival timestamps of every queued message.
+#[derive(Clone, Debug)]
+struct LatencyState {
+    plan: LatencyPlan,
+    /// One independent generator per channel (see
+    /// [`LatencyPlan::channel_rng`]).
+    rngs: Vec<StdRng>,
+    /// Arrival timestamps of queued messages, FIFO-parallel to the
+    /// [`QueueStore`]'s per-channel contents.
+    arrivals: Vec<VecDeque<u64>>,
+    /// Last arrival handed out per channel — enforces per-channel FIFO in
+    /// virtual time (a later send never arrives before an earlier one).
+    last_arrival: Vec<u64>,
+}
+
+impl LatencyState {
+    fn new(plan: LatencyPlan, channels: usize) -> LatencyState {
+        LatencyState {
+            rngs: (0..channels).map(|c| plan.channel_rng(c)).collect(),
+            arrivals: vec![VecDeque::new(); channels],
+            last_arrival: vec![0; channels],
+            plan,
+        }
+    }
+}
+
+/// Snapshot of a [`LatencyState`] (the plan itself is engine configuration,
+/// not run state, and is not captured).
+#[derive(Clone, Debug)]
+struct LatencySnapshot {
+    rng_states: Vec<[u64; 4]>,
+    arrivals: Vec<Vec<u64>>,
+    last_arrival: Vec<u64>,
 }
 
 const NOT_READY: usize = usize::MAX;
@@ -870,6 +965,20 @@ pub struct EventCore<M: Message, T: Topology> {
     fault_stats: FaultStats,
     /// Channel picks made so far, when schedule recording is enabled.
     recorded: Option<Vec<ChannelId>>,
+    /// The discrete virtual clock. Advances to the arrival timestamp of each
+    /// delivery while a latency plan is installed; stays at 0 (and costs
+    /// nothing) in untimed runs.
+    clock: VirtualClock,
+    /// Pending timers ordered by `(fire_at, arm_seq)` — see [`TimerEntry`].
+    timers: BTreeSet<TimerEntry>,
+    /// Monotone arm counter providing the deterministic same-deadline order.
+    timer_seq: u64,
+    /// `None` (the default) is the untimed fast path, byte-identical to the
+    /// pre-clock engine; `Some` carries the seeded per-channel latency
+    /// streams and queued-message arrival timestamps.
+    latency: Option<LatencyState>,
+    /// Recycled sink for [`EventHandler::drain_timers`] requests.
+    timer_buf: Vec<(u64, u64)>,
 }
 
 impl<M: Message, T: Topology> EventCore<M, T> {
@@ -924,6 +1033,11 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             faults: FaultPlan::new(),
             fault_stats: FaultStats::default(),
             recorded: None,
+            clock: VirtualClock::new(),
+            timers: BTreeSet::new(),
+            timer_seq: 0,
+            latency: None,
+            timer_buf: Vec::new(),
         }
     }
 
@@ -963,6 +1077,62 @@ impl<M: Message, T: Topology> EventCore<M, T> {
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Installs a seeded per-channel latency plan, switching the virtual
+    /// clock on. Must be called before the run starts.
+    ///
+    /// An all-zero plan (the default) keeps the engine on its untimed fast
+    /// path: no latency state is allocated, every arrival timestamp stays 0,
+    /// and the run is byte-identical to one on a core that never heard of
+    /// clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started — arrival timestamps are
+    /// assigned at send time and cannot be retrofitted.
+    pub fn set_latency(&mut self, plan: LatencyPlan) {
+        assert!(
+            !self.started,
+            "latency plan must be installed before the run starts"
+        );
+        self.latency = if plan.is_zero() {
+            None
+        } else {
+            Some(LatencyState::new(plan, self.topology.channel_count()))
+        };
+    }
+
+    /// Whether a (non-degenerate) latency plan is installed.
+    #[must_use]
+    pub fn latency_enabled(&self) -> bool {
+        self.latency.is_some()
+    }
+
+    /// The current virtual time. Stays 0 throughout untimed runs.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Arms a timer for `node`: [`EventHandler::on_timer`] will run with
+    /// `token` once the virtual clock reaches `now + delay`. Timers are
+    /// first-class events — they survive snapshots and fire deterministically
+    /// (deadline order, arm order on ties).
+    ///
+    /// Normally reached via [`EventHandler::drain_timers`]; public for
+    /// drivers that schedule timers outside any dispatch.
+    pub fn arm_timer(&mut self, node: usize, delay: u64, token: u64) {
+        let fire_at = self.clock.now().saturating_add(delay);
+        let arm_seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.insert((fire_at, arm_seq, node, token));
+    }
+
+    /// Number of pending (armed, not yet fired) timers.
+    #[must_use]
+    pub fn pending_timers(&self) -> usize {
+        self.timers.len()
     }
 
     /// Enables event tracing (unbounded if `cap` is `None`).
@@ -1051,6 +1221,18 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             fault_stats: self.fault_stats,
             scheduler_state: self.scheduler.save_state(),
             recorded_len: self.recorded.as_ref().map_or(0, Vec::len),
+            clock: self.clock.now(),
+            timer_seq: self.timer_seq,
+            timers: self.timers.iter().copied().collect(),
+            latency: self.latency.as_ref().map(|lat| LatencySnapshot {
+                rng_states: lat.rngs.iter().map(StdRng::to_state).collect(),
+                arrivals: lat
+                    .arrivals
+                    .iter()
+                    .map(|q| q.iter().copied().collect())
+                    .collect(),
+                last_arrival: lat.last_arrival.clone(),
+            }),
         }
     }
 
@@ -1070,8 +1252,26 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             self.queues.backend(),
             "snapshot is for a different queue backend"
         );
+        assert_eq!(
+            snapshot.latency.is_some(),
+            self.latency.is_some(),
+            "snapshot is for a different latency mode"
+        );
         self.terminated.clone_from(&snapshot.terminated);
         self.queues.clone_from(&snapshot.queues);
+        self.clock.set(snapshot.clock);
+        self.timer_seq = snapshot.timer_seq;
+        self.timers = snapshot.timers.iter().copied().collect();
+        if let (Some(lat), Some(snap)) = (&mut self.latency, &snapshot.latency) {
+            for (rng, state) in lat.rngs.iter_mut().zip(&snap.rng_states) {
+                *rng = StdRng::from_state(*state);
+            }
+            for (q, saved) in lat.arrivals.iter_mut().zip(&snap.arrivals) {
+                q.clear();
+                q.extend(saved.iter().copied());
+            }
+            lat.last_arrival.clone_from(&snap.last_arrival);
+        }
         self.rebuild_ready(&snapshot.ready_order);
         self.stats.clone_from(&snapshot.stats);
         self.send_seq = snapshot.send_seq;
@@ -1104,8 +1304,17 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                 queue_len: self.queues.len(ch),
                 head_seq,
                 direction: self.topology.direction(ch),
+                arrival: self.head_arrival(ch),
             });
         }
+    }
+
+    /// Arrival timestamp of `channel`'s head message (0 in untimed runs).
+    fn head_arrival(&self, channel: usize) -> u64 {
+        self.latency
+            .as_ref()
+            .and_then(|lat| lat.arrivals[channel].front().copied())
+            .unwrap_or(0)
     }
 
     fn observing(&self) -> bool {
@@ -1144,6 +1353,24 @@ impl<M: Message, T: Topology> EventCore<M, T> {
 
     fn enqueue(&mut self, channel: usize, msg: M, seq: u64) {
         let t = prof::start();
+        // Stamp the message's virtual arrival: a latency sample from the
+        // channel's stream, clamped to the previous arrival so per-channel
+        // FIFO holds in virtual time too. Untimed runs skip all of this and
+        // every arrival stays 0.
+        let arrival = match &mut self.latency {
+            None => 0,
+            Some(lat) => {
+                let delay = lat.plan.model_for(channel).sample(&mut lat.rngs[channel]);
+                let at = self
+                    .clock
+                    .now()
+                    .saturating_add(delay)
+                    .max(lat.last_arrival[channel]);
+                lat.last_arrival[channel] = at;
+                lat.arrivals[channel].push_back(at);
+                at
+            }
+        };
         self.queues.push(channel, msg, seq);
         let pos = self.ready_pos[channel];
         if pos == NOT_READY {
@@ -1153,6 +1380,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                 queue_len: 1,
                 head_seq: seq,
                 direction: self.topology.direction(channel),
+                arrival,
             };
             self.ready.push(view);
             self.scheduler.on_ready(view);
@@ -1236,6 +1464,52 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             handler.on_start(node, self.topology.degree(node), &mut outbox);
             self.flush_outbox(node, &mut outbox);
             self.outbox = outbox;
+            self.drain_timer_requests(node, handler);
+            self.note_termination(node, handler);
+        }
+    }
+
+    /// Collects and arms the timer requests `node` made during the dispatch
+    /// that just ran (start, message, or timer).
+    fn drain_timer_requests<H: EventHandler<M>>(&mut self, node: usize, handler: &mut H) {
+        let mut buf = std::mem::take(&mut self.timer_buf);
+        handler.drain_timers(node, &mut buf);
+        for (delay, token) in buf.drain(..) {
+            self.arm_timer(node, delay, token);
+        }
+        self.timer_buf = buf;
+    }
+
+    /// Fires every pending timer whose deadline the clock has reached, in
+    /// deterministic `(deadline, arm order)` order. Each firing dispatches
+    /// [`EventHandler::on_timer`], flushes its sends, and collects any
+    /// re-armed timers — which fire in the same sweep if already due.
+    ///
+    /// Timers of terminated nodes are discarded silently (the analogue of
+    /// `DeliverIgnored`, minus the event: nothing was in flight).
+    fn fire_due_timers<H: EventHandler<M>>(&mut self, handler: &mut H) {
+        while let Some(&entry) = self.timers.first() {
+            let (fire_at, _arm_seq, node, token) = entry;
+            if fire_at > self.clock.now() {
+                break;
+            }
+            let t = prof::start();
+            self.timers.pop_first();
+            if self.terminated[node] {
+                prof::stop(prof::Phase::Timer, t);
+                continue;
+            }
+            self.stats.timer_fires += 1;
+            let at = self.clock.now();
+            if self.observing() {
+                self.emit(EngineEvent::TimerFired { node, token, at });
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            handler.on_timer(node, self.topology.degree(node), token, &mut outbox);
+            prof::stop(prof::Phase::Timer, t);
+            self.flush_outbox(node, &mut outbox);
+            self.outbox = outbox;
+            self.drain_timer_requests(node, handler);
             self.note_termination(node, handler);
         }
     }
@@ -1252,6 +1526,23 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         handler: &mut H,
     ) -> Result<Option<EngineStep>, EngineError> {
         self.start(handler);
+        // Service the virtual clock before each pick: fire every due timer,
+        // and when nothing is deliverable, jump the clock to the earliest
+        // pending deadline (virtual time has no reason to pass slowly). A
+        // protocol that perpetually re-arms timers without ever sending will
+        // spin here — the same bug class as an infinite relay, and just as
+        // much the protocol's fault. Untimed runs never arm timers, so this
+        // is one `is_empty` check on their hot path.
+        while !self.timers.is_empty() {
+            self.fire_due_timers(handler);
+            if !self.ready.is_empty() {
+                break;
+            }
+            match self.timers.first() {
+                Some(&(fire_at, ..)) => self.clock.advance_to(fire_at),
+                None => break,
+            }
+        }
         if self.ready.is_empty() {
             return Ok(None);
         }
@@ -1345,6 +1636,33 @@ impl<M: Message, T: Topology> EventCore<M, T> {
         self.started
     }
 
+    /// A stable 64-bit hash of the *network-level* configuration: started
+    /// flag, per-channel queue lengths, termination flags, virtual clock,
+    /// and pending timers — node states excluded.
+    ///
+    /// Because node state is not hashed, two different node representations
+    /// (a hand-written state machine and its async-facade twin) driving
+    /// identical executions agree on this hash after every step.
+    #[must_use]
+    pub fn net_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_bool(self.started);
+        for ch in 0..self.topology.channel_count() {
+            fp.write_usize(self.queues.len(ch));
+        }
+        for &t in &self.terminated {
+            fp.write_bool(t);
+        }
+        fp.write_u64(self.clock.now());
+        for &(fire_at, arm_seq, node, token) in &self.timers {
+            fp.write_u64(fire_at);
+            fp.write_u64(arm_seq);
+            fp.write_usize(node);
+            fp.write_u64(token);
+        }
+        fp.finish()
+    }
+
     /// The next global send sequence number (total sends attempted so far,
     /// including dropped and duplicated ones).
     ///
@@ -1364,13 +1682,24 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             .queues
             .pop(channel)
             .expect("delivered channel is non-empty");
+        // Consume the message's arrival timestamp and advance the virtual
+        // clock to it (a no-op throughout untimed runs: the clock stays 0).
+        if let Some(lat) = &mut self.latency {
+            let arrival = lat.arrivals[channel]
+                .pop_front()
+                .expect("every queued message has an arrival timestamp");
+            self.clock.advance_to(arrival);
+        }
+        let at = self.clock.now();
         let pos = self.ready_pos[channel];
         debug_assert_ne!(pos, NOT_READY, "delivered channel is in the ready array");
         match self.queues.head_seq(channel) {
             Some(next_head) => {
+                let next_arrival = self.head_arrival(channel);
                 let view = &mut self.ready[pos];
                 view.queue_len -= 1;
                 view.head_seq = next_head;
+                view.arrival = next_arrival;
                 let view = *view;
                 self.scheduler.on_head_change(view);
             }
@@ -1401,6 +1730,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
                     port,
                     seq,
                     direction,
+                    at,
                 });
             }
             let t = prof::start();
@@ -1409,6 +1739,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             prof::stop(prof::Phase::Deliver, t);
             self.flush_outbox(node, &mut outbox);
             self.outbox = outbox;
+            self.drain_timer_requests(node, handler);
             self.note_termination(node, handler);
         }
 
@@ -1419,6 +1750,7 @@ impl<M: Message, T: Topology> EventCore<M, T> {
             seq,
             direction,
             ignored,
+            at,
         }
     }
 
@@ -1528,6 +1860,7 @@ mod tests {
             port: 0,
             seq: 0,
             direction: None,
+            at: 0,
         });
         m.on_event(&EngineEvent::Terminate { node: 1 });
         m.on_event(&EngineEvent::DeliverIgnored {

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod clock;
 pub mod dedup;
 pub mod engine;
 pub mod explore;
@@ -71,6 +72,7 @@ pub mod message;
 pub mod multiport;
 pub mod port;
 pub mod prof;
+pub mod runtime;
 pub mod sched;
 pub mod shrink;
 pub mod sim;
@@ -79,6 +81,7 @@ pub mod threaded;
 pub mod topology;
 pub mod trace;
 
+pub use clock::{LatencyModel, LatencyPlan, VirtualClock};
 pub use dedup::{DedupKind, FingerprintStore, ShardedIndex};
 pub use engine::{
     CoreSnapshot, EngineError, EngineEvent, EngineStep, EventCore, EventHandler, FaultKind,

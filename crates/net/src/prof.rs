@@ -1,6 +1,6 @@
 //! Hot-path profiling for the event core — zero-cost when disabled.
 //!
-//! The engine's four hot phases ([`Phase`]) are bracketed with
+//! The engine's hot phases ([`Phase`]) are bracketed with
 //! [`start`]/[`stop`] pairs. While profiling is off (the default), each
 //! bracket is a single relaxed atomic load and no clock is read; switching
 //! [`set_enabled`]`(true)` turns every bracket into a timed sample feeding
@@ -44,11 +44,20 @@ pub enum Phase {
     Deliver,
     /// Observer fan-out: trace, metrics, and attached observers.
     Observe,
+    /// Virtual-clock timer servicing: popping due timers off the timer heap
+    /// and running `on_timer` handlers.
+    Timer,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 4] = [Phase::Enqueue, Phase::Pick, Phase::Deliver, Phase::Observe];
+    pub const ALL: [Phase; 5] = [
+        Phase::Enqueue,
+        Phase::Pick,
+        Phase::Deliver,
+        Phase::Observe,
+        Phase::Timer,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -56,6 +65,7 @@ impl Phase {
             Phase::Pick => 1,
             Phase::Deliver => 2,
             Phase::Observe => 3,
+            Phase::Timer => 4,
         }
     }
 }
@@ -67,11 +77,12 @@ impl fmt::Display for Phase {
             Phase::Pick => "pick",
             Phase::Deliver => "deliver",
             Phase::Observe => "observe",
+            Phase::Timer => "timer",
         })
     }
 }
 
-const PHASES: usize = 4;
+const PHASES: usize = 5;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -94,6 +105,7 @@ impl PhaseCell {
 }
 
 static CELLS: [PhaseCell; PHASES] = [
+    PhaseCell::new(),
     PhaseCell::new(),
     PhaseCell::new(),
     PhaseCell::new(),

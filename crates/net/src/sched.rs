@@ -10,6 +10,7 @@
 //! suites approximate this by running every algorithm under the whole
 //! [`SchedulerKind`] family plus many random seeds.
 
+use crate::clock::VirtualClock;
 use crate::port::Direction;
 use crate::topology::ChannelId;
 use rand::rngs::StdRng;
@@ -29,6 +30,10 @@ pub struct ChannelView {
     pub head_seq: u64,
     /// Direction tag of the channel, if the topology is a ring.
     pub direction: Option<Direction>,
+    /// Virtual arrival time of the head message. Always 0 while the engine
+    /// runs without a latency plan (the untimed default), so untimed
+    /// schedulers can ignore it.
+    pub arrival: u64,
 }
 
 /// An incrementally maintained ordered index over the ready set.
@@ -230,8 +235,8 @@ pub trait Scheduler: fmt::Debug {
 /// use co_net::{ChannelId, ChannelView};
 ///
 /// let ready = [
-///     ChannelView { id: ChannelId::from_index(0), queue_len: 1, head_seq: 9, direction: None },
-///     ChannelView { id: ChannelId::from_index(1), queue_len: 1, head_seq: 2, direction: None },
+///     ChannelView { id: ChannelId::from_index(0), queue_len: 1, head_seq: 9, direction: None, arrival: 0 },
+///     ChannelView { id: ChannelId::from_index(1), queue_len: 1, head_seq: 2, direction: None, arrival: 0 },
 /// ];
 /// assert_eq!(FifoScheduler::new().pick(&ready), 1); // oldest send first
 /// ```
@@ -406,8 +411,8 @@ impl Scheduler for LifoScheduler {
 /// use co_net::{ChannelId, ChannelView};
 ///
 /// let ready = [
-///     ChannelView { id: ChannelId::from_index(0), queue_len: 1, head_seq: 0, direction: None },
-///     ChannelView { id: ChannelId::from_index(1), queue_len: 1, head_seq: 1, direction: None },
+///     ChannelView { id: ChannelId::from_index(0), queue_len: 1, head_seq: 0, direction: None, arrival: 0 },
+///     ChannelView { id: ChannelId::from_index(1), queue_len: 1, head_seq: 1, direction: None, arrival: 0 },
 /// ];
 /// let mut a = RandomScheduler::seeded(7);
 /// let mut b = RandomScheduler::seeded(7);
@@ -735,6 +740,67 @@ impl Scheduler for LongestQueueScheduler {
     }
 }
 
+/// Realistic-time delivery: the earliest-arriving head message goes first.
+///
+/// This is the scheduler that makes the virtual clock *mean* something:
+/// under a latency plan, every queued message carries an arrival timestamp,
+/// and `LatencyScheduler` delivers in timestamp order — the schedule a real
+/// network with those link latencies would produce. Ties (equal arrivals,
+/// ubiquitous under the zero-latency default where every arrival is 0) are
+/// broken by `head_seq`, so without a latency plan this degenerates to
+/// exactly the [`FifoScheduler`] schedule.
+///
+/// Like the FIFO family it keeps a [`ReadyIndex`], keyed on
+/// `(arrival, head_seq)`, so picks stay O(log C).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyScheduler {
+    index: ReadyIndex<(u64, u64)>,
+}
+
+impl LatencyScheduler {
+    /// Creates a new earliest-arrival scheduler.
+    #[must_use]
+    pub fn new() -> LatencyScheduler {
+        LatencyScheduler::default()
+    }
+}
+
+impl Scheduler for LatencyScheduler {
+    fn pick(&mut self, ready: &[ChannelView]) -> usize {
+        ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, v)| (v.arrival, v.head_seq))
+            .map(|(i, _)| i)
+            .expect("ready is non-empty")
+    }
+
+    fn indexed_pick(&mut self) -> Option<ChannelId> {
+        self.index.first().map(ChannelId::from_index)
+    }
+
+    fn on_ready(&mut self, view: ChannelView) {
+        self.index
+            .insert(view.id.index(), (view.arrival, view.head_seq));
+    }
+
+    fn on_head_change(&mut self, view: ChannelView) {
+        self.index
+            .insert(view.id.index(), (view.arrival, view.head_seq));
+    }
+
+    fn on_unready(&mut self, id: ChannelId) {
+        self.index.remove(id.index());
+    }
+
+    fn rebuild_index(&mut self, ready: &[ChannelView]) {
+        self.index.clear();
+        for v in ready {
+            self.index.insert(v.id.index(), (v.arrival, v.head_seq));
+        }
+    }
+}
+
 /// Partial synchrony: adversarial (seeded-random) delivery, but no message
 /// may be overtaken more than `bound` times — once the head of a channel
 /// has waited through `bound` picks, it is delivered next.
@@ -748,8 +814,12 @@ impl Scheduler for LongestQueueScheduler {
 pub struct BoundedDelayScheduler {
     bound: u64,
     rng: StdRng,
-    picks: u64,
-    /// `deadline[channel] = picks-count by which its head must deliver`.
+    /// The adversary's private virtual clock: one tick per pick. Deadlines
+    /// are expressed in this clock's time; its current value serializes as
+    /// word 0 of [`Scheduler::save_state`], byte-compatible with the step
+    /// counter it replaced.
+    clock: VirtualClock,
+    /// `deadline[channel] = clock time by which its head must deliver`.
     deadlines: HashMap<ChannelId, u64>,
     /// Mirror of `deadlines` ordered by `(deadline, channel)`, so the
     /// overdue lookup is a peek at the minimum instead of a map scan. Purely
@@ -765,7 +835,7 @@ impl BoundedDelayScheduler {
         BoundedDelayScheduler {
             bound,
             rng: StdRng::seed_from_u64(seed),
-            picks: 0,
+            clock: VirtualClock::new(),
             deadlines: HashMap::new(),
             by_deadline: BTreeSet::new(),
         }
@@ -780,9 +850,8 @@ impl BoundedDelayScheduler {
 
 impl Scheduler for BoundedDelayScheduler {
     fn pick(&mut self, ready: &[ChannelView]) -> usize {
-        self.picks += 1;
+        let now = self.clock.tick();
         let bound = self.bound;
-        let picks = self.picks;
         // Register deadlines for newly seen heads. Entries for channels this
         // adversary delivered were removed at that pick, so under engine use
         // the map holds only ready channels; entries made stale by
@@ -791,14 +860,14 @@ impl Scheduler for BoundedDelayScheduler {
         // O(ready) `retain` sweep on every pick.
         for v in ready {
             if let std::collections::hash_map::Entry::Vacant(e) = self.deadlines.entry(v.id) {
-                e.insert(picks + bound);
-                self.by_deadline.insert((picks + bound, v.id.index()));
+                e.insert(now + bound);
+                self.by_deadline.insert((now + bound, v.id.index()));
             }
         }
         // Deliver any overdue head first (oldest deadline; ties broken by
         // channel index so the pick never depends on map iteration order).
         while let Some(&(deadline, ch)) = self.by_deadline.first() {
-            if deadline > picks {
+            if deadline > now {
                 break;
             }
             let id = ChannelId::from_index(ch);
@@ -815,12 +884,12 @@ impl Scheduler for BoundedDelayScheduler {
     }
 
     fn save_state(&self) -> Vec<u64> {
-        // Layout: picks, rng[0..4], then (channel, deadline) pairs sorted by
-        // channel so the serialized form is deterministic. The layout
-        // predates the `by_deadline` mirror and is pinned by
-        // `bounded_delay_save_layout_is_unchanged` — the mirror is derived
-        // state and never serialized.
-        let mut state = vec![self.picks];
+        // Layout: clock, rng[0..4], then (channel, deadline) pairs sorted by
+        // channel so the serialized form is deterministic. Word 0 predates
+        // the `VirtualClock` (it was a raw pick counter) and the layout is
+        // pinned byte-for-byte by `bounded_delay_save_layout_is_unchanged`;
+        // the `by_deadline` mirror is derived state and never serialized.
+        let mut state = vec![self.clock.now()];
         state.extend(self.rng.to_state());
         let mut pairs: Vec<(u64, u64)> = self
             .deadlines
@@ -836,7 +905,7 @@ impl Scheduler for BoundedDelayScheduler {
     }
 
     fn restore_state(&mut self, state: &[u64]) {
-        self.picks = state[0];
+        self.clock.set(state[0]);
         let words: [u64; 4] = state[1..5]
             .try_into()
             .expect("BoundedDelayScheduler rng state is 4 words");
@@ -1138,10 +1207,18 @@ pub enum SchedulerKind {
     StarveCcw,
     /// Longest queue first.
     LongestQueue,
+    /// Earliest virtual arrival first (realistic-time delivery).
+    ///
+    /// Not part of [`SchedulerKind::ALL`]: the family enumerates the paper's
+    /// *adversarial* schedules, whereas `Latency` models a benign network and
+    /// degenerates to [`SchedulerKind::Fifo`] without a latency plan — adding
+    /// it to the grid would only duplicate FIFO rows.
+    Latency,
 }
 
 impl SchedulerKind {
-    /// All kinds, in a fixed order.
+    /// All adversarial kinds, in a fixed order ([`SchedulerKind::Latency`]
+    /// is deliberately excluded — see its docs).
     pub const ALL: [SchedulerKind; 8] = [
         SchedulerKind::Fifo,
         SchedulerKind::Solitude,
@@ -1165,6 +1242,7 @@ impl SchedulerKind {
             SchedulerKind::StarveCw => Box::new(StarveDirectionScheduler::new(Direction::Cw)),
             SchedulerKind::StarveCcw => Box::new(StarveDirectionScheduler::new(Direction::Ccw)),
             SchedulerKind::LongestQueue => Box::new(LongestQueueScheduler::new()),
+            SchedulerKind::Latency => Box::new(LatencyScheduler::new()),
         }
     }
 }
@@ -1180,6 +1258,7 @@ impl fmt::Display for SchedulerKind {
             SchedulerKind::StarveCw => "starve-cw",
             SchedulerKind::StarveCcw => "starve-ccw",
             SchedulerKind::LongestQueue => "longest-queue",
+            SchedulerKind::Latency => "latency",
         };
         f.write_str(name)
     }
@@ -1200,6 +1279,15 @@ mod tests {
             queue_len,
             head_seq,
             direction,
+            arrival: 0,
+        }
+    }
+
+    /// Like `view`, with an explicit virtual arrival time.
+    fn viewt(id: usize, head_seq: u64, arrival: u64) -> ChannelView {
+        ChannelView {
+            arrival,
+            ..view(id, 1, head_seq, None)
         }
     }
 
@@ -1311,6 +1399,45 @@ mod tests {
         let mut s = LongestQueueScheduler::new();
         let ready = [view(0, 2, 0, None), view(1, 7, 5, None)];
         assert_eq!(s.pick(&ready), 1);
+    }
+
+    #[test]
+    fn latency_picks_earliest_arrival_head_seq_ties() {
+        let mut s = LatencyScheduler::new();
+        let ready = [viewt(0, 9, 7), viewt(1, 3, 4), viewt(2, 1, 4)];
+        // Channel 1 and 2 tie on arrival 4; the older head (seq 1) wins.
+        assert_eq!(s.pick(&ready), 2);
+        // All-zero arrivals (no latency plan): degenerates to FIFO.
+        let untimed = [view(0, 1, 9, None), view(1, 1, 3, None)];
+        assert_eq!(s.pick(&untimed), FifoScheduler::new().pick(&untimed));
+    }
+
+    #[test]
+    fn latency_indexed_pick_matches_scan() {
+        let ready = [viewt(0, 2, 5), viewt(3, 7, 1), viewt(6, 4, 1)];
+        let mut indexed = LatencyScheduler::new();
+        let mut scan = LatencyScheduler::new();
+        indexed.rebuild_index(&ready);
+        for round in 0..3 {
+            let id = indexed.indexed_pick().expect("index built");
+            let at = scan.pick(&ready);
+            assert_eq!(id, ready[at].id, "diverged at round {round}");
+        }
+        // Head advance re-keys the index.
+        indexed.on_head_change(viewt(3, 8, 9));
+        assert_eq!(indexed.indexed_pick(), Some(ChannelId::from_index(6)));
+        indexed.on_unready(ChannelId::from_index(6));
+        indexed.on_unready(ChannelId::from_index(0));
+        assert_eq!(indexed.indexed_pick(), Some(ChannelId::from_index(3)));
+    }
+
+    #[test]
+    fn latency_kind_is_buildable_but_not_in_all() {
+        assert!(!SchedulerKind::ALL.contains(&SchedulerKind::Latency));
+        assert_eq!(SchedulerKind::Latency.to_string(), "latency");
+        let ready = [viewt(0, 1, 3), viewt(1, 0, 8)];
+        let mut s = SchedulerKind::Latency.build(0);
+        assert_eq!(s.pick(&ready), 0);
     }
 
     #[test]
@@ -1614,7 +1741,7 @@ mod tests {
             view(4, 1, 1, None),
             view(9, 1, 2, None),
         ];
-        s.picks = 43; // next pick is 44: channel 4 becomes overdue
+        s.clock.set(43); // next pick ticks to 44: channel 4 becomes overdue
         let at = s.pick(&ready);
         assert_eq!(ready[at].id, ChannelId::from_index(4));
     }

@@ -130,6 +130,8 @@ pub struct StepInfo {
     pub direction: Option<Direction>,
     /// Whether the receiver had already terminated (message ignored).
     pub ignored: bool,
+    /// Virtual delivery time (always 0 without a latency plan).
+    pub at: u64,
 }
 
 impl StepInfo {
@@ -141,6 +143,7 @@ impl StepInfo {
             seq: step.seq,
             direction: step.direction,
             ignored: step.ignored,
+            at: step.at,
         }
     }
 }
@@ -348,6 +351,43 @@ impl<M: Message, P: Protocol<M>> Simulation<M, P> {
     /// what that assumption buys. Must be called before the run starts.
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.core.set_faults(faults);
+    }
+
+    /// Installs a seeded per-channel latency plan (virtual time).
+    ///
+    /// A degenerate all-zero plan is a no-op: the engine keeps its untimed
+    /// fast path and every observable (scheduler picks, reports, stats,
+    /// fingerprints) is bit-identical to a simulation without a plan. Must
+    /// be called before the run starts.
+    pub fn set_latency(&mut self, plan: crate::clock::LatencyPlan) {
+        self.core.set_latency(plan);
+    }
+
+    /// Whether a non-degenerate latency plan is installed.
+    #[must_use]
+    pub fn latency_enabled(&self) -> bool {
+        self.core.latency_enabled()
+    }
+
+    /// The current virtual time (0 forever in untimed runs).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.core.now()
+    }
+
+    /// Number of armed timers that have not fired yet.
+    #[must_use]
+    pub fn pending_timers(&self) -> usize {
+        self.core.pending_timers()
+    }
+
+    /// Fingerprint of the network state only (queues, terminations, clock,
+    /// timers) — no node states, so it is comparable across different
+    /// representations of the same protocol (state machines vs
+    /// [`crate::runtime`] futures).
+    #[must_use]
+    pub fn net_fingerprint(&self) -> u64 {
+        self.core.net_fingerprint()
     }
 
     /// Enables or disables the scheduler's O(log C) indexed pick path

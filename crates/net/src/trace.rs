@@ -44,6 +44,8 @@ pub enum TraceEvent {
         seq: u64,
         /// Direction tag of the channel, if any.
         direction: Option<Direction>,
+        /// Virtual delivery time (always 0 without a latency plan).
+        at: u64,
     },
     /// A message arrived at a node that had already terminated and was
     /// ignored (this voids quiescent termination).
@@ -66,6 +68,15 @@ pub enum TraceEvent {
         kind: FaultKind,
         /// Sequence number of the affected message.
         seq: u64,
+    },
+    /// A virtual timer armed by a node came due and its handler ran.
+    TimerFired {
+        /// The node whose timer fired.
+        node: NodeIndex,
+        /// The token the node armed the timer with.
+        token: u64,
+        /// Virtual time at which the timer fired.
+        at: u64,
     },
 }
 
@@ -175,6 +186,7 @@ mod tests {
             port: 0,
             seq: 0,
             direction: Some(Direction::Cw),
+            at: 0,
         });
         t.push(TraceEvent::Send {
             node: 0,
@@ -191,6 +203,7 @@ mod tests {
             port: 1,
             seq: 1,
             direction: Some(Direction::Ccw),
+            at: 0,
         });
         assert_eq!(t.delivery_directions(), vec![Direction::Cw, Direction::Ccw]);
     }

@@ -147,6 +147,7 @@ fn scheduler_contract() {
                         1 => Some(Direction::Ccw),
                         _ => None,
                     },
+                    arrival: 0,
                 })
                 .collect();
             let mut sched = kind.build(rng.gen::<u64>());

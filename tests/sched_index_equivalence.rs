@@ -85,6 +85,7 @@ impl ReadyModel {
                     queue_len: 1,
                     head_seq: seq,
                     direction: Self::direction(channel),
+                    arrival: 0,
                 };
                 self.ready.push(view);
                 indexed.on_ready(view);
