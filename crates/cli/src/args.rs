@@ -21,6 +21,10 @@ pub struct CommonOpts {
     pub latency_seed: u64,
     /// Emit machine-readable JSON instead of text.
     pub json: bool,
+    /// Run-batched macro-stepping (`--batch on|off`). `None` means the flag
+    /// was not given: most commands then run per-pulse, while `replay`
+    /// follows the mode embedded in the recording.
+    pub batch: Option<bool>,
 }
 
 impl CommonOpts {
@@ -41,6 +45,7 @@ impl Default for CommonOpts {
             latency: LatencyModel::Zero,
             latency_seed: 0,
             json: false,
+            batch: None,
         }
     }
 }
@@ -96,7 +101,7 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E19).
+        /// Experiments to run (empty = all of E0–E20).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
         jobs: usize,
@@ -110,8 +115,9 @@ pub enum Command {
     Replay {
         /// Which protocol to drive.
         protocol: ProtocolChoice,
-        /// The schedule to replay (from `record`, e.g. `0,3,2`).
-        schedule: Schedule,
+        /// The schedule to replay (from `record`, e.g. `0,3,2` or
+        /// `batch:0,3,2`), carrying the delivery mode it was recorded under.
+        schedule: RecordedSchedule,
     },
     /// Find a monitor-violating schedule and ddmin-minimize it.
     Shrink {
@@ -132,6 +138,52 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// A delivery schedule together with the delivery mode it was recorded
+/// under.
+///
+/// `record --batch on` emits `batch:`-prefixed schedules because a pick in a
+/// batched recording can stand for a whole fused pulse run — replaying those
+/// picks per-pulse (or vice versa) would drive a different trajectory.
+/// Schedules recorded per-pulse print bare (an optional `pulse:` prefix is
+/// also accepted), so recordings from before the mode existed keep parsing
+/// as per-pulse.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordedSchedule {
+    /// Whether the recording ran under run-batched macro-stepping.
+    pub batch: bool,
+    /// The recorded channel picks.
+    pub picks: Schedule,
+}
+
+impl fmt::Display for RecordedSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.batch {
+            write!(f, "batch:{}", self.picks)
+        } else {
+            write!(f, "{}", self.picks)
+        }
+    }
+}
+
+impl std::str::FromStr for RecordedSchedule {
+    type Err = co_net::snapshot::ParseScheduleError;
+
+    fn from_str(s: &str) -> Result<RecordedSchedule, Self::Err> {
+        let s = s.trim();
+        let (batch, picks) = if let Some(rest) = s.strip_prefix("batch:") {
+            (true, rest)
+        } else if let Some(rest) = s.strip_prefix("pulse:") {
+            (false, rest)
+        } else {
+            (false, s)
+        };
+        Ok(RecordedSchedule {
+            batch,
+            picks: picks.parse()?,
+        })
+    }
 }
 
 /// Which snapshot-capable protocol the `record`/`replay`/`shrink`/`explore`
@@ -291,7 +343,7 @@ impl Cli {
         let mut exps: Vec<co_bench::Experiment> = Vec::new();
         let mut jobs = 1usize;
         let mut protocol: Option<ProtocolChoice> = None;
-        let mut schedule: Option<Schedule> = None;
+        let mut schedule: Option<RecordedSchedule> = None;
         let mut max_configs = 2_000_000usize;
         let mut dedup = co_net::DedupKind::Exact;
 
@@ -341,6 +393,17 @@ impl Cli {
                         .map_err(|_| err("--latency-seed must be an integer"))?;
                 }
                 "--json" => opts.json = true,
+                "--batch" => {
+                    opts.batch = match value("--batch")?.as_str() {
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        other => {
+                            return Err(err(format!(
+                                "--batch must be 'on' or 'off', got '{other}'"
+                            )))
+                        }
+                    };
+                }
                 "--scheme" => {
                     scheme = match value("--scheme")?.as_str() {
                         "doubled" => IdScheme::Doubled,
@@ -369,7 +432,7 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e19"))
+                        err(format!("unknown experiment '{name}'; expected e0..e20"))
                     })?);
                 }
                 "--jobs" => {
@@ -472,7 +535,7 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E19)
+  tables      Regenerate the paper's experiment tables (E0..E20)
   record      Run once, printing a replayable delivery schedule
   replay      Deterministically re-execute a recorded schedule
   shrink      Find a monitor-violating schedule, then ddmin-minimize it
@@ -497,8 +560,12 @@ OPTIONS:
   --graph G --root R  echo: ring:N | complete:N | path:N, wave root
   --exp eN            tables: select an experiment (repeatable; default all)
   --jobs N            tables/explore: worker threads (0 = one per core)
+  --batch MODE        on|off: run-batched macro-stepping for
+                      elect/stabilize/record/replay/tables  (default off;
+                      replay defaults to the mode embedded in the recording)
   --protocol P        record/replay/shrink/explore: alg1|alg2|alg3|ungated
-  --schedule S        replay: comma-separated channel picks from 'record'
+  --schedule S        replay: schedule from 'record' — channel picks,
+                      'batch:'-prefixed when recorded under --batch on
   --max-configs N     explore: configuration cap (default 2000000)
   --dedup B           explore: fingerprint backend, exact|bloom (default exact)
 "
@@ -629,6 +696,44 @@ mod tests {
         assert!(Cli::parse(["replay"]).is_err());
         assert!(Cli::parse(["replay", "--schedule", "0,x"]).is_err());
         assert!(Cli::parse(["record", "--protocol", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn parses_batch_flag() {
+        let cli = Cli::parse(["elect", "--batch", "on"]).expect("parses");
+        assert_eq!(cli.opts.batch, Some(true));
+        let cli = Cli::parse(["elect", "--batch", "off"]).expect("parses");
+        assert_eq!(cli.opts.batch, Some(false));
+        let cli = Cli::parse(["elect"]).expect("parses");
+        assert_eq!(cli.opts.batch, None);
+        assert!(Cli::parse(["elect", "--batch", "maybe"]).is_err());
+        assert!(Cli::parse(["elect", "--batch"]).is_err());
+    }
+
+    #[test]
+    fn recorded_schedule_carries_its_mode() {
+        let bare: RecordedSchedule = "0,3,2".parse().expect("parses");
+        assert!(!bare.batch);
+        assert_eq!(bare.to_string(), "0,3,2");
+
+        let batched: RecordedSchedule = "batch:0,3,2".parse().expect("parses");
+        assert!(batched.batch);
+        assert_eq!(batched.picks, bare.picks);
+        assert_eq!(batched.to_string(), "batch:0,3,2");
+
+        let explicit: RecordedSchedule = "pulse:0,3,2".parse().expect("parses");
+        assert_eq!(explicit, bare);
+
+        assert!("batch:0,x".parse::<RecordedSchedule>().is_err());
+
+        let cli = Cli::parse(["replay", "--schedule", "batch:1,0"]).expect("parses");
+        match cli.command {
+            Command::Replay { schedule, .. } => {
+                assert!(schedule.batch);
+                assert_eq!(schedule.picks.to_string(), "1,0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

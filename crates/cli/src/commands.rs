@@ -1,6 +1,6 @@
 //! Command implementations for `co-ring`.
 
-use crate::args::{usage, Cli, Command, CommonOpts, ProtocolChoice};
+use crate::args::{usage, Cli, Command, CommonOpts, ProtocolChoice, RecordedSchedule};
 use co_compose::pipeline::elect_then_ring_size;
 use co_core::ablation::UngatedAlg2Node;
 use co_core::anonymous::{success_rate, SamplingConfig};
@@ -14,6 +14,14 @@ use co_net::{
     shrink_schedule, Budget, Protocol, Pulse, RingSpec, RunReport, Schedule, SchedulerKind,
     Simulation, Snapshot,
 };
+
+fn mode_name(batch: bool) -> &'static str {
+    if batch {
+        "batch"
+    } else {
+        "per-pulse"
+    }
+}
 
 /// Output of a command: human text plus an optional JSON value.
 #[derive(Clone, Debug)]
@@ -62,7 +70,7 @@ pub fn run(cli: &Cli) -> CommandOutput {
         Command::Solitude { max_id } => solitude(*max_id),
         Command::Baseline { which } => baseline(&cli.opts, *which),
         Command::Echo { graph, root } => echo(&cli.opts, graph, *root),
-        Command::Tables { exps, jobs } => tables(exps, *jobs),
+        Command::Tables { exps, jobs } => tables(exps, *jobs, cli.opts.batch.unwrap_or(false)),
         Command::Record { protocol } => record(&cli.opts, *protocol),
         Command::Replay { protocol, schedule } => replay(&cli.opts, *protocol, schedule),
         Command::Shrink { protocol } => shrink(&cli.opts, *protocol),
@@ -123,31 +131,66 @@ fn record_with<P: Protocol<Pulse>>(
     protocol: ProtocolChoice,
     nodes: Vec<P>,
 ) -> CommandOutput {
+    let batch = opts.batch.unwrap_or(false);
     let mut sim = Simulation::new(spec.wiring(), nodes, opts.scheduler.build(opts.seed));
     sim.set_latency(opts.latency_plan());
-    let (report, schedule) = sim.run_recorded(Budget::default());
+    sim.set_batch(batch);
+    let (report, picks) = sim.run_recorded(Budget::default());
+    let schedule = RecordedSchedule { batch, picks };
     let text = format!(
-        "{protocol} on {spec} under {} (seed {})\n\
+        "{protocol} on {spec} under {} (seed {}, {} delivery)\n\
          outcome: {} | deliveries: {} | pulses: {}\n\
          schedule ({} picks, feed to `replay --schedule`):\n{schedule}\n",
         opts.scheduler,
         opts.seed,
+        mode_name(batch),
         report.outcome,
         report.steps,
         report.total_sent,
-        schedule.len(),
+        schedule.picks.len(),
     );
     let json = object([
         ("protocol", Value::from(protocol.to_string())),
         ("scheduler", Value::from(opts.scheduler.to_string())),
         ("seed", Value::from(opts.seed)),
+        ("batch", Value::from(batch)),
         ("report", run_report_json(&report)),
         ("schedule", Value::from(schedule.to_string())),
     ]);
     ok(text, json)
 }
 
-fn replay(opts: &CommonOpts, protocol: ProtocolChoice, schedule: &Schedule) -> CommandOutput {
+fn replay(
+    opts: &CommonOpts,
+    protocol: ProtocolChoice,
+    schedule: &RecordedSchedule,
+) -> CommandOutput {
+    // The recording's embedded delivery mode is authoritative: a pick in a
+    // batched recording can stand for a whole fused pulse run, so replaying
+    // it in the other mode would silently drive a different trajectory. An
+    // explicit `--batch` that contradicts the recording is refused.
+    if let Some(requested) = opts.batch {
+        if requested != schedule.batch {
+            let text = format!(
+                "error: schedule was recorded with {} delivery but --batch {} \
+                 requests {} delivery; re-record with --batch {} or drop the flag\n",
+                mode_name(schedule.batch),
+                if requested { "on" } else { "off" },
+                mode_name(requested),
+                if schedule.batch { "on" } else { "off" },
+            );
+            let json = object([
+                ("error", Value::from("batch-mode-mismatch")),
+                ("recorded_batch", Value::from(schedule.batch)),
+                ("requested_batch", Value::from(requested)),
+            ]);
+            return CommandOutput {
+                text,
+                json,
+                code: 1,
+            };
+        }
+    }
     let spec = RingSpec::oriented(opts.ids.clone());
     match protocol {
         ProtocolChoice::Alg1 => replay_with(&spec, opts, protocol, schedule, alg1_nodes(&spec)),
@@ -163,26 +206,30 @@ fn replay_with<P: Protocol<Pulse>>(
     spec: &RingSpec,
     opts: &CommonOpts,
     protocol: ProtocolChoice,
-    schedule: &Schedule,
+    schedule: &RecordedSchedule,
     nodes: Vec<P>,
 ) -> CommandOutput {
     // The scheduler choice is irrelevant: the replay engine overrides it.
     // The latency plan is not: timestamps shape the trace, so a replay must
-    // run under the same `--latency`/`--latency-seed` as the recording.
+    // run under the same `--latency`/`--latency-seed` as the recording. The
+    // delivery mode comes from the recording itself (checked in `replay`).
     let mut sim = Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
     sim.set_latency(opts.latency_plan());
-    let report = sim.replay(schedule, Budget::default());
+    sim.set_batch(schedule.batch);
+    let report = sim.replay(&schedule.picks, Budget::default());
     let text = format!(
-        "replaying {} picks of {protocol} on {spec} (deterministic)\n\
+        "replaying {} picks of {protocol} on {spec} ({} delivery, deterministic)\n\
          outcome: {} | deliveries: {} | pulses: {}\n",
-        schedule.len(),
+        schedule.picks.len(),
+        mode_name(schedule.batch),
         report.outcome,
         report.steps,
         report.total_sent,
     );
     let json = object([
         ("protocol", Value::from(protocol.to_string())),
-        ("schedule_len", Value::from(schedule.len())),
+        ("batch", Value::from(schedule.batch)),
+        ("schedule_len", Value::from(schedule.picks.len())),
         ("report", run_report_json(&report)),
     ]);
     ok(text, json)
@@ -348,7 +395,7 @@ where
     ok(text, json)
 }
 
-fn tables(exps: &[co_bench::Experiment], jobs: usize) -> CommandOutput {
+fn tables(exps: &[co_bench::Experiment], jobs: usize, batch: bool) -> CommandOutput {
     let selected: Vec<co_bench::Experiment> = if exps.is_empty() {
         co_bench::Experiment::ALL.to_vec()
     } else {
@@ -357,7 +404,7 @@ fn tables(exps: &[co_bench::Experiment], jobs: usize) -> CommandOutput {
     let mut text = String::new();
     let mut docs = Vec::new();
     for exp in selected {
-        let table = co_bench::run_experiment_with(exp, jobs);
+        let table = co_bench::run_experiment_batch(exp, jobs, batch);
         text.push_str(&table.to_string());
         text.push('\n');
         docs.push(table.to_json());
@@ -382,7 +429,13 @@ fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
 
 fn elect(opts: &CommonOpts) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
-    let report = runner::run_alg2_latency(&spec, opts.scheduler, opts.seed, &opts.latency_plan());
+    let report = runner::run_alg2_batch(
+        &spec,
+        opts.scheduler,
+        opts.seed,
+        &opts.latency_plan(),
+        opts.batch.unwrap_or(false),
+    );
     let text = format!(
         "Algorithm 2 on {spec} under {} (seed {})\noutcome: {}\n{}pulses: {} (Theorem 1 predicts {})\n",
         opts.scheduler,
@@ -397,7 +450,13 @@ fn elect(opts: &CommonOpts) -> CommandOutput {
 
 fn stabilize(opts: &CommonOpts) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
-    let report = runner::run_alg1_latency(&spec, opts.scheduler, opts.seed, &opts.latency_plan());
+    let report = runner::run_alg1_batch(
+        &spec,
+        opts.scheduler,
+        opts.seed,
+        &opts.latency_plan(),
+        opts.batch.unwrap_or(false),
+    );
     let text = format!(
         "Algorithm 1 on {spec} under {} (seed {})\noutcome: {} (stabilizing: nodes never terminate)\n{}pulses: {} (Corollary 13 predicts {})\n",
         opts.scheduler,
@@ -708,6 +767,92 @@ mod tests {
             rec.json.get("report").and_then(|r| r.get("total_sent")),
             rep.json.get("report").and_then(|r| r.get("total_sent")),
         );
+    }
+
+    #[test]
+    fn elect_batch_matches_per_pulse() {
+        let off = run_line(&["elect", "--ids", "3,9,5", "--seed", "4"]);
+        let on = run_line(&["elect", "--ids", "3,9,5", "--seed", "4", "--batch", "on"]);
+        assert_eq!(on.code, 0);
+        assert_eq!(off.json, on.json); // observational equivalence, byte for byte
+    }
+
+    #[test]
+    fn batched_record_then_replay_round_trips() {
+        let rec = run_line(&[
+            "record",
+            "--ids",
+            "2,3,1",
+            "--scheduler",
+            "random",
+            "--seed",
+            "5",
+            "--batch",
+            "on",
+        ]);
+        assert_eq!(rec.code, 0);
+        assert_eq!(rec.json.get("batch"), Some(&Value::Bool(true)));
+        let Some(Value::Str(schedule)) = rec.json.get("schedule") else {
+            panic!("schedule should be a string")
+        };
+        assert!(schedule.starts_with("batch:"), "mode must be embedded");
+
+        // No --batch flag: the replay follows the recording's mode.
+        let rep = run_line(&["replay", "--ids", "2,3,1", "--schedule", schedule]);
+        assert_eq!(rep.code, 0);
+        assert_eq!(rep.json.get("batch"), Some(&Value::Bool(true)));
+        assert_eq!(
+            rec.json.get("report").and_then(|r| r.get("total_sent")),
+            rep.json.get("report").and_then(|r| r.get("total_sent")),
+        );
+        // An agreeing explicit flag is also fine.
+        let rep2 = run_line(&[
+            "replay",
+            "--ids",
+            "2,3,1",
+            "--schedule",
+            schedule,
+            "--batch",
+            "on",
+        ]);
+        assert_eq!(rep2.code, 0);
+        assert_eq!(rep.json, rep2.json);
+    }
+
+    #[test]
+    fn replay_refuses_a_batch_mode_mismatch() {
+        // Per-pulse recording, batched replay requested.
+        let out = run_line(&[
+            "replay",
+            "--ids",
+            "2,3,1",
+            "--schedule",
+            "0,1,2",
+            "--batch",
+            "on",
+        ]);
+        assert_eq!(out.code, 1);
+        assert_eq!(
+            out.json.get("error"),
+            Some(&Value::Str("batch-mode-mismatch".to_owned()))
+        );
+        assert_eq!(out.json.get("recorded_batch"), Some(&Value::Bool(false)));
+        assert_eq!(out.json.get("requested_batch"), Some(&Value::Bool(true)));
+        assert!(out.text.contains("recorded with per-pulse delivery"));
+
+        // Batched recording, per-pulse replay requested.
+        let out = run_line(&[
+            "replay",
+            "--ids",
+            "2,3,1",
+            "--schedule",
+            "batch:0,1,2",
+            "--batch",
+            "off",
+        ]);
+        assert_eq!(out.code, 1);
+        assert_eq!(out.json.get("recorded_batch"), Some(&Value::Bool(true)));
+        assert_eq!(out.json.get("requested_batch"), Some(&Value::Bool(false)));
     }
 
     #[test]

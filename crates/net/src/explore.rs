@@ -286,6 +286,22 @@ pub struct ExploreConfig {
     /// Defaults to [`QueueBackend::Counter`]: the explorer only carries
     /// pulses.
     pub backend: QueueBackend,
+    /// Macro-step successor expansion (off by default): each branch
+    /// delivers the chosen channel's *entire head run* in one fused
+    /// transition ([`Simulation::step_channel_batch`]) instead of a single
+    /// pulse.
+    ///
+    /// Every configuration this explorer visits has a fingerprint
+    /// byte-identical to the per-pulse explorer's fingerprint of the same
+    /// configuration — batching changes which interleavings are expanded,
+    /// never how a configuration hashes. The visited set is the macro-step
+    /// reachable *subset* of the per-pulse state space: configurations
+    /// "inside" a run (some but not all of a run's pulses delivered before
+    /// switching channels) are skipped, so safety predicates are only
+    /// checked at run boundaries. Use per-pulse exploration for
+    /// exhaustive safety; batched exploration for reachability and
+    /// quiescence questions at scale.
+    pub batch: bool,
 }
 
 impl Default for ExploreConfig {
@@ -298,6 +314,7 @@ impl Default for ExploreConfig {
             bloom_fp_budget: 1e-4,
             faults: FaultPlan::new(),
             backend: QueueBackend::Counter,
+            batch: false,
         }
     }
 }
@@ -444,6 +461,7 @@ where
             let at_quiescence = &at_quiescence;
             let faults = &config.faults;
             let backend = config.backend;
+            let batch = config.batch;
             scope.spawn(move || {
                 let mut sim: Simulation<Pulse, P> = Simulation::with_backend(
                     wiring.clone(),
@@ -502,8 +520,13 @@ where
                     } else {
                         for channel in sim.ready_channels() {
                             sim.restore(&snapshot);
-                            sim.step_channel(channel)
-                                .expect("ready channel has a message");
+                            if batch {
+                                sim.step_channel_batch(channel, u64::MAX)
+                                    .expect("ready channel has a message");
+                            } else {
+                                sim.step_channel(channel)
+                                    .expect("ready channel has a message");
+                            }
                             let fp = config_fingerprint(&sim, horizon);
                             if !index.insert(fp) {
                                 continue;
@@ -1021,6 +1044,74 @@ mod tests {
             assert!(report.complete, "{backend}");
             assert!(report.violations.is_empty(), "{backend}");
         }
+    }
+
+    #[test]
+    fn batched_successors_keep_fingerprints_and_verdicts() {
+        // Macro-step exploration visits the run-boundary subset of the
+        // state space, with every configuration hashing exactly as the
+        // per-pulse explorer hashes it.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let per_pulse = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 1,
+                ..ExploreConfig::default()
+            },
+        );
+        let batched = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 1,
+                batch: true,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(batched.complete);
+        assert!(batched.violations.is_empty(), "{:?}", batched.violations);
+        assert!(batched.quiescent_configs >= 1);
+        assert!(
+            batched.configs <= per_pulse.configs,
+            "macro-steps expand a subset of interleavings"
+        );
+
+        // Fingerprint identity: a fused run-delivery lands on the same
+        // 64-bit fingerprint as pulse-by-pulse delivery of the same run.
+        let build = || -> Simulation<Pulse, MiniAlg1> {
+            Simulation::with_backend(
+                spec.wiring(),
+                mini_ring(),
+                Box::new(FifoScheduler::new()),
+                QueueBackend::Counter,
+            )
+        };
+        let mut fused = build();
+        fused.start();
+        // Find an empty channel and inject two pulses: their consecutive
+        // sequence numbers form a genuine head run of 2.
+        let ready = fused.ready_channels();
+        let channel = (0..6)
+            .map(ChannelId::from_index)
+            .find(|c| !ready.contains(c))
+            .expect("MiniAlg1 leaves the counterclockwise channels empty");
+        fused.inject_run(channel, Pulse, 2);
+        let mut stepped = build();
+        stepped.start();
+        stepped.inject_run(channel, Pulse, 2);
+        let (_, count) = fused
+            .step_channel_batch(channel, u64::MAX)
+            .expect("ready channel");
+        assert_eq!(count, 2, "the injected pulse extends the head run");
+        for _ in 0..count {
+            stepped.step_channel(channel).expect("ready channel");
+        }
+        assert_eq!(fused.fingerprint(), stepped.fingerprint());
     }
 
     #[test]

@@ -84,18 +84,18 @@ pub mod trace;
 pub use clock::{LatencyModel, LatencyPlan, VirtualClock};
 pub use dedup::{DedupKind, FingerprintStore, ShardedIndex};
 pub use engine::{
-    CoreSnapshot, EngineError, EngineEvent, EngineStep, EventCore, EventHandler, FaultKind,
-    Observer, QueueBackend, QueueStore, RunMetrics, Topology,
+    CoreSnapshot, EngineBatch, EngineError, EngineEvent, EngineStep, EventCore, EventHandler,
+    FaultKind, Observer, QueueBackend, QueueStore, RunMetrics, Topology,
 };
 pub use faults::{FaultPlan, FaultStats};
 pub use message::{Message, Pulse, UnitMessage};
-pub use multiport::{GraphContext, GraphProtocol, GraphSim, GraphWiring};
+pub use multiport::{GraphContext, GraphProtocol, GraphRunContext, GraphSim, GraphWiring};
 pub use port::{Direction, Port};
 pub use sched::{ChannelView, Scheduler, SchedulerKind};
 pub use shrink::shrink_schedule;
 pub use sim::{
-    Budget, Context, Outcome, Protocol, RunReport, SimObserver, SimSnapshot, SimStats, Simulation,
-    StepInfo,
+    Budget, Context, Outcome, Protocol, RunContext, RunReport, SimObserver, SimSnapshot, SimStats,
+    Simulation, StepInfo,
 };
 pub use snapshot::{Fingerprint, Schedule, Snapshot};
 pub use topology::{ChannelId, NodeIndex, RingSpec, Wiring};

@@ -47,16 +47,21 @@ pub enum Phase {
     /// Virtual-clock timer servicing: popping due timers off the timer heap
     /// and running `on_timer` handlers.
     Timer,
+    /// Fused batch commit: popping a whole pulse run, run-aware
+    /// ready/scheduler maintenance, and bulk accounting (batch mode only;
+    /// the handler's run dispatch is attributed to `Deliver`).
+    Batch,
 }
 
 impl Phase {
     /// All phases, in display order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Enqueue,
         Phase::Pick,
         Phase::Deliver,
         Phase::Observe,
         Phase::Timer,
+        Phase::Batch,
     ];
 
     fn index(self) -> usize {
@@ -66,6 +71,7 @@ impl Phase {
             Phase::Deliver => 2,
             Phase::Observe => 3,
             Phase::Timer => 4,
+            Phase::Batch => 5,
         }
     }
 }
@@ -78,11 +84,12 @@ impl fmt::Display for Phase {
             Phase::Deliver => "deliver",
             Phase::Observe => "observe",
             Phase::Timer => "timer",
+            Phase::Batch => "batch",
         })
     }
 }
 
-const PHASES: usize = 5;
+const PHASES: usize = 6;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -105,6 +112,7 @@ impl PhaseCell {
 }
 
 static CELLS: [PhaseCell; PHASES] = [
+    PhaseCell::new(),
     PhaseCell::new(),
     PhaseCell::new(),
     PhaseCell::new(),

@@ -1,0 +1,343 @@
+//! Batch equivalence: run-batched macro-stepping must be observationally
+//! identical to per-pulse delivery.
+//!
+//! With [`Simulation::set_batch`] on, one engine transition may deliver an
+//! entire pulse run whenever no observer, fault horizon, latency timer, or
+//! budget boundary could distinguish the interleaving. This suite proves
+//! the equivalence contract over the full grid of all 8 scheduler
+//! adversaries × both queue backends × fault plans × latency plans for
+//! {Alg1, Alg2, Alg3}: byte-identical [`RunReport`], [`SimStats`],
+//! configuration fingerprints, and recorded schedules; stepwise fingerprint
+//! agreement at every batch boundary; and record→replay across modes in
+//! both directions. Trajectory-dependent *peaks* (`max_in_flight`,
+//! `peak_queue_bytes`) are deliberately outside the contract — a fused run
+//! moves through fewer intermediate configurations.
+
+use content_oblivious::core::{Alg1Node, Alg2Node, Alg3Node, IdScheme};
+use content_oblivious::net::{
+    Budget, FaultPlan, LatencyModel, LatencyPlan, Outcome, Protocol, Pulse, QueueBackend, RingSpec,
+    RunReport, SchedulerKind, SimStats, Simulation, Snapshot,
+};
+
+/// Everything a run exposes under the equivalence contract.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    report: RunReport,
+    stats: SimStats,
+    fingerprint: u64,
+    terminated: Vec<bool>,
+}
+
+struct Config<'a> {
+    kind: SchedulerKind,
+    seed: u64,
+    backend: QueueBackend,
+    plan: &'a FaultPlan,
+    latency: Option<LatencyPlan>,
+    budget: Budget,
+}
+
+fn build<P, F>(spec: &RingSpec, make: &F, cfg: &Config<'_>, batch: bool) -> Simulation<Pulse, P>
+where
+    P: Protocol<Pulse> + Snapshot,
+    F: Fn() -> Vec<P>,
+{
+    let mut sim: Simulation<Pulse, P> =
+        Simulation::with_backend(spec.wiring(), make(), cfg.kind.build(cfg.seed), cfg.backend);
+    sim.set_faults(cfg.plan.clone());
+    if let Some(plan) = cfg.latency.clone() {
+        sim.set_latency(plan);
+    }
+    sim.set_batch(batch);
+    sim
+}
+
+fn observe<P, F>(spec: &RingSpec, make: &F, cfg: &Config<'_>, batch: bool) -> Observed
+where
+    P: Protocol<Pulse> + Snapshot,
+    F: Fn() -> Vec<P>,
+{
+    let mut sim = build(spec, make, cfg, batch);
+    let report = sim.run(cfg.budget);
+    Observed {
+        stats: sim.stats().clone(),
+        fingerprint: sim.fingerprint(),
+        terminated: (0..spec.len()).map(|v| sim.is_terminated(v)).collect(),
+        report,
+    }
+}
+
+fn assert_equivalent<P, F>(spec: &RingSpec, make: F, label: &str)
+where
+    P: Protocol<Pulse> + Snapshot,
+    F: Fn() -> Vec<P>,
+{
+    let plans = [
+        ("clean", FaultPlan::new()),
+        ("drop4", FaultPlan::new().drop_seq(4)),
+        ("dup1", FaultPlan::new().duplicate_seq(1)),
+    ];
+    let latencies = [
+        ("untimed", None),
+        ("fixed2", Some(LatencyPlan::new(LatencyModel::Fixed(2), 11))),
+    ];
+    for kind in SchedulerKind::ALL {
+        for backend in QueueBackend::ALL {
+            for (plan_label, plan) in &plans {
+                for (lat_label, latency) in &latencies {
+                    let cfg = Config {
+                        kind,
+                        seed: 7,
+                        backend,
+                        plan,
+                        latency: latency.clone(),
+                        budget: Budget::steps(200_000),
+                    };
+                    let off = observe(spec, &make, &cfg, false);
+                    let on = observe(spec, &make, &cfg, true);
+                    assert_eq!(
+                        off, on,
+                        "{label} under {kind} backend {backend} plan {plan_label} {lat_label}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full grid: 8 schedulers × 2 backends × 3 fault plans × 2 latency
+/// plans for each algorithm, batch-on equal to batch-off everywhere.
+#[test]
+fn all_schedulers_backends_faults_and_latency_agree_across_batch_modes() {
+    let spec = RingSpec::oriented(vec![3, 6, 1, 5, 2]);
+    assert_equivalent(
+        &spec,
+        || {
+            (0..spec.len())
+                .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<_>>()
+        },
+        "alg1",
+    );
+    assert_equivalent(
+        &spec,
+        || {
+            (0..spec.len())
+                .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<_>>()
+        },
+        "alg2",
+    );
+    let flipped = RingSpec::with_flips(vec![3, 6, 1, 5, 2], vec![true, false, true, false, false]);
+    assert_equivalent(
+        &flipped,
+        || {
+            (0..flipped.len())
+                .map(|i| Alg3Node::new(flipped.id(i), IdScheme::Improved))
+                .collect::<Vec<_>>()
+        },
+        "alg3",
+    );
+}
+
+/// Batching actually fuses on the FIFO-family schedulers — the grid above
+/// would pass vacuously if every quota came back 1. Elections only carry
+/// runs of length 1 (every event sends a single pulse), so a run is seeded
+/// with a bulk injection; Alg1's closed form then *propagates* it, relaying
+/// the whole run as one fused transition per hop.
+#[test]
+fn batching_fuses_transitions_on_fifo_family() {
+    let spec = RingSpec::oriented(vec![40, 90, 10, 70, 20]);
+    for kind in [SchedulerKind::Fifo, SchedulerKind::Solitude] {
+        let make = || {
+            (0..spec.len())
+                .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<Alg1Node>>()
+        };
+        let mut sim: Simulation<Pulse, Alg1Node> =
+            Simulation::with_backend(spec.wiring(), make(), kind.build(0), QueueBackend::Counter);
+        sim.set_batch(true);
+        sim.enable_metrics();
+        sim.start();
+        let channel = sim.ready_channels()[0];
+        sim.inject_run(channel, Pulse, 5_000);
+        let report = sim.run(Budget::steps(200_000));
+        assert_eq!(report.outcome, Outcome::BudgetExhausted, "{kind}");
+        let metrics = sim.metrics().expect("metrics enabled");
+        assert!(
+            metrics.transitions * 2 < metrics.pulses_delivered,
+            "{kind}: {} transitions for {} pulses — nothing fused",
+            metrics.transitions,
+            metrics.pulses_delivered
+        );
+    }
+}
+
+/// Stepwise agreement: drive a batched simulation transition by transition
+/// and advance a per-pulse twin by each batch's pulse count; the two
+/// configurations must hash identically at *every* batch boundary.
+#[test]
+fn fingerprints_agree_at_every_batch_boundary() {
+    let spec = RingSpec::oriented(vec![5, 9, 2, 7]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<Alg1Node>>()
+    };
+    for kind in SchedulerKind::ALL {
+        let mut batched: Simulation<Pulse, Alg1Node> =
+            Simulation::with_backend(spec.wiring(), make(), kind.build(3), QueueBackend::Counter);
+        let mut twin: Simulation<Pulse, Alg1Node> =
+            Simulation::with_backend(spec.wiring(), make(), kind.build(3), QueueBackend::Counter);
+        batched.start();
+        twin.start();
+        assert_eq!(batched.fingerprint(), twin.fingerprint(), "under {kind}");
+        while let Some((_, count)) = batched.step_batch(u64::MAX) {
+            for i in 0..count {
+                assert!(
+                    twin.step().is_some(),
+                    "under {kind}: twin quiescent {i} pulses into a {count}-pulse batch"
+                );
+            }
+            assert_eq!(
+                batched.fingerprint(),
+                twin.fingerprint(),
+                "under {kind} at a batch boundary"
+            );
+        }
+        assert!(twin.step().is_none(), "under {kind}: twin has pulses left");
+    }
+}
+
+/// The budget is pinned to pulses: cutting a run anywhere — including in
+/// the middle of what batching would fuse — lands both modes on the same
+/// configuration.
+#[test]
+fn budget_boundaries_are_pulse_exact() {
+    let spec = RingSpec::oriented(vec![4, 9, 2]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<Alg1Node>>()
+    };
+    let plan = FaultPlan::new();
+    for max_steps in [1u64, 2, 3, 5, 8, 13, 21, 1000] {
+        let cfg = Config {
+            kind: SchedulerKind::Fifo,
+            seed: 0,
+            backend: QueueBackend::Counter,
+            plan: &plan,
+            latency: None,
+            budget: Budget::steps(max_steps),
+        };
+        let off = observe(&spec, &make, &cfg, false);
+        let on = observe(&spec, &make, &cfg, true);
+        assert_eq!(off, on, "budget {max_steps}");
+        assert_eq!(on.stats.steps.min(max_steps), on.stats.steps);
+    }
+}
+
+/// Record→replay crosses batch modes in both directions: the recorded
+/// schedules are byte-identical, and a schedule recorded in either mode
+/// replays to the same execution in either mode.
+#[test]
+fn record_replay_crosses_batch_modes() {
+    let spec = RingSpec::oriented(vec![6, 2, 9, 4]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<Alg1Node>>()
+    };
+    let plan = FaultPlan::new();
+    for kind in [
+        SchedulerKind::Fifo,
+        SchedulerKind::Random,
+        SchedulerKind::Solitude,
+    ] {
+        let cfg = Config {
+            kind,
+            seed: 21,
+            backend: QueueBackend::Counter,
+            plan: &plan,
+            latency: None,
+            budget: Budget::default(),
+        };
+        // Record in both modes: identical schedules and reports.
+        let mut rec_off = build(&spec, &make, &cfg, false);
+        let (report_off, schedule_off) = rec_off.run_recorded(cfg.budget);
+        let mut rec_on = build(&spec, &make, &cfg, true);
+        let (report_on, schedule_on) = rec_on.run_recorded(cfg.budget);
+        assert_eq!(report_off, report_on, "{kind}: recorded reports differ");
+        assert_eq!(
+            schedule_off.picks(),
+            schedule_on.picks(),
+            "{kind}: batch recording must log one pick per pulse"
+        );
+        assert_eq!(rec_off.fingerprint(), rec_on.fingerprint(), "{kind}");
+
+        // Replay each schedule in the opposite mode (and the same mode, as
+        // a control): every combination reproduces the original execution.
+        for (sched_label, schedule) in [("off", &schedule_off), ("on", &schedule_on)] {
+            for replay_batch in [false, true] {
+                let mut replayer = build(&spec, &make, &cfg, replay_batch);
+                let replay_report = replayer.replay(schedule, cfg.budget);
+                assert_eq!(
+                    replay_report, report_off,
+                    "{kind}: schedule {sched_label} replayed batch={replay_batch}"
+                );
+                assert_eq!(
+                    replayer.fingerprint(),
+                    rec_off.fingerprint(),
+                    "{kind}: schedule {sched_label} replayed batch={replay_batch}"
+                );
+                assert_eq!(replayer.stats(), rec_off.stats(), "{kind}");
+            }
+        }
+    }
+}
+
+/// A spurious 10⁶-pulse burst injected into one channel is absorbed
+/// identically in both modes — and the batched run crosses it in far
+/// fewer transitions.
+#[test]
+fn injected_bursts_are_mode_equivalent() {
+    let spec = RingSpec::oriented(vec![2, 5]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<Alg1Node>>()
+    };
+    let burst: u64 = 1_000_000;
+    let mut results = Vec::new();
+    for batch in [false, true] {
+        let mut sim: Simulation<Pulse, Alg1Node> = Simulation::with_backend(
+            spec.wiring(),
+            make(),
+            SchedulerKind::Fifo.build(0),
+            QueueBackend::Counter,
+        );
+        sim.set_batch(batch);
+        sim.enable_metrics();
+        sim.start();
+        let channel = sim.ready_channels()[0];
+        sim.inject_run(channel, Pulse, burst);
+        let report = sim.run(Budget::steps(10 * burst));
+        let metrics = sim.metrics().expect("metrics enabled");
+        results.push((
+            report,
+            sim.fingerprint(),
+            sim.stats().clone(),
+            metrics.transitions,
+        ));
+    }
+    let (off, on) = (&results[0], &results[1]);
+    assert_eq!(off.0, on.0, "reports");
+    assert_eq!(off.1, on.1, "fingerprints");
+    assert_eq!(off.2, on.2, "stats");
+    assert!(
+        on.3 * 100 < off.3,
+        "batched burst used {} transitions vs {} per-pulse — expected >100× fusion",
+        on.3,
+        off.3
+    );
+}

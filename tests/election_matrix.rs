@@ -218,3 +218,43 @@ fn large_ring_smoke_n5000_counter_backend() {
         out.peak_queue_bytes
     );
 }
+
+/// Timed large-n smoke at n = 100,000 under run-batched macro-stepping.
+///
+/// A full election at this scale needs n(2·ID_max + 1) ≈ 2×10¹⁰ pulses
+/// under ANY delivery mode (batching fuses transitions, never pulses), so
+/// the run is budget-capped and the assertion is the macro-stepping
+/// equivalence contract instead of Theorem 1: batch-on must reproduce the
+/// per-pulse trajectory byte for byte — same step count, same outcome, same
+/// state fingerprint. CI runs this in release as the `large-n-smoke` job.
+#[test]
+#[ignore = "large; run explicitly (CI large-n-smoke job)"]
+fn large_ring_smoke_n100000_batched() {
+    use content_oblivious::core::Alg2Node;
+    use content_oblivious::net::{Budget, Pulse, QueueBackend, Simulation};
+
+    const CAP: u64 = 50_000_000;
+    let n = 100_000usize;
+    let spec = RingSpec::oriented((1..=n as u64).collect());
+    let mut cells = Vec::new();
+    for batch in [false, true] {
+        let nodes = (0..n)
+            .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+            .collect();
+        let mut sim: Simulation<Pulse, Alg2Node> = Simulation::with_backend(
+            spec.wiring(),
+            nodes,
+            SchedulerKind::Fifo.build(0),
+            QueueBackend::Counter,
+        );
+        sim.set_batch(batch);
+        let run = sim.run(Budget::steps(CAP));
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert_eq!(run.steps, CAP);
+        cells.push((run, sim.fingerprint()));
+    }
+    assert_eq!(
+        cells[0], cells[1],
+        "batched n = 100,000 election must match per-pulse byte for byte"
+    );
+}
