@@ -4,8 +4,8 @@
 //! catalogue (message complexity from E1/E2, an anonymous-election sample from
 //! E5, dedup memory from E15, explorer state counts from E16, and the E17
 //! scaling invariants: step count and per-backend peak queue bytes at
-//! n = 1000, the E18 pick-latency and E19 virtual-time guards, and the E20
-//! run-batching invariants) and compares
+//! n = 1000, the E18 pick-latency and E19 virtual-time guards, the E20
+//! run-batching invariants, and the E21 fleet aggregates) and compares
 //! them against the committed baseline `bench_baseline.json`. CI runs
 //! `tables check` on every push: a metric that drifts outside its per-metric
 //! tolerance fails the build before the regression can land.
@@ -22,6 +22,13 @@
 //! enough for any CI-runner speed difference, tight enough to trip if a
 //! pick ever falls from O(log C) back to an O(ready) scan (a ~80× swing
 //! at 4000 channels).
+//!
+//! `e21_elections_per_sec_10k` follows the same exception pattern from the
+//! other side: it is a *throughput* (higher is better), so it gates with an
+//! 80% `Decrease` tolerance — a run slower than one fifth of baseline trips
+//! the gate. That budget absorbs any plausible CI-runner speed spread while
+//! still catching an accidental per-ring allocation, lock, or O(fleet) scan
+//! in the fleet hot loop, each of which costs well over 5× on 10⁴ rings.
 
 use co_json::{object, Value};
 
@@ -31,6 +38,9 @@ pub enum Direction {
     /// Only an increase beyond tolerance is a regression (costs: messages,
     /// bytes). An improvement is reported but passes.
     Increase,
+    /// Only a decrease beyond tolerance is a regression (throughputs:
+    /// elections/sec). A speed-up is reported but passes.
+    Decrease,
     /// Any drift beyond tolerance is a regression (invariants: exact state
     /// counts, paper-predicted complexities).
     Both,
@@ -40,6 +50,7 @@ impl Direction {
     fn as_str(self) -> &'static str {
         match self {
             Direction::Increase => "increase",
+            Direction::Decrease => "decrease",
             Direction::Both => "both",
         }
     }
@@ -47,6 +58,7 @@ impl Direction {
     fn parse(s: &str) -> Option<Self> {
         match s {
             "increase" => Some(Direction::Increase),
+            "decrease" => Some(Direction::Decrease),
             "both" => Some(Direction::Both),
             _ => None,
         }
@@ -250,6 +262,7 @@ pub fn collect_metrics(inject_regression_pct: Option<f64>) -> Vec<Metric> {
     metrics.extend(e18_metrics().iter().cloned());
     metrics.extend(e19_metrics().iter().cloned());
     metrics.extend(e20_metrics().iter().cloned());
+    metrics.extend(e21_metrics().iter().cloned());
 
     if let Some(pct) = inject_regression_pct {
         metrics[0].value *= 1.0 + pct / 100.0;
@@ -605,6 +618,69 @@ fn e20_metrics() -> &'static [Metric; 4] {
     })
 }
 
+/// E21 — fleet-mode invariants and throughput (partly wall-clock; see the
+/// module docs).
+///
+/// Three exact metrics plus one wall-clock metric from a single 10⁴-ring
+/// fleet (Algorithm 1, sizes `uniform:3..9`, seed 21, 1% fault rate) run
+/// through the parallel driver with one worker per core. The fleet's
+/// aggregate report is byte-identical at any worker count
+/// (`tests/fleet_determinism.rs`), so the exact metrics are pure functions
+/// of the config despite the parallel run. Collected once per process
+/// (`OnceLock`), like the other wall-clock collectors.
+///
+/// * `e21_fleet_elections_10k` — rings electing exactly one leader within
+///   budget. Exact: the per-ring seeds, sizes and fault rolls are all
+///   derived from the config.
+/// * `e21_fleet_pulses_10k` — total pulses delivered across the fleet.
+/// * `e21_fleet_peak_bytes_per_ring` — the peak live queue bytes any single
+///   ring reached under the counter backend (16-byte runs): the fleet's
+///   per-ring memory headline. `Increase`-gated at 0%.
+/// * `e21_elections_per_sec_10k` — wall-clock elections per second through
+///   the whole parallel stack; `Decrease`-gated at 80% (see the module
+///   docs for why that budget).
+fn e21_metrics() -> &'static [Metric; 4] {
+    use co_core::fleet::FleetProtocol;
+    use co_net::fleet::{FleetConfig, RingSizes};
+    use std::sync::OnceLock;
+
+    static CELL: OnceLock<[Metric; 4]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut cfg = FleetConfig::new(10_000);
+        cfg.sizes = RingSizes::Uniform { min: 3, max: 9 };
+        cfg.seed = 21;
+        cfg.fault_rate = 0.01;
+        let summary = crate::fleet::run_fleet(&cfg, FleetProtocol::Alg1, 1, 0);
+        let report = &summary.report;
+        [
+            Metric {
+                name: "e21_fleet_elections_10k",
+                value: report.elections as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "e21_fleet_pulses_10k",
+                value: report.total_pulses as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "e21_fleet_peak_bytes_per_ring",
+                value: report.peak_ring_queue_bytes as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e21_elections_per_sec_10k",
+                value: summary.elections_per_sec(),
+                tolerance_pct: 80.0,
+                direction: Direction::Decrease,
+            },
+        ]
+    })
+}
+
 /// Serializes metrics as the committed baseline document.
 #[must_use]
 pub fn baseline_json(metrics: &[Metric]) -> Value {
@@ -685,6 +761,7 @@ pub fn compare(current: &[Metric], baseline: &Value) -> CheckReport {
         };
         let over_budget = match direction {
             Direction::Increase => drift_pct > tolerance,
+            Direction::Decrease => drift_pct < -tolerance,
             Direction::Both => drift_pct.abs() > tolerance,
         };
         findings.push(Finding {
@@ -777,6 +854,28 @@ mod tests {
         // +6%: over budget.
         metrics[1].value = 212.0;
         assert!(!compare(&metrics, &baseline).passed());
+    }
+
+    #[test]
+    fn decrease_direction_gates_on_drops_only() {
+        let mut metrics = vec![Metric {
+            name: "throughput",
+            value: 1000.0,
+            tolerance_pct: 80.0,
+            direction: Direction::Decrease,
+        }];
+        let baseline = baseline_json(&metrics);
+        // 5× faster: an improvement, passes.
+        metrics[0].value = 5000.0;
+        assert!(compare(&metrics, &baseline).passed());
+        // -79%: inside the budget, passes.
+        metrics[0].value = 210.0;
+        assert!(compare(&metrics, &baseline).passed());
+        // -81%: a real slowdown, trips.
+        metrics[0].value = 190.0;
+        let report = compare(&metrics, &baseline);
+        assert!(!report.passed());
+        assert!(report.findings[0].regressed);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Experiments E0–E20: one function per quantitative claim of the paper.
+//! Experiments E0–E21: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -69,11 +69,15 @@ pub enum Experiment {
     /// Run-batched macro-stepping: batch-on vs batch-off equivalence and
     /// throughput, the n = 100,000 election, and the 10⁹-pulse burst.
     E20,
+    /// Fleet mode: 10⁴ concurrent small-ring elections per cell through the
+    /// struct-of-arrays fleet harness — jobs-invariant aggregates, fault
+    /// behaviour, and elections/sec throughput.
+    E21,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 21] = [
+    pub const ALL: [Experiment; 22] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -95,6 +99,7 @@ impl Experiment {
         Experiment::E18,
         Experiment::E19,
         Experiment::E20,
+        Experiment::E21,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -147,6 +152,7 @@ pub fn run_experiment_batch(exp: Experiment, jobs: usize, batch: bool) -> Table 
         Experiment::E17 => e17_scaling_jobs(jobs, batch),
         Experiment::E18 => e18_sched_index_jobs(jobs, batch),
         Experiment::E19 => e19_virtual_time_jobs(jobs),
+        Experiment::E21 => e21_fleet_jobs(jobs),
         _ => run_sequential(exp),
     }
 }
@@ -174,6 +180,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E18 => e18_sched_index(),
         Experiment::E19 => e19_virtual_time(),
         Experiment::E20 => e20_run_batching(),
+        Experiment::E21 => e21_fleet(),
     }
 }
 
@@ -2121,6 +2128,103 @@ pub fn e20_run_batching() -> Table {
     t
 }
 
+/// E21 — fleet mode: 10⁴ concurrent ring elections per cell.
+#[must_use]
+pub fn e21_fleet() -> Table {
+    e21_fleet_jobs(0)
+}
+
+/// E21 with an explicit worker count (`0` = one per core).
+///
+/// Runs the struct-of-arrays fleet harness (`co_net::fleet`) over a grid of
+/// protocol × fault-rate cells, each a fleet of 10,000 independent oriented
+/// rings with sizes drawn uniformly from 3..=9. Per cell the experiment
+/// checks three things:
+///
+/// 1. **Determinism across thread counts** — the parallel aggregate report
+///    must equal the single-threaded reference byte-for-byte (`det`
+///    column). Shard boundaries come from the config, never the thread
+///    count, so this must hold at any `jobs`.
+/// 2. **Universal election on clean fleets** — with `fault_rate = 0` every
+///    ring elects exactly one leader (`elections == rings`), per the
+///    paper's correctness theorems applied 10⁴ times over mixed sizes.
+/// 3. **Fault visibility** — with spurious clockwise pulses injected into
+///    1% of rings, the aggregate report separates corrupted rings
+///    (budget-exhausted) from clean elections instead of silently
+///    miscounting.
+///
+/// The throughput columns (`ms`, `elect/s`) are wall-clock and therefore
+/// *not* part of the determinism claim; they feed the `e21_*` wall-clock
+/// gate metrics whose wide tolerances are documented in [`crate::check`].
+#[must_use]
+pub fn e21_fleet_jobs(jobs: usize) -> Table {
+    use co_core::fleet::{run_fleet_round as fleet_reference, FleetProtocol};
+    use co_net::fleet::{FleetConfig, RingSizes};
+
+    const RINGS: u64 = 10_000;
+
+    let mut t = Table::new(
+        "E21 — fleet mode: 10⁴ concurrent rings per cell, jobs-invariant aggregates",
+        "the fleet harness elects on every clean ring, surfaces injected faults, and its \
+         aggregate report is byte-identical at any thread count",
+        vec![
+            "protocol",
+            "rings",
+            "sizes",
+            "fault",
+            "elections",
+            "exhausted",
+            "pulses",
+            "p50",
+            "p99",
+            "peak B/ring",
+            "det",
+            "ms",
+            "elect/s",
+        ],
+    );
+
+    let mut all_ok = true;
+    for protocol in FleetProtocol::ALL {
+        for fault_rate in [0.0, 0.01] {
+            let mut cfg = FleetConfig::new(RINGS);
+            cfg.sizes = RingSizes::Uniform { min: 3, max: 9 };
+            cfg.seed = 21;
+            cfg.fault_rate = fault_rate;
+            let summary = crate::fleet::run_fleet(&cfg, protocol, 1, jobs);
+            let report = &summary.report;
+            let det = *report == fleet_reference(&cfg, protocol, 0);
+            let clean_ok = fault_rate > 0.0 || report.elections == RINGS;
+            all_ok &= det && clean_ok;
+            t.row(vec![
+                protocol.to_string(),
+                report.rings.to_string(),
+                cfg.sizes.to_string(),
+                format!("{fault_rate}"),
+                report.elections.to_string(),
+                report.budget_exhausted.to_string(),
+                report.total_pulses.to_string(),
+                report.p50().to_string(),
+                report.p99().to_string(),
+                report.peak_ring_queue_bytes.to_string(),
+                det.to_string(),
+                summary.elapsed.as_millis().to_string(),
+                format!("{:.0}", summary.elections_per_sec()),
+            ]);
+        }
+    }
+
+    t.set_verdict(if all_ok {
+        "every clean ring elects exactly one leader, injected faults show up as \
+         budget-exhausted rings, and the aggregate report is byte-identical to the \
+         single-threaded reference"
+    } else {
+        "MISMATCH: a parallel fleet diverged from the sequential reference, or a clean \
+         ring failed to elect"
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2130,7 +2234,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e21"), None);
+        assert_eq!(Experiment::parse("e22"), None);
     }
 
     #[test]

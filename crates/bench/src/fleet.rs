@@ -1,0 +1,154 @@
+//! Parallel fleet driver: `co_net::fleet` shards fanned out over
+//! [`par_map`], plus the wall-clock throughput layer.
+//!
+//! The split of responsibilities is deliberate: `co_net::fleet` owns the
+//! deterministic per-shard engine, `co_core::fleet` monomorphizes it for
+//! the paper's protocols, and this module owns *scheduling shards onto
+//! threads* and *timing*. Shard boundaries come from
+//! [`FleetConfig::shard_rings`] — never from the thread count — and
+//! [`par_map`] returns results in input order, so [`run_fleet_round`]
+//! merges the same reports in the same order at any `jobs` value: the
+//! aggregate [`FleetReport`] is byte-identical across `--jobs` settings
+//! and across runs (`tests/fleet_determinism.rs` locks this in).
+//!
+//! Wall-clock throughput (elections/sec) lives in [`FleetRunSummary`],
+//! outside the deterministic report, and is gated in `bench_baseline.json`
+//! via the `e21_*` metrics with the wide wall-clock tolerances documented
+//! in [`check`](crate::check).
+
+use crate::parallel::par_map;
+use co_core::fleet::{run_fleet_shard, FleetProtocol};
+use co_net::fleet::{FleetConfig, FleetReport};
+use std::time::{Duration, Instant};
+
+/// Runs one fleet round with shards distributed over `jobs` threads
+/// (`0` = one per core). Deterministic: the report depends only on `cfg`,
+/// `protocol` and `round`.
+#[must_use]
+pub fn run_fleet_round(
+    cfg: &FleetConfig,
+    protocol: FleetProtocol,
+    round: u64,
+    jobs: usize,
+) -> FleetReport {
+    let shards: Vec<u64> = (0..cfg.shard_count()).collect();
+    let parts = par_map(&shards, jobs, |&shard| {
+        run_fleet_shard(cfg, protocol, round, cfg.shard_range(shard))
+    });
+    let mut report = FleetReport::new();
+    for part in &parts {
+        report.merge(part);
+    }
+    report
+}
+
+/// A timed multi-round fleet run: the deterministic aggregate plus the
+/// wall-clock throughput derived from it.
+#[derive(Clone, Debug)]
+pub struct FleetRunSummary {
+    /// Merged deterministic report over all rounds.
+    pub report: FleetReport,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+}
+
+impl FleetRunSummary {
+    /// Successful elections per wall-clock second.
+    #[must_use]
+    pub fn elections_per_sec(&self) -> f64 {
+        self.per_sec(self.report.elections)
+    }
+
+    /// Rings completed per wall-clock second.
+    #[must_use]
+    pub fn rings_per_sec(&self) -> f64 {
+        self.per_sec(self.report.rings)
+    }
+
+    /// Pulses delivered per wall-clock second.
+    #[must_use]
+    pub fn pulses_per_sec(&self) -> f64 {
+        self.per_sec(self.report.total_pulses)
+    }
+
+    fn per_sec(&self, count: u64) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            count as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line throughput summary appended to the deterministic report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}throughput: {:.0} elections/sec | {:.0} rings/sec | {:.2} Mpulses/sec \
+             ({} rounds in {:.2?})\n",
+            self.report.render(),
+            self.elections_per_sec(),
+            self.rings_per_sec(),
+            self.pulses_per_sec() / 1e6,
+            self.rounds,
+            self.elapsed,
+        )
+    }
+}
+
+/// Runs `rounds` fleet rounds (round indices `0..rounds`), merging the
+/// deterministic reports and timing the whole run.
+#[must_use]
+pub fn run_fleet(
+    cfg: &FleetConfig,
+    protocol: FleetProtocol,
+    rounds: u64,
+    jobs: usize,
+) -> FleetRunSummary {
+    let start = Instant::now();
+    let mut report = FleetReport::new();
+    for round in 0..rounds {
+        report.merge(&run_fleet_round(cfg, protocol, round, jobs));
+    }
+    FleetRunSummary {
+        report,
+        rounds,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_net::fleet::RingSizes;
+
+    #[test]
+    fn jobs_never_change_the_report() {
+        let mut cfg = FleetConfig::new(300);
+        cfg.sizes = RingSizes::Uniform { min: 3, max: 8 };
+        cfg.fault_rate = 0.05;
+        cfg.shard_rings = 32;
+        let reference = run_fleet_round(&cfg, FleetProtocol::Alg1, 0, 1);
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                run_fleet_round(&cfg, FleetProtocol::Alg1, 0, jobs),
+                reference,
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_round_summary_accumulates() {
+        let mut cfg = FleetConfig::new(40);
+        cfg.sizes = RingSizes::Fixed(4);
+        let summary = run_fleet(&cfg, FleetProtocol::Alg2, 3, 2);
+        assert_eq!(summary.rounds, 3);
+        assert_eq!(summary.report.rings, 120);
+        assert_eq!(summary.report.elections, 120);
+        assert!(summary.elections_per_sec() > 0.0);
+        assert!(summary.render().contains("elections/sec"));
+    }
+}

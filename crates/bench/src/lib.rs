@@ -1,7 +1,7 @@
 //! # `co-bench` — the experiment harness
 //!
 //! Regenerates every quantitative claim of the paper as a table
-//! (experiments E0–E20, indexed in `DESIGN.md` §5). Each experiment is a
+//! (experiments E0–E21, indexed in `DESIGN.md` §5). Each experiment is a
 //! pure function returning a [`Table`]; the `tables` binary prints them
 //! (optionally fanning the catalogue across a worker pool, see
 //! [`parallel`]) and the [`harness`] benches measure the wall-clock cost of
@@ -13,6 +13,7 @@
 
 pub mod check;
 pub mod experiments;
+pub mod fleet;
 pub mod harness;
 pub mod parallel;
 pub mod stats;
@@ -20,6 +21,7 @@ pub mod table;
 
 pub use check::{collect_metrics, compare, CheckReport, Metric};
 pub use experiments::{run_experiment, run_experiment_batch, run_experiment_with, Experiment};
+pub use fleet::{run_fleet, run_fleet_round, FleetRunSummary};
 pub use parallel::{effective_jobs, par_map};
 pub use stats::Summary;
 pub use table::Table;

@@ -101,9 +101,26 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E20).
+        /// Experiments to run (empty = all of E0–E21).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
+        jobs: usize,
+    },
+    /// Run a fleet of independent concurrent ring elections (E21 harness).
+    Fleet {
+        /// Rings per round.
+        rings: u64,
+        /// Ring-size distribution (`4`, `uniform:3..9`, `mix:3,5,8`).
+        sizes: co_net::fleet::RingSizes,
+        /// Which election protocol every ring runs.
+        protocol: co_core::FleetProtocol,
+        /// Probability a ring gets one spurious clockwise pulse.
+        fault_rate: f64,
+        /// Rounds to run (ignored when `duration_ms` is set).
+        rounds: u64,
+        /// Soft wall-clock stop: run whole rounds until this elapses.
+        duration_ms: Option<u64>,
+        /// Worker threads (0 = one per core).
         jobs: usize,
     },
     /// Run a protocol while recording a replayable delivery schedule.
@@ -341,7 +358,12 @@ impl Cli {
         let mut graph = GraphSpec::Ring(8);
         let mut root = 0usize;
         let mut exps: Vec<co_bench::Experiment> = Vec::new();
-        let mut jobs = 1usize;
+        let mut jobs: Option<usize> = None;
+        let mut rings = 10_000u64;
+        let mut sizes = co_net::fleet::RingSizes::Uniform { min: 3, max: 9 };
+        let mut fault_rate = 0.0f64;
+        let mut rounds = 1u64;
+        let mut duration_ms: Option<u64> = None;
         let mut protocol: Option<ProtocolChoice> = None;
         let mut schedule: Option<RecordedSchedule> = None;
         let mut max_configs = 2_000_000usize;
@@ -432,13 +454,53 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e20"))
+                        err(format!("unknown experiment '{name}'; expected e0..e21"))
                     })?);
                 }
                 "--jobs" => {
-                    jobs = value("--jobs")?
+                    jobs = Some(
+                        value("--jobs")?
+                            .parse()
+                            .map_err(|_| err("--jobs must be a number (0 = one per core)"))?,
+                    );
+                }
+                "--rings" => {
+                    rings = value("--rings")?
                         .parse()
-                        .map_err(|_| err("--jobs must be a number (0 = one per core)"))?;
+                        .map_err(|_| err("--rings must be a positive integer"))?;
+                    if rings == 0 {
+                        return Err(err("--rings must be positive"));
+                    }
+                }
+                "--ring-sizes" => {
+                    sizes = value("--ring-sizes")?
+                        .parse()
+                        .map_err(|e| err(format!("bad --ring-sizes: {e}")))?;
+                }
+                "--fault-rate" => {
+                    fault_rate = value("--fault-rate")?
+                        .parse()
+                        .map_err(|_| err("--fault-rate must be a float"))?;
+                    if !(0.0..=1.0).contains(&fault_rate) {
+                        return Err(err("--fault-rate must be in 0.0..=1.0"));
+                    }
+                }
+                "--rounds" => {
+                    rounds = value("--rounds")?
+                        .parse()
+                        .map_err(|_| err("--rounds must be a positive integer"))?;
+                    if rounds == 0 {
+                        return Err(err("--rounds must be positive"));
+                    }
+                }
+                "--duration" => {
+                    let secs: f64 = value("--duration")?
+                        .parse()
+                        .map_err(|_| err("--duration must be seconds (e.g. 10 or 2.5)"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(err("--duration must be positive"));
+                    }
+                    duration_ms = Some((secs * 1000.0).ceil() as u64);
                 }
                 "--protocol" => protocol = Some(ProtocolChoice::parse(value("--protocol")?)?),
                 "--schedule" => {
@@ -494,7 +556,34 @@ impl Cli {
             "solitude" => Command::Solitude { max_id },
             "baseline" => Command::Baseline { which },
             "echo" => Command::Echo { graph, root },
-            "tables" => Command::Tables { exps, jobs },
+            "tables" => Command::Tables {
+                exps,
+                jobs: jobs.unwrap_or(1),
+            },
+            "fleet" => {
+                // `fleet` reuses `--protocol` but only the two election
+                // protocols make sense for a fleet workload.
+                let protocol = match protocol.unwrap_or(ProtocolChoice::Alg1) {
+                    ProtocolChoice::Alg1 => co_core::FleetProtocol::Alg1,
+                    ProtocolChoice::Alg2 => co_core::FleetProtocol::Alg2,
+                    other => {
+                        return Err(err(format!(
+                            "fleet supports --protocol alg1|alg2, not '{other}'"
+                        )))
+                    }
+                };
+                Command::Fleet {
+                    rings,
+                    sizes,
+                    protocol,
+                    fault_rate,
+                    rounds,
+                    duration_ms,
+                    // Fleet is a throughput harness: default to one worker
+                    // per core (the aggregate report is jobs-invariant).
+                    jobs: jobs.unwrap_or(0),
+                }
+            }
             "record" => Command::Record {
                 protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
             },
@@ -509,7 +598,7 @@ impl Cli {
             "explore" => Command::Explore {
                 protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
                 max_configs,
-                jobs,
+                jobs: jobs.unwrap_or(1),
                 dedup,
             },
             "help" | "--help" | "-h" => Command::Help,
@@ -535,7 +624,8 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E20)
+  tables      Regenerate the paper's experiment tables (E0..E21)
+  fleet       Run a fleet of independent concurrent ring elections
   record      Run once, printing a replayable delivery schedule
   replay      Deterministically re-execute a recorded schedule
   shrink      Find a monitor-violating schedule, then ddmin-minimize it
@@ -559,7 +649,15 @@ OPTIONS:
   --algo A            baseline: cr|hs|peterson|franklin
   --graph G --root R  echo: ring:N | complete:N | path:N, wave root
   --exp eN            tables: select an experiment (repeatable; default all)
-  --jobs N            tables/explore: worker threads (0 = one per core)
+  --jobs N            tables/explore/fleet: worker threads (0 = one per core;
+                      default 1, fleet defaults to 0)
+  --rings N           fleet: rings per round               (default 10000)
+  --ring-sizes S      fleet: N | uniform:MIN..MAX | mix:a,b,c
+                                                     (default uniform:3..9)
+  --fault-rate F      fleet: P(one spurious CW pulse per ring) (default 0)
+  --rounds R          fleet: rounds to run                 (default 1)
+  --duration SECS     fleet: run whole rounds until SECS elapse
+                      (overrides --rounds)
   --batch MODE        on|off: run-batched macro-stepping for
                       elect/stabilize/record/replay/tables  (default off;
                       replay defaults to the mode embedded in the recording)
@@ -689,6 +787,74 @@ mod tests {
             }
         );
         assert!(Cli::parse(["explore", "--dedup", "cuckoo"]).is_err());
+    }
+
+    #[test]
+    fn parses_fleet() {
+        let cli = Cli::parse(["fleet"]).expect("parses");
+        assert_eq!(
+            cli.command,
+            Command::Fleet {
+                rings: 10_000,
+                sizes: co_net::fleet::RingSizes::Uniform { min: 3, max: 9 },
+                protocol: co_core::FleetProtocol::Alg1,
+                fault_rate: 0.0,
+                rounds: 1,
+                duration_ms: None,
+                jobs: 0,
+            }
+        );
+
+        let cli = Cli::parse([
+            "fleet",
+            "--rings",
+            "500",
+            "--ring-sizes",
+            "mix:3,5,8",
+            "--protocol",
+            "alg2",
+            "--fault-rate",
+            "0.01",
+            "--rounds",
+            "3",
+            "--jobs",
+            "4",
+            "--seed",
+            "9",
+        ])
+        .expect("parses");
+        assert_eq!(cli.opts.seed, 9);
+        match cli.command {
+            Command::Fleet {
+                rings,
+                sizes,
+                protocol,
+                fault_rate,
+                rounds,
+                duration_ms,
+                jobs,
+            } => {
+                assert_eq!(rings, 500);
+                assert_eq!(sizes, co_net::fleet::RingSizes::Mix(vec![3, 5, 8]));
+                assert_eq!(protocol, co_core::FleetProtocol::Alg2);
+                assert!((fault_rate - 0.01).abs() < 1e-12);
+                assert_eq!((rounds, duration_ms, jobs), (3, None, 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let cli = Cli::parse(["fleet", "--duration", "2.5"]).expect("parses");
+        match cli.command {
+            Command::Fleet { duration_ms, .. } => assert_eq!(duration_ms, Some(2500)),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert!(Cli::parse(["fleet", "--rings", "0"]).is_err());
+        assert!(Cli::parse(["fleet", "--fault-rate", "1.5"]).is_err());
+        assert!(Cli::parse(["fleet", "--rounds", "0"]).is_err());
+        assert!(Cli::parse(["fleet", "--duration", "-1"]).is_err());
+        assert!(Cli::parse(["fleet", "--ring-sizes", "nope"]).is_err());
+        assert!(Cli::parse(["fleet", "--protocol", "alg3"]).is_err());
     }
 
     #[test]

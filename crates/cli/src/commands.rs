@@ -71,6 +71,24 @@ pub fn run(cli: &Cli) -> CommandOutput {
         Command::Baseline { which } => baseline(&cli.opts, *which),
         Command::Echo { graph, root } => echo(&cli.opts, graph, *root),
         Command::Tables { exps, jobs } => tables(exps, *jobs, cli.opts.batch.unwrap_or(false)),
+        Command::Fleet {
+            rings,
+            sizes,
+            protocol,
+            fault_rate,
+            rounds,
+            duration_ms,
+            jobs,
+        } => fleet(
+            &cli.opts,
+            *rings,
+            sizes,
+            *protocol,
+            *fault_rate,
+            *rounds,
+            *duration_ms,
+            *jobs,
+        ),
         Command::Record { protocol } => record(&cli.opts, *protocol),
         Command::Replay { protocol, schedule } => replay(&cli.opts, *protocol, schedule),
         Command::Shrink { protocol } => shrink(&cli.opts, *protocol),
@@ -427,6 +445,106 @@ fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
         .collect()
 }
 
+/// Runs the fleet harness: `rounds` rounds of `rings` independent ring
+/// elections (or whole rounds until `--duration` elapses), streaming one
+/// cumulative progress line per round to stderr and returning the merged
+/// aggregate report. The report is deterministic — a pure function of
+/// `(seed, rings, sizes, fault_rate, protocol, rounds)`, independent of
+/// `--jobs` — while the throughput line is wall-clock.
+#[allow(clippy::too_many_arguments)]
+fn fleet(
+    opts: &CommonOpts,
+    rings: u64,
+    sizes: &co_net::fleet::RingSizes,
+    protocol: co_core::FleetProtocol,
+    fault_rate: f64,
+    rounds: u64,
+    duration_ms: Option<u64>,
+    jobs: usize,
+) -> CommandOutput {
+    use std::time::{Duration, Instant};
+
+    let mut cfg = co_net::fleet::FleetConfig::new(rings);
+    cfg.sizes = sizes.clone();
+    cfg.seed = opts.seed;
+    cfg.fault_rate = fault_rate;
+
+    let start = Instant::now();
+    let mut report = co_net::fleet::FleetReport::new();
+    let mut round = 0u64;
+    loop {
+        report.merge(&co_bench::run_fleet_round(&cfg, protocol, round, jobs));
+        round += 1;
+        let elapsed = start.elapsed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        eprintln!(
+            "round {round}: {} rings, {} elections, {} pulses, {:.0} elections/sec",
+            report.rings,
+            report.elections,
+            report.total_pulses,
+            report.elections as f64 / secs,
+        );
+        let done = match duration_ms {
+            Some(ms) => elapsed >= Duration::from_millis(ms),
+            None => round >= rounds,
+        };
+        if done {
+            break;
+        }
+    }
+    let summary = co_bench::FleetRunSummary {
+        report,
+        rounds: round,
+        elapsed: start.elapsed(),
+    };
+
+    let report = &summary.report;
+    let text = format!(
+        "fleet: {rings} × {sizes} rings/round under {protocol} (fault rate {fault_rate}, \
+         seed {}, jobs {jobs})\n{}",
+        opts.seed,
+        summary.render(),
+    );
+    let json = object([
+        ("protocol", Value::from(protocol.to_string())),
+        ("rings", Value::from(report.rings)),
+        ("nodes", Value::from(report.nodes)),
+        ("sizes", Value::from(sizes.to_string())),
+        ("fault_rate", Value::Float(fault_rate)),
+        ("seed", Value::from(opts.seed)),
+        ("rounds", Value::from(summary.rounds)),
+        ("elections", Value::from(report.elections)),
+        (
+            "quiescent_terminated",
+            Value::from(report.quiescent_terminated),
+        ),
+        ("quiescent", Value::from(report.quiescent)),
+        (
+            "terminated_nonquiescent",
+            Value::from(report.terminated_nonquiescent),
+        ),
+        ("budget_exhausted", Value::from(report.budget_exhausted)),
+        ("total_pulses", Value::from(report.total_pulses)),
+        ("total_sent", Value::from(report.total_sent)),
+        ("faults_injected", Value::from(report.faults_injected)),
+        (
+            "peak_ring_queue_bytes",
+            Value::from(report.peak_ring_queue_bytes),
+        ),
+        ("p50_pulses_to_quiescence", Value::from(report.p50())),
+        ("p99_pulses_to_quiescence", Value::from(report.p99())),
+        (
+            "elapsed_ms",
+            Value::from(summary.elapsed.as_millis() as u64),
+        ),
+        (
+            "elections_per_sec",
+            Value::Float(summary.elections_per_sec()),
+        ),
+    ]);
+    ok(text, json)
+}
+
 fn elect(opts: &CommonOpts) -> CommandOutput {
     let spec = RingSpec::oriented(opts.ids.clone());
     let report = runner::run_alg2_batch(
@@ -731,6 +849,70 @@ mod tests {
     fn help_prints_usage() {
         let out = run_line(&["help"]);
         assert!(out.text.contains("USAGE"));
+    }
+
+    #[test]
+    fn fleet_reports_aggregates() {
+        let out = run_line(&[
+            "fleet",
+            "--rings",
+            "200",
+            "--ring-sizes",
+            "4",
+            "--protocol",
+            "alg2",
+            "--jobs",
+            "2",
+        ]);
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("200 × 4 rings/round under alg2"));
+        // Clean fixed-size fleet: every ring elects, Theorem 1 pulse count.
+        assert!(out.text.contains("elections/sec"));
+        assert_eq!(out.json.get("elections").and_then(Value::as_u64), Some(200));
+        assert_eq!(
+            out.json.get("total_sent").and_then(Value::as_u64),
+            Some(200 * 4 * (2 * 4 + 1))
+        );
+    }
+
+    #[test]
+    fn fleet_output_is_jobs_invariant() {
+        let args = |jobs: &'static str| {
+            vec![
+                "fleet",
+                "--rings",
+                "150",
+                "--ring-sizes",
+                "uniform:3..7",
+                "--fault-rate",
+                "0.05",
+                "--rounds",
+                "2",
+                "--seed",
+                "11",
+                "--jobs",
+                jobs,
+            ]
+        };
+        let a = run_line(&args("1"));
+        let b = run_line(&args("4"));
+        // Wall-clock keys differ; every deterministic key must not.
+        for key in [
+            "elections",
+            "total_pulses",
+            "total_sent",
+            "faults_injected",
+            "budget_exhausted",
+            "peak_ring_queue_bytes",
+            "p50_pulses_to_quiescence",
+            "p99_pulses_to_quiescence",
+        ] {
+            assert_eq!(
+                a.json.get(key).and_then(Value::as_u64),
+                b.json.get(key).and_then(Value::as_u64),
+                "{key}"
+            );
+        }
     }
 
     #[test]

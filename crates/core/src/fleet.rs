@@ -1,0 +1,170 @@
+//! Fleet entry points: the paper's protocols on `co_net::fleet`.
+//!
+//! [`co_net::fleet`] is protocol-generic; this module monomorphizes it for
+//! the two election algorithms a fleet workload exercises — Algorithm 1
+//! (stabilizing, reaches [`Outcome::Quiescent`](co_net::Outcome)) and
+//! Algorithm 2 (terminating, reaches
+//! [`Outcome::QuiescentTerminated`](co_net::Outcome)) — and provides the
+//! node factories and leader classifiers the harness needs. Every fleet
+//! ring is oriented with IDs a shuffled permutation of `1..=n`
+//! ([`RingPlan`]), so `ID_max = n` and the paper's bounds apply per ring:
+//! `n·ID_max` pulses for Algorithm 1 (Corollary 13), `n·(2·ID_max + 1)` for
+//! Algorithm 2 (Theorem 1).
+
+use co_net::fleet::{self, FleetConfig, FleetReport, FleetRingDetail, RingPlan};
+use co_net::Port;
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+
+use crate::election::Role;
+use crate::{Alg1Node, Alg2Node};
+
+/// Which election protocol a fleet runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FleetProtocol {
+    /// Algorithm 1: quiescently stabilizing election (never terminates).
+    Alg1,
+    /// Algorithm 2: quiescently terminating election.
+    Alg2,
+}
+
+impl FleetProtocol {
+    /// All fleet protocols, in display order.
+    pub const ALL: [FleetProtocol; 2] = [FleetProtocol::Alg1, FleetProtocol::Alg2];
+}
+
+impl fmt::Display for FleetProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FleetProtocol::Alg1 => "alg1",
+            FleetProtocol::Alg2 => "alg2",
+        })
+    }
+}
+
+impl FromStr for FleetProtocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FleetProtocol, String> {
+        match s {
+            "alg1" => Ok(FleetProtocol::Alg1),
+            "alg2" => Ok(FleetProtocol::Alg2),
+            other => Err(format!("unknown fleet protocol '{other}' (alg1|alg2)")),
+        }
+    }
+}
+
+fn alg1_node(plan: &RingPlan, pos: usize) -> Alg1Node {
+    Alg1Node::new(plan.ids[pos], Port::One)
+}
+
+fn alg1_leader(node: &Alg1Node) -> bool {
+    node.role() == Role::Leader
+}
+
+fn alg2_node(plan: &RingPlan, pos: usize) -> Alg2Node {
+    Alg2Node::new(plan.ids[pos], Port::One)
+}
+
+fn alg2_leader(node: &Alg2Node) -> bool {
+    node.role() == Role::Leader
+}
+
+/// Runs one shard of the fleet (ring indices `rings`) under `protocol`.
+///
+/// Shards are independent: the bench driver fans them out across threads
+/// and merges the returned reports in index order — byte-identical output
+/// at any thread count.
+#[must_use]
+pub fn run_fleet_shard(
+    cfg: &FleetConfig,
+    protocol: FleetProtocol,
+    round: u64,
+    rings: Range<u64>,
+) -> FleetReport {
+    match protocol {
+        FleetProtocol::Alg1 => fleet::run_shard(cfg, round, rings, &alg1_node, &alg1_leader),
+        FleetProtocol::Alg2 => fleet::run_shard(cfg, round, rings, &alg2_node, &alg2_leader),
+    }
+}
+
+/// Runs one whole fleet round sequentially (single-threaded reference).
+#[must_use]
+pub fn run_fleet_round(cfg: &FleetConfig, protocol: FleetProtocol, round: u64) -> FleetReport {
+    match protocol {
+        FleetProtocol::Alg1 => fleet::run_fleet_sequential(cfg, round, &alg1_node, &alg1_leader),
+        FleetProtocol::Alg2 => fleet::run_fleet_sequential(cfg, round, &alg2_node, &alg2_leader),
+    }
+}
+
+/// Runs a single fleet ring with full bookkeeping (report, stats,
+/// fingerprint) for equivalence checks against a plain `Simulation` built
+/// from the same [`RingPlan`].
+#[must_use]
+pub fn run_fleet_ring_detailed(
+    cfg: &FleetConfig,
+    protocol: FleetProtocol,
+    round: u64,
+    ring: u64,
+) -> FleetRingDetail {
+    match protocol {
+        FleetProtocol::Alg1 => fleet::run_ring_detailed(cfg, round, ring, &alg1_node, &alg1_leader),
+        FleetProtocol::Alg2 => fleet::run_ring_detailed(cfg, round, ring, &alg2_node, &alg2_leader),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_net::fleet::RingSizes;
+
+    #[test]
+    fn protocol_parses_and_displays() {
+        for p in FleetProtocol::ALL {
+            assert_eq!(p.to_string().parse::<FleetProtocol>().unwrap(), p);
+        }
+        assert!("alg9".parse::<FleetProtocol>().is_err());
+    }
+
+    #[test]
+    fn alg1_fleet_matches_corollary_13() {
+        let mut cfg = FleetConfig::new(100);
+        cfg.sizes = RingSizes::Fixed(5);
+        let report = run_fleet_round(&cfg, FleetProtocol::Alg1, 0);
+        assert_eq!(report.rings, 100);
+        assert_eq!(report.elections, 100);
+        assert_eq!(
+            report.quiescent, 100,
+            "Algorithm 1 stabilizes, never terminates"
+        );
+        // IDs are 1..=5, so ID_max = 5 and each ring sends n·ID_max = 25.
+        assert_eq!(report.total_sent, 100 * 25);
+    }
+
+    #[test]
+    fn alg2_fleet_matches_theorem_1() {
+        let mut cfg = FleetConfig::new(100);
+        cfg.sizes = RingSizes::Fixed(4);
+        let report = run_fleet_round(&cfg, FleetProtocol::Alg2, 0);
+        assert_eq!(report.elections, 100);
+        assert_eq!(
+            report.quiescent_terminated, 100,
+            "Algorithm 2 terminates quiescently"
+        );
+        // Theorem 1: exactly n·(2·ID_max + 1) pulses per ring.
+        assert_eq!(report.total_sent, 100 * 4 * (2 * 4 + 1));
+    }
+
+    #[test]
+    fn mixed_sizes_still_elect_everywhere() {
+        let mut cfg = FleetConfig::new(200);
+        cfg.sizes = RingSizes::Uniform { min: 1, max: 9 };
+        cfg.seed = 3;
+        for p in FleetProtocol::ALL {
+            let report = run_fleet_round(&cfg, p, 0);
+            assert_eq!(report.elections, 200, "{p}");
+            assert_eq!(report.budget_exhausted, 0, "{p}");
+        }
+    }
+}

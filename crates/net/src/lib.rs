@@ -67,6 +67,7 @@ pub mod dedup;
 pub mod engine;
 pub mod explore;
 pub mod faults;
+pub mod fleet;
 pub mod graph;
 pub mod message;
 pub mod multiport;
@@ -88,6 +89,7 @@ pub use engine::{
     FaultKind, Observer, QueueBackend, QueueStore, RunMetrics, Topology,
 };
 pub use faults::{FaultPlan, FaultStats};
+pub use fleet::{FleetConfig, FleetReport, FleetRingDetail, PulseHistogram, RingPlan, RingSizes};
 pub use message::{Message, Pulse, UnitMessage};
 pub use multiport::{GraphContext, GraphProtocol, GraphRunContext, GraphSim, GraphWiring};
 pub use port::{Direction, Port};

@@ -1,0 +1,172 @@
+//! Fleet-mode determinism contracts.
+//!
+//! Three properties anchor `co_net::fleet` (DESIGN.md §11):
+//!
+//! 1. **Jobs invariance** — the aggregate `FleetReport` is byte-identical
+//!    at `--jobs` 1, 4 and 8, and across repeated runs: shard boundaries
+//!    come from the config, per-ring seeds from `ring_seed`, and the merge
+//!    is performed in shard order regardless of which thread ran what.
+//! 2. **Engine equivalence** — a one-ring fleet is not a reimplementation
+//!    wearing the engine's clothes: for the paper's actual protocols it
+//!    must produce the same `RunReport`, the same `SimStats` and the same
+//!    configuration fingerprint as a `Simulation` built from the identical
+//!    `RingPlan`, with and without an injected fault.
+//! 3. **Scale** (ignored by default, run by the CI `fleet-smoke` job in
+//!    release) — 10⁵ mixed-size rings and the headline 10⁶-ring fleet
+//!    complete in-process with every clean ring electing exactly one
+//!    leader.
+
+use co_bench::run_fleet_round;
+use content_oblivious::core::fleet::{run_fleet_ring_detailed, FleetProtocol};
+use content_oblivious::core::{Alg1Node, Alg2Node};
+use content_oblivious::net::fleet::{FleetConfig, FleetRingDetail, RingSizes};
+use content_oblivious::net::{ChannelId, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
+
+fn mixed_cfg(rings: u64, seed: u64, fault_rate: f64) -> FleetConfig {
+    let mut cfg = FleetConfig::new(rings);
+    cfg.sizes = RingSizes::Uniform { min: 3, max: 9 };
+    cfg.seed = seed;
+    cfg.fault_rate = fault_rate;
+    cfg
+}
+
+#[test]
+fn aggregate_report_is_jobs_invariant_and_reproducible() {
+    let mut cfg = mixed_cfg(2000, 7, 0.02);
+    // Small shards so every jobs value actually exercises the fan-out.
+    cfg.shard_rings = 128;
+    for protocol in FleetProtocol::ALL {
+        let reference = run_fleet_round(&cfg, protocol, 0, 1);
+        assert_eq!(reference.rings, 2000, "{protocol}");
+        for jobs in [1usize, 4, 8] {
+            assert_eq!(
+                run_fleet_round(&cfg, protocol, 0, jobs),
+                reference,
+                "{protocol} at jobs = {jobs}"
+            );
+        }
+        // Across runs, not just across thread counts.
+        assert_eq!(
+            run_fleet_round(&cfg, protocol, 0, 4),
+            reference,
+            "{protocol} re-run"
+        );
+    }
+}
+
+/// Replays `detail`'s ring plan through the real event core and checks the
+/// fleet produced the identical execution.
+fn assert_matches_simulation<P, F>(detail: &FleetRingDetail, make: F, label: &str)
+where
+    P: Protocol<Pulse> + content_oblivious::net::Snapshot,
+    F: Fn(&RingSpec, usize) -> P,
+{
+    let spec = RingSpec::oriented(detail.plan.ids.clone());
+    let nodes: Vec<P> = (0..spec.len()).map(|i| make(&spec, i)).collect();
+    let mut sim: Simulation<Pulse, P> =
+        Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
+    // The fleet starts every node, then injects the planned fault (if any)
+    // — mirror that order so send sequence numbers line up.
+    sim.start();
+    if let Some(channel) = detail.plan.inject {
+        sim.inject(ChannelId::from_index(channel), Pulse);
+    }
+    let report = sim.run(detail.budget);
+    assert_eq!(detail.report, report, "{label}: RunReport");
+    assert_eq!(&detail.stats, sim.stats(), "{label}: SimStats");
+    assert_eq!(
+        detail.fingerprint,
+        sim.fingerprint(),
+        "{label}: fingerprint"
+    );
+}
+
+#[test]
+fn one_ring_fleet_matches_the_event_core_for_the_papers_algorithms() {
+    for protocol in FleetProtocol::ALL {
+        for n in [1usize, 2, 3, 5, 8] {
+            // fault_rate 1.0 guarantees the plan carries an injection; 0.0
+            // guarantees it does not — both paths must match the engine.
+            for fault_rate in [0.0, 1.0] {
+                for seed in 0..3u64 {
+                    let mut cfg = FleetConfig::new(1);
+                    cfg.sizes = RingSizes::Fixed(n);
+                    cfg.seed = seed;
+                    cfg.fault_rate = fault_rate;
+                    let detail = run_fleet_ring_detailed(&cfg, protocol, 0, 0);
+                    assert_eq!(detail.plan.n, n);
+                    assert_eq!(detail.plan.inject.is_some(), fault_rate == 1.0);
+                    let label = format!("{protocol}, n = {n}, fault = {fault_rate}, seed = {seed}");
+                    match protocol {
+                        FleetProtocol::Alg1 => assert_matches_simulation(
+                            &detail,
+                            |spec: &RingSpec, i| Alg1Node::new(spec.id(i), spec.cw_port(i)),
+                            &label,
+                        ),
+                        FleetProtocol::Alg2 => assert_matches_simulation(
+                            &detail,
+                            |spec: &RingSpec, i| Alg2Node::new(spec.id(i), spec.cw_port(i)),
+                            &label,
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Budget-capped 10⁵-ring smoke: mixed sizes, a 0.1% fault rate, both
+/// protocols, and a jobs-invariance check at full scale. CI runs this in
+/// release as the `fleet-smoke` job with a hard timeout.
+#[test]
+#[ignore = "large; run explicitly (CI fleet-smoke job)"]
+fn fleet_smoke_1e5_mixed_sizes() {
+    let cfg = mixed_cfg(100_000, 8, 0.001);
+    for protocol in FleetProtocol::ALL {
+        let report = run_fleet_round(&cfg, protocol, 0, 0);
+        println!("== {protocol} ==\n{}", report.render());
+        assert_eq!(report.rings, 100_000, "{protocol}");
+        // Only faulted rings may miss their election.
+        assert!(
+            report.elections + report.faults_injected >= 100_000,
+            "{protocol}: {} elections, {} faults",
+            report.elections,
+            report.faults_injected
+        );
+        assert!(
+            report.budget_exhausted <= report.faults_injected,
+            "{protocol}: clean rings must never exhaust their budget"
+        );
+        // Counter-backend queues: a handful of 16-byte runs per ring.
+        assert!(
+            report.peak_ring_queue_bytes < 4096,
+            "{protocol}: peak {} bytes/ring",
+            report.peak_ring_queue_bytes
+        );
+        assert_eq!(
+            run_fleet_round(&cfg, protocol, 0, 1),
+            report,
+            "{protocol}: jobs-invariant at 1e5 rings"
+        );
+    }
+}
+
+/// The headline: one million concurrent rings in one process (Algorithm 1,
+/// counter-backed queues), every ring electing exactly one leader at the
+/// paper's exact pulse count. CI runs this in release as `fleet-smoke`.
+#[test]
+#[ignore = "large; run explicitly (CI fleet-smoke job)"]
+fn fleet_smoke_1e6_alg1() {
+    let mut cfg = FleetConfig::new(1_000_000);
+    cfg.sizes = RingSizes::Fixed(4);
+    let report = run_fleet_round(&cfg, FleetProtocol::Alg1, 0, 0);
+    println!("{}", report.render());
+    assert_eq!(report.rings, 1_000_000);
+    assert_eq!(report.nodes, 4_000_000);
+    assert_eq!(report.elections, 1_000_000);
+    assert_eq!(report.budget_exhausted, 0);
+    // Corollary 13: n·ID_max = 4·4 pulses per ring, IDs a permutation of 1..=4.
+    assert_eq!(report.total_sent, 16_000_000);
+    // At most 4 concurrent 16-byte runs per ring ever live.
+    assert_eq!(report.peak_ring_queue_bytes, 64);
+}
