@@ -640,7 +640,6 @@ fn e20_metrics() -> &'static [Metric; 4] {
 ///   the whole parallel stack; `Decrease`-gated at 80% (see the module
 ///   docs for why that budget).
 fn e21_metrics() -> &'static [Metric; 4] {
-    use co_core::fleet::FleetProtocol;
     use co_net::fleet::{FleetConfig, RingSizes};
     use std::sync::OnceLock;
 
@@ -650,7 +649,10 @@ fn e21_metrics() -> &'static [Metric; 4] {
         cfg.sizes = RingSizes::Uniform { min: 3, max: 9 };
         cfg.seed = 21;
         cfg.fault_rate = 0.01;
-        let summary = crate::fleet::run_fleet(&cfg, FleetProtocol::Alg1, 1, 0);
+        let fleet = crate::registry::protocols()
+            .fleet("alg1")
+            .expect("alg1 is fleet-capable");
+        let summary = crate::fleet::run_fleet(&cfg, fleet, 1, 0);
         let report = &summary.report;
         [
             Metric {

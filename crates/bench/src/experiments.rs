@@ -2158,7 +2158,8 @@ pub fn e21_fleet() -> Table {
 /// gate metrics whose wide tolerances are documented in [`crate::check`].
 #[must_use]
 pub fn e21_fleet_jobs(jobs: usize) -> Table {
-    use co_core::fleet::{run_fleet_round as fleet_reference, FleetProtocol};
+    use crate::registry::protocols;
+    use co_core::registry::Capability;
     use co_net::fleet::{FleetConfig, RingSizes};
 
     const RINGS: u64 = 10_000;
@@ -2185,15 +2186,16 @@ pub fn e21_fleet_jobs(jobs: usize) -> Table {
     );
 
     let mut all_ok = true;
-    for protocol in FleetProtocol::ALL {
+    for protocol in protocols().supporting(Capability::Fleet) {
+        let fleet = protocols().fleet(protocol).expect("capability-filtered");
         for fault_rate in [0.0, 0.01] {
             let mut cfg = FleetConfig::new(RINGS);
             cfg.sizes = RingSizes::Uniform { min: 3, max: 9 };
             cfg.seed = 21;
             cfg.fault_rate = fault_rate;
-            let summary = crate::fleet::run_fleet(&cfg, protocol, 1, jobs);
+            let summary = crate::fleet::run_fleet(&cfg, fleet, 1, jobs);
             let report = &summary.report;
-            let det = *report == fleet_reference(&cfg, protocol, 0);
+            let det = *report == fleet.run_round(&cfg, 0);
             let clean_ok = fault_rate > 0.0 || report.elections == RINGS;
             all_ok &= det && clean_ok;
             t.row(vec![

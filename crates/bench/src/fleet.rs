@@ -2,9 +2,10 @@
 //! [`par_map`], plus the wall-clock throughput layer.
 //!
 //! The split of responsibilities is deliberate: `co_net::fleet` owns the
-//! deterministic per-shard engine, `co_core::fleet` monomorphizes it for
-//! the paper's protocols, and this module owns *scheduling shards onto
-//! threads* and *timing*. Shard boundaries come from
+//! deterministic per-shard engine, the protocol registry
+//! (`co_core::registry`, assembled in [`crate::registry`]) monomorphizes
+//! it per fleet-capable protocol, and this module owns *scheduling shards
+//! onto threads* and *timing*. Shard boundaries come from
 //! [`FleetConfig::shard_rings`] — never from the thread count — and
 //! [`par_map`] returns results in input order, so [`run_fleet_round`]
 //! merges the same reports in the same order at any `jobs` value: the
@@ -17,23 +18,26 @@
 //! in [`check`](crate::check).
 
 use crate::parallel::par_map;
-use co_core::fleet::{run_fleet_shard, FleetProtocol};
+use co_core::registry::FleetDriver;
 use co_net::fleet::{FleetConfig, FleetReport};
 use std::time::{Duration, Instant};
 
 /// Runs one fleet round with shards distributed over `jobs` threads
 /// (`0` = one per core). Deterministic: the report depends only on `cfg`,
-/// `protocol` and `round`.
+/// the protocol behind `fleet` and `round`. Resolve `fleet` through
+/// [`crate::registry::protocols`] (capability-gated with typed errors) —
+/// holding a [`FleetDriver`] is itself the proof the protocol is
+/// fleet-capable.
 #[must_use]
 pub fn run_fleet_round(
     cfg: &FleetConfig,
-    protocol: FleetProtocol,
+    fleet: FleetDriver,
     round: u64,
     jobs: usize,
 ) -> FleetReport {
     let shards: Vec<u64> = (0..cfg.shard_count()).collect();
     let parts = par_map(&shards, jobs, |&shard| {
-        run_fleet_shard(cfg, protocol, round, cfg.shard_range(shard))
+        fleet.run_shard(cfg, round, cfg.shard_range(shard))
     });
     let mut report = FleetReport::new();
     for part in &parts {
@@ -103,14 +107,14 @@ impl FleetRunSummary {
 #[must_use]
 pub fn run_fleet(
     cfg: &FleetConfig,
-    protocol: FleetProtocol,
+    fleet: FleetDriver,
     rounds: u64,
     jobs: usize,
 ) -> FleetRunSummary {
     let start = Instant::now();
     let mut report = FleetReport::new();
     for round in 0..rounds {
-        report.merge(&run_fleet_round(cfg, protocol, round, jobs));
+        report.merge(&run_fleet_round(cfg, fleet, round, jobs));
     }
     FleetRunSummary {
         report,
@@ -122,7 +126,13 @@ pub fn run_fleet(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::protocols;
+    use co_core::registry::FleetDriver;
     use co_net::fleet::RingSizes;
+
+    fn driver(name: &str) -> FleetDriver {
+        protocols().fleet(name).expect("fleet-capable")
+    }
 
     #[test]
     fn jobs_never_change_the_report() {
@@ -130,10 +140,10 @@ mod tests {
         cfg.sizes = RingSizes::Uniform { min: 3, max: 8 };
         cfg.fault_rate = 0.05;
         cfg.shard_rings = 32;
-        let reference = run_fleet_round(&cfg, FleetProtocol::Alg1, 0, 1);
+        let reference = run_fleet_round(&cfg, driver("alg1"), 0, 1);
         for jobs in [2, 4, 8] {
             assert_eq!(
-                run_fleet_round(&cfg, FleetProtocol::Alg1, 0, jobs),
+                run_fleet_round(&cfg, driver("alg1"), 0, jobs),
                 reference,
                 "jobs = {jobs}"
             );
@@ -144,7 +154,7 @@ mod tests {
     fn multi_round_summary_accumulates() {
         let mut cfg = FleetConfig::new(40);
         cfg.sizes = RingSizes::Fixed(4);
-        let summary = run_fleet(&cfg, FleetProtocol::Alg2, 3, 2);
+        let summary = run_fleet(&cfg, driver("alg2"), 3, 2);
         assert_eq!(summary.rounds, 3);
         assert_eq!(summary.report.rings, 120);
         assert_eq!(summary.report.elections, 120);

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod fleet;
 pub mod harness;
 pub mod parallel;
+pub mod registry;
 pub mod stats;
 pub mod table;
 
@@ -23,5 +24,6 @@ pub use check::{collect_metrics, compare, CheckReport, Metric};
 pub use experiments::{run_experiment, run_experiment_batch, run_experiment_with, Experiment};
 pub use fleet::{run_fleet, run_fleet_round, FleetRunSummary};
 pub use parallel::{effective_jobs, par_map};
+pub use registry::protocols;
 pub use stats::Summary;
 pub use table::Table;

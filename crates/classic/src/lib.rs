@@ -38,6 +38,7 @@ pub mod defective;
 pub mod franklin;
 pub mod hirschberg_sinclair;
 pub mod peterson;
+pub mod registry;
 pub mod runner;
 
 pub use chang_roberts::ChangRobertsNode;

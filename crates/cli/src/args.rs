@@ -2,6 +2,7 @@
 //! crate set justified in DESIGN.md has no CLI parser, and the grammar is
 //! small).
 
+use co_core::registry::{Capability, ProtocolSpec};
 use co_core::IdScheme;
 use co_net::{LatencyModel, LatencyPlan, Schedule, SchedulerKind};
 use std::fmt;
@@ -112,8 +113,9 @@ pub enum Command {
         rings: u64,
         /// Ring-size distribution (`4`, `uniform:3..9`, `mix:3,5,8`).
         sizes: co_net::fleet::RingSizes,
-        /// Which election protocol every ring runs.
-        protocol: co_core::FleetProtocol,
+        /// Which election protocol every ring runs (must be
+        /// fleet-capable; checked at parse time against the registry).
+        protocol: ProtocolChoice,
         /// Probability a ring gets one spurious clockwise pulse.
         fault_rate: f64,
         /// Rounds to run (ignored when `duration_ms` is set).
@@ -153,6 +155,8 @@ pub enum Command {
         /// Fingerprint dedup backend.
         dedup: co_net::DedupKind,
     },
+    /// Print the protocol registry as a name × capabilities table.
+    Protocols,
     /// Print usage.
     Help,
 }
@@ -203,42 +207,72 @@ impl std::str::FromStr for RecordedSchedule {
     }
 }
 
-/// Which snapshot-capable protocol the `record`/`replay`/`shrink`/`explore`
-/// commands drive.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum ProtocolChoice {
-    /// Algorithm 1 (quiescently stabilizing).
-    Alg1,
-    /// Algorithm 2 (quiescently terminating).
-    Alg2,
-    /// Algorithm 3, improved scheme (non-oriented rings).
-    Alg3,
-    /// The ungated Algorithm 2 ablation (deliberately broken).
-    Ungated,
+/// Which registered protocol the `record`/`replay`/`shrink`/`explore`/
+/// `fleet` commands drive: a thin handle into the workspace protocol
+/// registry ([`co_bench::protocols`]).
+///
+/// Parsing resolves the name against the registry, so the set of valid
+/// spellings — and the list printed on a parse error — extends itself when
+/// a protocol is registered, with no CLI edit.
+#[derive(Copy, Clone)]
+pub struct ProtocolChoice {
+    spec: &'static ProtocolSpec,
 }
 
 impl ProtocolChoice {
-    fn parse(s: &str) -> Result<ProtocolChoice, ParseError> {
-        match s {
-            "alg1" => Ok(ProtocolChoice::Alg1),
-            "alg2" => Ok(ProtocolChoice::Alg2),
-            "alg3" => Ok(ProtocolChoice::Alg3),
-            "ungated" => Ok(ProtocolChoice::Ungated),
-            other => Err(err(format!(
-                "unknown protocol '{other}'; one of: alg1, alg2, alg3, ungated"
-            ))),
+    /// Resolves a name that is statically known to be registered (internal
+    /// defaults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the registry — a programming error, not
+    /// an input error (user input goes through [`Cli::parse`]).
+    #[must_use]
+    pub fn named(name: &str) -> ProtocolChoice {
+        ProtocolChoice {
+            spec: co_bench::protocols()
+                .get(name)
+                .expect("default protocol is registered"),
         }
+    }
+
+    /// The registry entry behind this choice.
+    #[must_use]
+    pub fn spec(&self) -> &'static ProtocolSpec {
+        self.spec
+    }
+
+    /// The canonical protocol name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.spec.name()
+    }
+
+    fn parse(s: &str) -> Result<ProtocolChoice, ParseError> {
+        co_bench::protocols()
+            .get(s)
+            .map(|spec| ProtocolChoice { spec })
+            .map_err(|e| err(e.to_string()))
+    }
+}
+
+impl PartialEq for ProtocolChoice {
+    fn eq(&self, other: &ProtocolChoice) -> bool {
+        self.name() == other.name()
+    }
+}
+
+impl Eq for ProtocolChoice {}
+
+impl fmt::Debug for ProtocolChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProtocolChoice({})", self.name())
     }
 }
 
 impl fmt::Display for ProtocolChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ProtocolChoice::Alg1 => "alg1",
-            ProtocolChoice::Alg2 => "alg2",
-            ProtocolChoice::Alg3 => "alg3",
-            ProtocolChoice::Ungated => "ungated",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -561,17 +595,14 @@ impl Cli {
                 jobs: jobs.unwrap_or(1),
             },
             "fleet" => {
-                // `fleet` reuses `--protocol` but only the two election
-                // protocols make sense for a fleet workload.
-                let protocol = match protocol.unwrap_or(ProtocolChoice::Alg1) {
-                    ProtocolChoice::Alg1 => co_core::FleetProtocol::Alg1,
-                    ProtocolChoice::Alg2 => co_core::FleetProtocol::Alg2,
-                    other => {
-                        return Err(err(format!(
-                            "fleet supports --protocol alg1|alg2, not '{other}'"
-                        )))
-                    }
-                };
+                // `fleet` reuses `--protocol`; the capability gate rejects
+                // non-fleet-capable choices at parse time, listing the
+                // protocols that qualify (from the registry, so the list
+                // can never drift).
+                let protocol = protocol.unwrap_or_else(|| ProtocolChoice::named("alg1"));
+                co_bench::protocols()
+                    .require(protocol.name(), Capability::Fleet)
+                    .map_err(|e| err(format!("fleet: {e}")))?;
                 Command::Fleet {
                     rings,
                     sizes,
@@ -585,22 +616,23 @@ impl Cli {
                 }
             }
             "record" => Command::Record {
-                protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
+                protocol: protocol.unwrap_or_else(|| ProtocolChoice::named("alg2")),
             },
             "replay" => Command::Replay {
-                protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
+                protocol: protocol.unwrap_or_else(|| ProtocolChoice::named("alg2")),
                 schedule: schedule.ok_or_else(|| err("replay requires --schedule"))?,
             },
             "shrink" => Command::Shrink {
                 // The broken ablation is the interesting shrink target.
-                protocol: protocol.unwrap_or(ProtocolChoice::Ungated),
+                protocol: protocol.unwrap_or_else(|| ProtocolChoice::named("ungated")),
             },
             "explore" => Command::Explore {
-                protocol: protocol.unwrap_or(ProtocolChoice::Alg2),
+                protocol: protocol.unwrap_or_else(|| ProtocolChoice::named("alg2")),
                 max_configs,
                 jobs: jobs.unwrap_or(1),
                 dedup,
             },
+            "protocols" => Command::Protocols,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(err(format!("unknown command '{other}'; try 'help'"))),
         };
@@ -608,10 +640,13 @@ impl Cli {
     }
 }
 
-/// The usage text printed by `co-ring help`.
+/// The usage text printed by `co-ring help`. The `--protocol` list is
+/// rendered from the registry, so it extends itself on registration.
 #[must_use]
 pub fn usage() -> String {
-    "co-ring — content-oblivious leader election on rings (DISC 2024)
+    let protocols = co_bench::protocols().names().join("|");
+    format!(
+        "co-ring — content-oblivious leader election on rings (DISC 2024)
 
 USAGE: co-ring <COMMAND> [OPTIONS]
 
@@ -630,6 +665,7 @@ COMMANDS:
   replay      Deterministically re-execute a recorded schedule
   shrink      Find a monitor-violating schedule, then ddmin-minimize it
   explore     Enumerate every schedule (fingerprint-deduplicated)
+  protocols   Print the protocol registry (names × capabilities)
   help        This text
 
 OPTIONS:
@@ -661,13 +697,14 @@ OPTIONS:
   --batch MODE        on|off: run-batched macro-stepping for
                       elect/stabilize/record/replay/tables  (default off;
                       replay defaults to the mode embedded in the recording)
-  --protocol P        record/replay/shrink/explore: alg1|alg2|alg3|ungated
+  --protocol P        record/replay/shrink/explore/fleet:
+                      {protocols}
   --schedule S        replay: schedule from 'record' — channel picks,
                       'batch:'-prefixed when recorded under --batch on
   --max-configs N     explore: configuration cap (default 2000000)
   --dedup B           explore: fingerprint backend, exact|bloom (default exact)
 "
-    .to_owned()
+    )
 }
 
 #[cfg(test)]
@@ -743,14 +780,14 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Record {
-                protocol: ProtocolChoice::Alg1
+                protocol: ProtocolChoice::named("alg1")
             }
         );
 
         let cli = Cli::parse(["replay", "--schedule", "0,3,2"]).expect("parses");
         match cli.command {
             Command::Replay { protocol, schedule } => {
-                assert_eq!(protocol, ProtocolChoice::Alg2);
+                assert_eq!(protocol, ProtocolChoice::named("alg2"));
                 assert_eq!(schedule.to_string(), "0,3,2");
             }
             other => panic!("unexpected {other:?}"),
@@ -760,7 +797,7 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Shrink {
-                protocol: ProtocolChoice::Ungated
+                protocol: ProtocolChoice::named("ungated")
             }
         );
 
@@ -769,7 +806,7 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Explore {
-                protocol: ProtocolChoice::Ungated,
+                protocol: ProtocolChoice::named("ungated"),
                 max_configs: 500,
                 jobs: 1,
                 dedup: co_net::DedupKind::Exact,
@@ -780,13 +817,46 @@ mod tests {
         assert_eq!(
             cli.command,
             Command::Explore {
-                protocol: ProtocolChoice::Alg2,
+                protocol: ProtocolChoice::named("alg2"),
                 max_configs: 2_000_000,
                 jobs: 8,
                 dedup: co_net::DedupKind::Bloom,
             }
         );
         assert!(Cli::parse(["explore", "--dedup", "cuckoo"]).is_err());
+    }
+
+    #[test]
+    fn every_registry_entry_parses_and_round_trips() {
+        for name in co_bench::protocols().names() {
+            let cli = Cli::parse(["record", "--protocol", name]).expect("parses");
+            match cli.command {
+                Command::Record { protocol } => assert_eq!(protocol.to_string(), name),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_parse_errors_list_the_registry() {
+        let e = Cli::parse(["record", "--protocol", "bogus"]).unwrap_err();
+        // The list is rendered from the registry, so onboarding a
+        // protocol extends this message with no CLI edit.
+        for name in co_bench::protocols().names() {
+            assert!(e.to_string().contains(name), "{name} missing: {e}");
+        }
+
+        let e = Cli::parse(["fleet", "--protocol", "chang-roberts"]).unwrap_err();
+        assert!(e.to_string().contains("does not support fleet"), "{e}");
+        assert!(e.to_string().contains("alg1, alg2"), "{e}");
+    }
+
+    #[test]
+    fn parses_protocols_command() {
+        let cli = Cli::parse(["protocols"]).expect("parses");
+        assert_eq!(cli.command, Command::Protocols);
+        assert!(usage().contains("protocols"));
+        assert!(usage().contains("chang-roberts"));
     }
 
     #[test]
@@ -797,7 +867,7 @@ mod tests {
             Command::Fleet {
                 rings: 10_000,
                 sizes: co_net::fleet::RingSizes::Uniform { min: 3, max: 9 },
-                protocol: co_core::FleetProtocol::Alg1,
+                protocol: ProtocolChoice::named("alg1"),
                 fault_rate: 0.0,
                 rounds: 1,
                 duration_ms: None,
@@ -836,7 +906,7 @@ mod tests {
             } => {
                 assert_eq!(rings, 500);
                 assert_eq!(sizes, co_net::fleet::RingSizes::Mix(vec![3, 5, 8]));
-                assert_eq!(protocol, co_core::FleetProtocol::Alg2);
+                assert_eq!(protocol, ProtocolChoice::named("alg2"));
                 assert!((fault_rate - 0.01).abs() < 1e-12);
                 assert_eq!((rounds, duration_ms, jobs), (3, None, 4));
             }

@@ -1,19 +1,16 @@
 //! Command implementations for `co-ring`.
 
 use crate::args::{usage, Cli, Command, CommonOpts, ProtocolChoice, RecordedSchedule};
+use co_bench::protocols;
 use co_compose::pipeline::elect_then_ring_size;
-use co_core::ablation::UngatedAlg2Node;
 use co_core::anonymous::{success_rate, SamplingConfig};
 use co_core::election::ElectionReport;
-use co_core::invariants::{Alg2MonitorObserver, CcwInstanceView};
 use co_core::lower_bound::solitude_pattern_alg2;
-use co_core::{runner, Alg1Node, Alg2Node, Alg3Node, IdScheme, Role};
+use co_core::registry::{Capability, DriveOpts, RegistryError};
+use co_core::{runner, IdScheme, Role};
 use co_json::{array, object, Value};
-use co_net::explore::{explore_parallel, ExploreConfig, ExploreLimits};
-use co_net::{
-    shrink_schedule, Budget, Protocol, Pulse, RingSpec, RunReport, Schedule, SchedulerKind,
-    Simulation, Snapshot,
-};
+use co_net::explore::{ExploreConfig, ExploreLimits};
+use co_net::{shrink_schedule, RingSpec, RunReport, Schedule, SchedulerKind};
 
 fn mode_name(batch: bool) -> &'static str {
     if batch {
@@ -98,31 +95,44 @@ pub fn run(cli: &Cli) -> CommandOutput {
             jobs,
             dedup,
         } => explore_cmd(&cli.opts, *protocol, *max_configs, *jobs, *dedup),
+        Command::Protocols => protocols_cmd(),
     }
 }
 
-fn alg1_nodes(spec: &RingSpec) -> Vec<Alg1Node> {
-    (0..spec.len())
-        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
-        .collect()
+/// Renders a typed registry failure (unknown name / missing capability)
+/// as an exit-code-1 output whose JSON mirrors the error variant.
+fn registry_error(e: &RegistryError) -> CommandOutput {
+    let json = match e {
+        RegistryError::Unknown { name, known } => object([
+            ("error", Value::from("unknown-protocol")),
+            ("protocol", Value::from(name.clone())),
+            ("known", array(known.iter().copied())),
+        ]),
+        RegistryError::Unsupported {
+            name,
+            capability,
+            supported,
+        } => object([
+            ("error", Value::from("missing-capability")),
+            ("protocol", Value::from(*name)),
+            ("capability", Value::from(capability.to_string())),
+            ("supported", array(supported.iter().copied())),
+        ]),
+    };
+    CommandOutput {
+        text: format!("error: {e}\n"),
+        json,
+        code: 1,
+    }
 }
 
-fn alg2_nodes(spec: &RingSpec) -> Vec<Alg2Node> {
-    (0..spec.len())
-        .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
-        .collect()
-}
-
-fn alg3_nodes(spec: &RingSpec) -> Vec<Alg3Node> {
-    (0..spec.len())
-        .map(|i| Alg3Node::new(spec.id(i), IdScheme::Improved))
-        .collect()
-}
-
-fn ungated_nodes(spec: &RingSpec) -> Vec<UngatedAlg2Node> {
-    (0..spec.len())
-        .map(|i| UngatedAlg2Node::new(spec.id(i), spec.cw_port(i)))
-        .collect()
+fn drive_opts(opts: &CommonOpts, batch: bool) -> DriveOpts {
+    DriveOpts {
+        scheduler: opts.scheduler,
+        seed: opts.seed,
+        latency: opts.latency_plan(),
+        batch,
+    }
 }
 
 fn run_report_json(report: &RunReport) -> Value {
@@ -134,37 +144,34 @@ fn run_report_json(report: &RunReport) -> Value {
 }
 
 fn record(opts: &CommonOpts, protocol: ProtocolChoice) -> CommandOutput {
-    let spec = RingSpec::oriented(opts.ids.clone());
-    match protocol {
-        ProtocolChoice::Alg1 => record_with(&spec, opts, protocol, alg1_nodes(&spec)),
-        ProtocolChoice::Alg2 => record_with(&spec, opts, protocol, alg2_nodes(&spec)),
-        ProtocolChoice::Alg3 => record_with(&spec, opts, protocol, alg3_nodes(&spec)),
-        ProtocolChoice::Ungated => record_with(&spec, opts, protocol, ungated_nodes(&spec)),
-    }
-}
-
-fn record_with<P: Protocol<Pulse>>(
-    spec: &RingSpec,
-    opts: &CommonOpts,
-    protocol: ProtocolChoice,
-    nodes: Vec<P>,
-) -> CommandOutput {
     let batch = opts.batch.unwrap_or(false);
-    let mut sim = Simulation::new(spec.wiring(), nodes, opts.scheduler.build(opts.seed));
-    sim.set_latency(opts.latency_plan());
-    sim.set_batch(batch);
-    let (report, picks) = sim.run_recorded(Budget::default());
-    let schedule = RecordedSchedule { batch, picks };
+    if batch {
+        // Run-batching is certified per protocol (the macro-stepping
+        // equivalence contract); uncertified protocols are refused with
+        // the registry's typed error instead of silently running fused.
+        if let Err(e) = protocols().require(protocol.name(), Capability::Batch) {
+            return registry_error(&e);
+        }
+    }
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let rec = protocol.spec().record(&spec, &drive_opts(opts, batch));
+    let schedule = RecordedSchedule {
+        batch,
+        picks: rec.picks,
+    };
     let text = format!(
         "{protocol} on {spec} under {} (seed {}, {} delivery)\n\
          outcome: {} | deliveries: {} | pulses: {}\n\
+         fingerprint: {:016x} | leaders: {:?}\n\
          schedule ({} picks, feed to `replay --schedule`):\n{schedule}\n",
         opts.scheduler,
         opts.seed,
         mode_name(batch),
-        report.outcome,
-        report.steps,
-        report.total_sent,
+        rec.report.outcome,
+        rec.report.steps,
+        rec.report.total_sent,
+        rec.fingerprint,
+        rec.leaders,
         schedule.picks.len(),
     );
     let json = object([
@@ -172,7 +179,9 @@ fn record_with<P: Protocol<Pulse>>(
         ("scheduler", Value::from(opts.scheduler.to_string())),
         ("seed", Value::from(opts.seed)),
         ("batch", Value::from(batch)),
-        ("report", run_report_json(&report)),
+        ("report", run_report_json(&rec.report)),
+        ("fingerprint", Value::from(rec.fingerprint)),
+        ("leaders", array(rec.leaders.iter().copied())),
         ("schedule", Value::from(schedule.to_string())),
     ]);
     ok(text, json)
@@ -209,96 +218,52 @@ fn replay(
             };
         }
     }
-    let spec = RingSpec::oriented(opts.ids.clone());
-    match protocol {
-        ProtocolChoice::Alg1 => replay_with(&spec, opts, protocol, schedule, alg1_nodes(&spec)),
-        ProtocolChoice::Alg2 => replay_with(&spec, opts, protocol, schedule, alg2_nodes(&spec)),
-        ProtocolChoice::Alg3 => replay_with(&spec, opts, protocol, schedule, alg3_nodes(&spec)),
-        ProtocolChoice::Ungated => {
-            replay_with(&spec, opts, protocol, schedule, ungated_nodes(&spec))
-        }
-    }
-}
-
-fn replay_with<P: Protocol<Pulse>>(
-    spec: &RingSpec,
-    opts: &CommonOpts,
-    protocol: ProtocolChoice,
-    schedule: &RecordedSchedule,
-    nodes: Vec<P>,
-) -> CommandOutput {
     // The scheduler choice is irrelevant: the replay engine overrides it.
     // The latency plan is not: timestamps shape the trace, so a replay must
     // run under the same `--latency`/`--latency-seed` as the recording. The
-    // delivery mode comes from the recording itself (checked in `replay`).
-    let mut sim = Simulation::new(spec.wiring(), nodes, SchedulerKind::Fifo.build(0));
-    sim.set_latency(opts.latency_plan());
-    sim.set_batch(schedule.batch);
-    let report = sim.replay(&schedule.picks, Budget::default());
+    // delivery mode comes from the recording itself (checked above).
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let rep = protocol
+        .spec()
+        .replay(&spec, &drive_opts(opts, schedule.batch), &schedule.picks);
     let text = format!(
         "replaying {} picks of {protocol} on {spec} ({} delivery, deterministic)\n\
-         outcome: {} | deliveries: {} | pulses: {}\n",
+         outcome: {} | deliveries: {} | pulses: {}\n\
+         fingerprint: {:016x} | leaders: {:?}\n",
         schedule.picks.len(),
         mode_name(schedule.batch),
-        report.outcome,
-        report.steps,
-        report.total_sent,
+        rep.report.outcome,
+        rep.report.steps,
+        rep.report.total_sent,
+        rep.fingerprint,
+        rep.leaders,
     );
     let json = object([
         ("protocol", Value::from(protocol.to_string())),
         ("batch", Value::from(schedule.batch)),
         ("schedule_len", Value::from(schedule.picks.len())),
-        ("report", run_report_json(&report)),
+        ("report", run_report_json(&rep.report)),
+        ("fingerprint", Value::from(rep.fingerprint)),
+        ("leaders", array(rep.leaders.iter().copied())),
     ]);
     ok(text, json)
 }
 
 fn shrink(opts: &CommonOpts, protocol: ProtocolChoice) -> CommandOutput {
-    let spec = RingSpec::oriented(opts.ids.clone());
-    match protocol {
-        ProtocolChoice::Alg2 => shrink_with(&spec, opts, protocol, alg2_nodes),
-        ProtocolChoice::Ungated => shrink_with(&spec, opts, protocol, ungated_nodes),
-        other => CommandOutput {
-            text: format!(
-                "error: shrink monitors the Algorithm 2 invariants and needs \
-                 CCW counters; '--protocol {other}' has none (use alg2 or ungated)\n"
-            ),
-            json: Value::Null,
-            code: 1,
-        },
-    }
-}
-
-fn shrink_with<P, F>(
-    spec: &RingSpec,
-    opts: &CommonOpts,
-    protocol: ProtocolChoice,
-    make: F,
-) -> CommandOutput
-where
-    P: Protocol<Pulse> + CcwInstanceView,
-    F: Fn(&RingSpec) -> Vec<P>,
-{
-    let budget = Budget::default();
-    let violates = |schedule: &Schedule| -> bool {
-        let mut sim = Simulation::new(spec.wiring(), make(spec), SchedulerKind::Fifo.build(0));
-        let mut monitor = Alg2MonitorObserver::new();
-        sim.replay_observed(schedule, budget, &mut monitor);
-        monitor.violation().is_some()
+    let driver = match protocols().shrink(protocol.name()) {
+        Ok(driver) => driver,
+        Err(e) => return registry_error(&e),
     };
+    let spec = RingSpec::oriented(opts.ids.clone());
+    let violates = |schedule: &Schedule| driver.violates(&spec, schedule);
 
     // Hunt for a monitor-violating recorded schedule across the adversary
-    // matrix; the broken ablation yields one quickly, the real Algorithm 2
-    // never does.
+    // matrix; the broken ablation yields one quickly, the correct protocols
+    // never do.
     let mut found: Option<(SchedulerKind, u64, Schedule)> = None;
     'hunt: for kind in SchedulerKind::ALL {
         for seed in opts.seed..opts.seed + 16 {
-            let mut sim = Simulation::new(spec.wiring(), make(spec), kind.build(seed));
-            let mut monitor = Alg2MonitorObserver::new();
-            sim.enable_schedule_recording();
-            sim.run_observed(budget, &mut monitor);
-            if monitor.violation().is_some() {
-                let schedule = sim.recorded_schedule().expect("recording enabled");
+            if let Some(schedule) = driver.hunt(&spec, kind, seed) {
                 found = Some((kind, seed, schedule));
                 break 'hunt;
             }
@@ -353,6 +318,10 @@ fn explore_cmd(
     jobs: usize,
     dedup: co_net::DedupKind,
 ) -> CommandOutput {
+    let driver = match protocols().explore(protocol.name()) {
+        Ok(driver) => driver,
+        Err(e) => return registry_error(&e),
+    };
     let spec = RingSpec::oriented(opts.ids.clone());
     let config = ExploreConfig {
         limits: ExploreLimits {
@@ -363,31 +332,7 @@ fn explore_cmd(
         dedup,
         ..ExploreConfig::default()
     };
-    match protocol {
-        ProtocolChoice::Alg1 => explore_with(&spec, protocol, &config, alg1_nodes(&spec)),
-        ProtocolChoice::Alg2 => explore_with(&spec, protocol, &config, alg2_nodes(&spec)),
-        ProtocolChoice::Alg3 => explore_with(&spec, protocol, &config, alg3_nodes(&spec)),
-        ProtocolChoice::Ungated => explore_with(&spec, protocol, &config, ungated_nodes(&spec)),
-    }
-}
-
-fn explore_with<P>(
-    spec: &RingSpec,
-    protocol: ProtocolChoice,
-    config: &ExploreConfig,
-    nodes: Vec<P>,
-) -> CommandOutput
-where
-    P: Protocol<Pulse> + Snapshot + Clone + Sync,
-    P::State: Send,
-{
-    let report = explore_parallel(
-        &spec.wiring(),
-        move || nodes.clone(),
-        |_| Ok(()),
-        |_| Ok(()),
-        config,
-    );
+    let report = driver.run(&spec, &config);
     let text = format!(
         "exhaustive exploration of {protocol} on {spec}\n\
          workers: {} | dedup: {}\n\
@@ -430,6 +375,35 @@ fn tables(exps: &[co_bench::Experiment], jobs: usize, batch: bool) -> CommandOut
     ok(text, array(docs))
 }
 
+/// Prints the protocol registry: every entry's name, layer and capability
+/// column, exactly as rendered by [`co_core::registry::Registry::table`].
+/// The README's protocol table is generated from this output, and CI greps
+/// it as a smoke check that the registry spans both layers.
+fn protocols_cmd() -> CommandOutput {
+    let reg = protocols();
+    let docs: Vec<Value> = reg
+        .entries()
+        .iter()
+        .map(|entry| {
+            object([
+                ("name", Value::from(entry.name())),
+                ("layer", Value::from(entry.layer())),
+                ("summary", Value::from(entry.summary())),
+                (
+                    "capabilities",
+                    array(
+                        Capability::ALL
+                            .iter()
+                            .filter(|c| entry.supports(**c))
+                            .map(|c| c.to_string()),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    ok(reg.table(), array(docs))
+}
+
 fn describe_roles(spec: &RingSpec, roles: &[Role]) -> String {
     roles
         .iter()
@@ -456,13 +430,20 @@ fn fleet(
     opts: &CommonOpts,
     rings: u64,
     sizes: &co_net::fleet::RingSizes,
-    protocol: co_core::FleetProtocol,
+    protocol: ProtocolChoice,
     fault_rate: f64,
     rounds: u64,
     duration_ms: Option<u64>,
     jobs: usize,
 ) -> CommandOutput {
     use std::time::{Duration, Instant};
+
+    // Parsing already gated on `Capability::Fleet`; resolving here keeps
+    // programmatic callers honest too.
+    let driver = match protocols().fleet(protocol.name()) {
+        Ok(driver) => driver,
+        Err(e) => return registry_error(&e),
+    };
 
     let mut cfg = co_net::fleet::FleetConfig::new(rings);
     cfg.sizes = sizes.clone();
@@ -473,7 +454,7 @@ fn fleet(
     let mut report = co_net::fleet::FleetReport::new();
     let mut round = 0u64;
     loop {
-        report.merge(&co_bench::run_fleet_round(&cfg, protocol, round, jobs));
+        report.merge(&co_bench::run_fleet_round(&cfg, driver, round, jobs));
         round += 1;
         let elapsed = start.elapsed();
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -1129,5 +1110,101 @@ mod tests {
     fn echo_rejects_bad_root() {
         let out = run_line(&["echo", "--graph", "ring:3", "--root", "9"]);
         assert_eq!(out.code, 1);
+    }
+
+    #[test]
+    fn chang_roberts_records_and_replays_byte_identically() {
+        let record = run_line(&[
+            "record",
+            "--protocol",
+            "chang-roberts",
+            "--ids",
+            "4,9,2,7",
+            "--scheduler",
+            "random",
+            "--seed",
+            "5",
+        ]);
+        assert_eq!(record.code, 0);
+        let schedule = record
+            .json
+            .get("schedule")
+            .and_then(Value::as_str)
+            .expect("schedule string");
+        let replay = run_line(&[
+            "replay",
+            "--protocol",
+            "chang-roberts",
+            "--ids",
+            "4,9,2,7",
+            "--schedule",
+            schedule,
+        ]);
+        assert_eq!(replay.code, 0);
+        for key in ["report", "fingerprint", "leaders"] {
+            assert_eq!(record.json.get(key), replay.json.get(key), "{key}");
+        }
+        // Position 1 holds the maximum ID, so Chang-Roberts elects it.
+        assert!(replay.text.contains("leaders: [1]"));
+    }
+
+    #[test]
+    fn batched_record_refuses_uncertified_protocols() {
+        let out = run_line(&[
+            "record",
+            "--protocol",
+            "chang-roberts",
+            "--ids",
+            "1,2",
+            "--batch",
+            "on",
+        ]);
+        assert_eq!(out.code, 1);
+        assert_eq!(
+            out.json.get("error").and_then(Value::as_str),
+            Some("missing-capability")
+        );
+        assert_eq!(
+            out.json.get("capability").and_then(Value::as_str),
+            Some("batch")
+        );
+        assert!(out.text.contains("does not support batch"));
+    }
+
+    #[test]
+    fn explore_rejects_content_carrying_protocols() {
+        let out = run_line(&["explore", "--protocol", "franklin", "--ids", "1,2"]);
+        assert_eq!(out.code, 1);
+        assert_eq!(
+            out.json.get("error").and_then(Value::as_str),
+            Some("missing-capability")
+        );
+        let supported = out.json.get("supported").expect("supported list");
+        assert!(supported.to_string().contains("alg2"));
+    }
+
+    #[test]
+    fn shrink_runs_clean_on_chang_roberts() {
+        let out = run_line(&["shrink", "--protocol", "chang-roberts", "--ids", "2,5,3"]);
+        assert_eq!(out.code, 0);
+        assert_eq!(out.json.get("violation_found"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn protocols_lists_the_registry() {
+        let out = run_line(&["protocols"]);
+        assert_eq!(out.code, 0);
+        for name in co_bench::protocols().names() {
+            assert!(out.text.contains(name), "table must list {name}");
+        }
+        let Value::Array(docs) = &out.json else {
+            panic!("protocols JSON should be an array")
+        };
+        assert_eq!(docs.len(), co_bench::protocols().entries().len());
+        let cr = docs
+            .iter()
+            .find(|d| d.get("name").and_then(Value::as_str) == Some("chang-roberts"))
+            .expect("chang-roberts entry");
+        assert!(cr.to_string().contains("shrink"));
     }
 }

@@ -46,11 +46,11 @@ pub mod alg2;
 pub mod alg3;
 pub mod anonymous;
 pub mod election;
-pub mod fleet;
 pub mod general;
 pub mod id;
 pub mod invariants;
 pub mod lower_bound;
+pub mod registry;
 pub mod runner;
 
 pub use alg1::Alg1Node;
@@ -58,5 +58,5 @@ pub use alg1_async::{alg1_async_ring, alg1_future};
 pub use alg2::Alg2Node;
 pub use alg3::{Alg3Node, Alg3Output, IdScheme};
 pub use election::{ElectionError, ElectionReport, Role};
-pub use fleet::FleetProtocol;
 pub use id::IdAssignment;
+pub use registry::{Capability, ProtocolSpec, Registry, RegistryError};

@@ -15,9 +15,14 @@
 //!    release) — 10⁵ mixed-size rings and the headline 10⁶-ring fleet
 //!    complete in-process with every clean ring electing exactly one
 //!    leader.
+//!
+//! The fleet-capable protocols come from the workspace registry
+//! (`co_bench::protocols().supporting(Capability::Fleet)`), so onboarding a
+//! new fleet protocol automatically enrols it in the determinism and
+//! engine-equivalence contracts below.
 
-use co_bench::run_fleet_round;
-use content_oblivious::core::fleet::{run_fleet_ring_detailed, FleetProtocol};
+use co_bench::{protocols, run_fleet_round};
+use content_oblivious::core::registry::{Capability, FleetDriver};
 use content_oblivious::core::{Alg1Node, Alg2Node};
 use content_oblivious::net::fleet::{FleetConfig, FleetRingDetail, RingSizes};
 use content_oblivious::net::{ChannelId, Protocol, Pulse, RingSpec, SchedulerKind, Simulation};
@@ -30,24 +35,33 @@ fn mixed_cfg(rings: u64, seed: u64, fault_rate: f64) -> FleetConfig {
     cfg
 }
 
+/// Every fleet-capable registry entry, as `(name, driver)` pairs.
+fn fleet_entries() -> Vec<(&'static str, FleetDriver)> {
+    protocols()
+        .supporting(Capability::Fleet)
+        .into_iter()
+        .map(|name| (name, protocols().fleet(name).expect("capability-filtered")))
+        .collect()
+}
+
 #[test]
 fn aggregate_report_is_jobs_invariant_and_reproducible() {
     let mut cfg = mixed_cfg(2000, 7, 0.02);
     // Small shards so every jobs value actually exercises the fan-out.
     cfg.shard_rings = 128;
-    for protocol in FleetProtocol::ALL {
-        let reference = run_fleet_round(&cfg, protocol, 0, 1);
+    for (protocol, driver) in fleet_entries() {
+        let reference = run_fleet_round(&cfg, driver, 0, 1);
         assert_eq!(reference.rings, 2000, "{protocol}");
         for jobs in [1usize, 4, 8] {
             assert_eq!(
-                run_fleet_round(&cfg, protocol, 0, jobs),
+                run_fleet_round(&cfg, driver, 0, jobs),
                 reference,
                 "{protocol} at jobs = {jobs}"
             );
         }
         // Across runs, not just across thread counts.
         assert_eq!(
-            run_fleet_round(&cfg, protocol, 0, 4),
+            run_fleet_round(&cfg, driver, 0, 4),
             reference,
             "{protocol} re-run"
         );
@@ -83,7 +97,7 @@ where
 
 #[test]
 fn one_ring_fleet_matches_the_event_core_for_the_papers_algorithms() {
-    for protocol in FleetProtocol::ALL {
+    for (protocol, driver) in fleet_entries() {
         for n in [1usize, 2, 3, 5, 8] {
             // fault_rate 1.0 guarantees the plan carries an injection; 0.0
             // guarantees it does not — both paths must match the engine.
@@ -93,21 +107,25 @@ fn one_ring_fleet_matches_the_event_core_for_the_papers_algorithms() {
                     cfg.sizes = RingSizes::Fixed(n);
                     cfg.seed = seed;
                     cfg.fault_rate = fault_rate;
-                    let detail = run_fleet_ring_detailed(&cfg, protocol, 0, 0);
+                    let detail = driver.run_ring_detailed(&cfg, 0, 0);
                     assert_eq!(detail.plan.n, n);
                     assert_eq!(detail.plan.inject.is_some(), fault_rate == 1.0);
                     let label = format!("{protocol}, n = {n}, fault = {fault_rate}, seed = {seed}");
+                    // The registry erases node types, so the engine twin is
+                    // re-derived per name; a new fleet entry must extend this
+                    // match or the test fails loudly.
                     match protocol {
-                        FleetProtocol::Alg1 => assert_matches_simulation(
+                        "alg1" => assert_matches_simulation(
                             &detail,
                             |spec: &RingSpec, i| Alg1Node::new(spec.id(i), spec.cw_port(i)),
                             &label,
                         ),
-                        FleetProtocol::Alg2 => assert_matches_simulation(
+                        "alg2" => assert_matches_simulation(
                             &detail,
                             |spec: &RingSpec, i| Alg2Node::new(spec.id(i), spec.cw_port(i)),
                             &label,
                         ),
+                        other => panic!("no engine twin wired up for fleet protocol {other}"),
                     }
                 }
             }
@@ -122,8 +140,8 @@ fn one_ring_fleet_matches_the_event_core_for_the_papers_algorithms() {
 #[ignore = "large; run explicitly (CI fleet-smoke job)"]
 fn fleet_smoke_1e5_mixed_sizes() {
     let cfg = mixed_cfg(100_000, 8, 0.001);
-    for protocol in FleetProtocol::ALL {
-        let report = run_fleet_round(&cfg, protocol, 0, 0);
+    for (protocol, driver) in fleet_entries() {
+        let report = run_fleet_round(&cfg, driver, 0, 0);
         println!("== {protocol} ==\n{}", report.render());
         assert_eq!(report.rings, 100_000, "{protocol}");
         // Only faulted rings may miss their election.
@@ -144,7 +162,7 @@ fn fleet_smoke_1e5_mixed_sizes() {
             report.peak_ring_queue_bytes
         );
         assert_eq!(
-            run_fleet_round(&cfg, protocol, 0, 1),
+            run_fleet_round(&cfg, driver, 0, 1),
             report,
             "{protocol}: jobs-invariant at 1e5 rings"
         );
@@ -159,7 +177,8 @@ fn fleet_smoke_1e5_mixed_sizes() {
 fn fleet_smoke_1e6_alg1() {
     let mut cfg = FleetConfig::new(1_000_000);
     cfg.sizes = RingSizes::Fixed(4);
-    let report = run_fleet_round(&cfg, FleetProtocol::Alg1, 0, 0);
+    let alg1 = protocols().fleet("alg1").expect("alg1 is fleet-capable");
+    let report = run_fleet_round(&cfg, alg1, 0, 0);
     println!("{}", report.render());
     assert_eq!(report.rings, 1_000_000);
     assert_eq!(report.nodes, 4_000_000);

@@ -1,0 +1,61 @@
+//! Seam guard: protocol dispatch happens in the registry, nowhere else.
+//!
+//! Before the registry, every driver layer matched on its own protocol enum
+//! (`ProtocolChoice::Alg1 => …` in the CLI, `FleetProtocol::Alg1 => …` in
+//! the bench crate), so onboarding a protocol meant editing a pyramid of
+//! match arms per layer. This test pins the refactor: no source file in
+//! `crates/cli` or `crates/bench` may name a per-protocol variant again —
+//! they resolve `ProtocolSpec` entries through the registry instead.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Substrings whose reappearance means a dispatch site has leaked back out
+/// of the registry seam.
+const FORBIDDEN: &[&str] = &[
+    "ProtocolChoice::Alg",
+    "ProtocolChoice::Ungated",
+    "FleetProtocol::",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("crate source dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn driver_layers_contain_no_per_protocol_match_arms() {
+    // tests/ lives at the workspace root, one level above crates/.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for layer in ["crates/cli/src", "crates/bench/src"] {
+        rust_sources(&root.join(layer), &mut sources);
+    }
+    assert!(
+        sources.len() >= 2,
+        "guard must actually see the driver layers, found {sources:?}"
+    );
+
+    let mut leaks = Vec::new();
+    for path in &sources {
+        let text = fs::read_to_string(path).expect("source is UTF-8");
+        for (lineno, line) in text.lines().enumerate() {
+            for needle in FORBIDDEN {
+                if line.contains(needle) {
+                    leaks.push(format!("{}:{}: {needle}", path.display(), lineno + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        leaks.is_empty(),
+        "per-protocol dispatch leaked out of the registry:\n{}",
+        leaks.join("\n")
+    );
+}
