@@ -29,6 +29,16 @@
 //! the gate. That budget absorbs any plausible CI-runner speed spread while
 //! still catching an accidental per-ring allocation, lock, or O(fleet) scan
 //! in the fleet hot loop, each of which costs well over 5× on 10⁴ rings.
+//!
+//! The `e22_*_configs_per_sec` pair uses the same 80% `Decrease` budget for
+//! the out-of-core explorer: exact is the in-heap reference, mmap the
+//! file-backed table. A positioned-I/O regression (per-probe file reopen,
+//! lost page-cache locality, accidental sync) costs an order of magnitude on
+//! a 20k-config exhaustion, far outside the budget; runner speed spread is
+//! far inside it. The remaining `e22_*` metrics are exact: the mmap table's
+//! final file size is a pure function of the visited set (insert-order
+//! independent — growth triggers on per-shard occupancy counts), and the
+//! checkpoint kill-and-resume equality is a boolean invariant.
 
 use co_json::{object, Value};
 
@@ -263,6 +273,7 @@ pub fn collect_metrics(inject_regression_pct: Option<f64>) -> Vec<Metric> {
     metrics.extend(e19_metrics().iter().cloned());
     metrics.extend(e20_metrics().iter().cloned());
     metrics.extend(e21_metrics().iter().cloned());
+    metrics.extend(e22_metrics().iter().cloned());
 
     if let Some(pct) = inject_regression_pct {
         metrics[0].value *= 1.0 + pct / 100.0;
@@ -676,6 +687,153 @@ fn e21_metrics() -> &'static [Metric; 4] {
             Metric {
                 name: "e21_elections_per_sec_10k",
                 value: summary.elections_per_sec(),
+                tolerance_pct: 80.0,
+                direction: Direction::Decrease,
+            },
+        ]
+    })
+}
+
+/// E22 — out-of-core explorer invariants and throughput (partly wall-clock;
+/// see the module docs).
+///
+/// Five exact metrics plus two wall-clock metrics from single-worker
+/// explorations of the n = 7 Algorithm 2 ring (ids `3,5,2,4,1,6,7`, the
+/// ~20k-configuration space of E16/E22) under the exact and mmap backends,
+/// plus a checkpointed kill-and-resume pass. Collected once per process
+/// (`OnceLock`).
+///
+/// * `e22_mmap_configs_alg2n7` — configurations visited by the mmap
+///   backend; must stay bit-identical to the exact count.
+/// * `e22_exact_heap_bytes_per_config` — the in-heap reference footprint
+///   (8 B/config: one 64-bit fingerprint).
+/// * `e22_mmap_heap_bytes_alg2n7` — heap-resident index bytes under mmap;
+///   pinned at 0 (the whole point of the backend).
+/// * `e22_mmap_file_bytes_alg2n7` — the mmap table's final file size.
+///   Deterministic: growth triggers on per-shard occupancy of a fixed
+///   visited set, so insert order cannot move it.
+/// * `e22_resume_matches_uninterrupted` — 1 iff a run cut at a third of the
+///   space by `max_configs` resumes from its checkpoint file to the
+///   uninterrupted run's exact configuration and quiescent counts.
+/// * `e22_exact_configs_per_sec` / `e22_mmap_configs_per_sec` — wall-clock
+///   exhaustion throughput per backend; `Decrease`-gated at 80% (see the
+///   module docs for why that budget).
+fn e22_metrics() -> &'static [Metric; 7] {
+    use co_core::Alg2Node;
+    use co_net::explore::{
+        explore_parallel, CheckpointPlan, ExploreCheckpoint, ExploreConfig, ExploreLimits,
+    };
+    use co_net::{DedupKind, RingSpec};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static CELL: OnceLock<[Metric; 7]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let spec = RingSpec::oriented(vec![3, 5, 2, 4, 1, 6, 7]);
+        let make = || {
+            (0..spec.len())
+                .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                .collect::<Vec<Alg2Node>>()
+        };
+        let scratch = std::env::temp_dir();
+        let mmap = DedupKind::Mmap { budget: 1 << 20 };
+        let run = |config: &ExploreConfig| {
+            let start = Instant::now();
+            let report = explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), config);
+            (report, start.elapsed().as_secs_f64())
+        };
+        let (exact, exact_secs) = run(&ExploreConfig {
+            jobs: 1,
+            ..ExploreConfig::default()
+        });
+        let (mm, mmap_secs) = run(&ExploreConfig {
+            jobs: 1,
+            dedup: mmap,
+            scratch_dir: Some(scratch.clone()),
+            ..ExploreConfig::default()
+        });
+
+        // Kill-and-resume: cut by max_configs with a checkpoint plan, resume
+        // from the file with the limit lifted, compare against the
+        // uninterrupted totals.
+        let ck_path = scratch.join(format!("co-ring-gate-{}.ck", std::process::id()));
+        let plan = CheckpointPlan {
+            path: ck_path.clone(),
+            every: 2000,
+            meta: b"e22-gate".to_vec(),
+        };
+        let (cut, _) = run(&ExploreConfig {
+            jobs: 2,
+            dedup: mmap,
+            limits: ExploreLimits {
+                max_configs: exact.configs / 3,
+                ..ExploreLimits::default()
+            },
+            spill_high_water: 64,
+            scratch_dir: Some(scratch.clone()),
+            checkpoint: Some(plan.clone()),
+            ..ExploreConfig::default()
+        });
+        let resumed = ExploreCheckpoint::read(&ck_path).ok().map(|ck| {
+            run(&ExploreConfig {
+                jobs: 2,
+                dedup: mmap,
+                spill_high_water: 64,
+                scratch_dir: Some(scratch.clone()),
+                checkpoint: Some(plan),
+                resume: Some(ck),
+                ..ExploreConfig::default()
+            })
+            .0
+        });
+        let _ = std::fs::remove_file(&ck_path);
+        let resume_ok = resumed.is_some_and(|r| {
+            !cut.complete
+                && r.complete
+                && r.configs == exact.configs
+                && r.quiescent_configs == exact.quiescent_configs
+        });
+
+        [
+            Metric {
+                name: "e22_mmap_configs_alg2n7",
+                value: mm.configs as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "e22_exact_heap_bytes_per_config",
+                value: exact.visited_heap_bytes as f64 / exact.configs as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e22_mmap_heap_bytes_alg2n7",
+                value: mm.visited_heap_bytes as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e22_mmap_file_bytes_alg2n7",
+                value: mm.visited_file_bytes as f64,
+                tolerance_pct: 0.0,
+                direction: Direction::Increase,
+            },
+            Metric {
+                name: "e22_resume_matches_uninterrupted",
+                value: f64::from(u8::from(resume_ok)),
+                tolerance_pct: 0.0,
+                direction: Direction::Both,
+            },
+            Metric {
+                name: "e22_exact_configs_per_sec",
+                value: exact.configs as f64 / exact_secs.max(1e-9),
+                tolerance_pct: 80.0,
+                direction: Direction::Decrease,
+            },
+            Metric {
+                name: "e22_mmap_configs_per_sec",
+                value: mm.configs as f64 / mmap_secs.max(1e-9),
                 tolerance_pct: 80.0,
                 direction: Direction::Decrease,
             },

@@ -1,4 +1,4 @@
-//! Experiments E0–E21: one function per quantitative claim of the paper.
+//! Experiments E0–E22: one function per quantitative claim of the paper.
 //!
 //! See `DESIGN.md` §5 for the claim-to-experiment index and
 //! `EXPERIMENTS.md` for recorded paper-vs-measured results.
@@ -73,11 +73,15 @@ pub enum Experiment {
     /// struct-of-arrays fleet harness — jobs-invariant aggregates, fault
     /// behaviour, and elections/sec throughput.
     E21,
+    /// Out-of-core exploration: exact vs Bloom vs mmap dedup backends
+    /// (bytes-per-config and configs/sec), frontier spill, and checkpointed
+    /// kill-and-resume equality.
+    E22,
 }
 
 impl Experiment {
     /// All experiments in order.
-    pub const ALL: [Experiment; 22] = [
+    pub const ALL: [Experiment; 23] = [
         Experiment::E0,
         Experiment::E1,
         Experiment::E2,
@@ -100,6 +104,7 @@ impl Experiment {
         Experiment::E19,
         Experiment::E20,
         Experiment::E21,
+        Experiment::E22,
     ];
 
     /// Parses `"e3"` / `"E3"` into the experiment.
@@ -181,6 +186,7 @@ fn run_sequential(exp: Experiment) -> Table {
         Experiment::E19 => e19_virtual_time(),
         Experiment::E20 => e20_run_batching(),
         Experiment::E21 => e21_fleet(),
+        Experiment::E22 => e22_out_of_core(),
     }
 }
 
@@ -1109,7 +1115,10 @@ pub fn e15_explore_dedup() -> Table {
             // Exact parallel must agree bit-for-bit on the count; bloom may
             // only prune via false positives, never add states.
             let agree = match kind {
-                DedupKind::Exact => par.complete && par.configs == snap.configs,
+                // The mmap backend is a set, like exact: bit-for-bit counts.
+                DedupKind::Exact | DedupKind::Mmap { .. } => {
+                    par.complete && par.configs == snap.configs
+                }
                 DedupKind::Bloom => {
                     par.complete
                         && par.configs <= snap.configs
@@ -1267,7 +1276,7 @@ pub fn e16_parallel_explore_jobs(jobs: usize) -> Table {
             // counts, byte totals and verdict agreement. Wall-clock columns
             // are informational.
             let agree = match kind {
-                DedupKind::Exact => {
+                DedupKind::Exact | DedupKind::Mmap { .. } => {
                     par.complete
                         && par.configs == seq.configs
                         && par.quiescent_configs == seq.quiescent_configs
@@ -2227,6 +2236,212 @@ pub fn e21_fleet_jobs(jobs: usize) -> Table {
     t
 }
 
+/// E22 — out-of-core exploration: exact vs Bloom vs mmap dedup backends,
+/// frontier spill, and checkpointed kill-and-resume equality.
+///
+/// Part 1 runs the two acceptance-criteria workloads (the full n = 4
+/// Algorithm 1 ring and the n = 7 Algorithm 2 ring) under all three
+/// [`co_net::DedupKind`] backends and reports the heap/file split of the visited
+/// index, bytes per configuration, and configs/sec. The mmap backend must be
+/// state-space-identical to the exact backend with **zero** heap-resident
+/// index bytes — the table moved into a page-cache-backed file. Part 2 cuts
+/// a checkpointed mmap run at a third of the state space, resumes it from
+/// the checkpoint file, and asserts the resumed totals are byte-identical
+/// to the uninterrupted run.
+#[must_use]
+pub fn e22_out_of_core() -> Table {
+    use co_core::{Alg1Node, Alg2Node};
+    use co_net::explore::{
+        explore_parallel, CheckpointPlan, ExploreCheckpoint, ExploreConfig, ExploreLimits,
+    };
+    use co_net::DedupKind;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E22 — out-of-core exploration: mmap dedup, frontier spill, checkpoint/resume",
+        "the visited set moves to a file-backed table and interrupted runs resume to identical counts",
+        vec![
+            "workload", "backend", "configs", "quiescent", "heap B", "file B", "B/config",
+            "cfg/s", "complete", "agree",
+        ],
+    );
+    let mut all_ok = true;
+    let scratch = std::env::temp_dir();
+    let mmap = DedupKind::Mmap { budget: 1 << 20 };
+
+    // -- Part 1: backend grid -------------------------------------------------
+    enum Nodes {
+        A1(Vec<u64>),
+        A2(Vec<u64>),
+    }
+    let workloads = [
+        ("alg1 n=4", Nodes::A1(vec![2, 4, 1, 3])),
+        ("alg2 n=7", Nodes::A2(vec![3, 5, 2, 4, 1, 6, 7])),
+    ];
+    let mut alg2_exact_report = None;
+    for (label, nodes) in &workloads {
+        let (spec, is_alg1) = match nodes {
+            Nodes::A1(ids) => (RingSpec::oriented(ids.clone()), true),
+            Nodes::A2(ids) => (RingSpec::oriented(ids.clone()), false),
+        };
+        let run = |config: &ExploreConfig| {
+            let start = Instant::now();
+            let report = if is_alg1 {
+                let make = || {
+                    (0..spec.len())
+                        .map(|i| Alg1Node::new(spec.id(i), spec.cw_port(i)))
+                        .collect::<Vec<Alg1Node>>()
+                };
+                explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), config)
+            } else {
+                let make = || {
+                    (0..spec.len())
+                        .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+                        .collect::<Vec<Alg2Node>>()
+                };
+                explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), config)
+            };
+            (report, start.elapsed().as_secs_f64())
+        };
+        let mut exact_configs = 0usize;
+        for (name, kind) in [
+            ("exact", DedupKind::Exact),
+            ("bloom", DedupKind::Bloom),
+            ("mmap", mmap),
+        ] {
+            let config = ExploreConfig {
+                jobs: 1,
+                dedup: kind,
+                scratch_dir: Some(scratch.clone()),
+                ..ExploreConfig::default()
+            };
+            let (report, secs) = run(&config);
+            let agree = match kind {
+                DedupKind::Exact => {
+                    exact_configs = report.configs;
+                    if !is_alg1 {
+                        alg2_exact_report = Some((report.configs, report.quiescent_configs));
+                    }
+                    report.complete && report.violations.is_empty()
+                }
+                // Bloom may merge states on a false positive: undercount only.
+                DedupKind::Bloom => {
+                    report.complete
+                        && report.configs <= exact_configs
+                        && report.configs * 100 >= exact_configs * 99
+                }
+                // The mmap table is semantically exact: identical state space,
+                // zero heap-resident index bytes.
+                DedupKind::Mmap { .. } => {
+                    report.complete
+                        && report.configs == exact_configs
+                        && report.visited_heap_bytes == 0
+                        && report.visited_file_bytes > 0
+                }
+            };
+            all_ok &= agree;
+            t.row(vec![
+                (*label).into(),
+                name.into(),
+                report.configs.to_string(),
+                report.quiescent_configs.to_string(),
+                report.visited_heap_bytes.to_string(),
+                report.visited_file_bytes.to_string(),
+                format!("{:.1}", report.visited_bytes as f64 / report.configs as f64),
+                format!("{:.0}", report.configs as f64 / secs.max(1e-9)),
+                report.complete.to_string(),
+                agree.to_string(),
+            ]);
+        }
+    }
+
+    // -- Part 2: checkpointed kill-and-resume --------------------------------
+    // Cut an mmap+spill run of the alg2 n=7 space at a third of its
+    // configurations via `max_configs`, then resume from the checkpoint file
+    // with the limit lifted; the resumed totals must equal the uninterrupted
+    // run's exactly.
+    let (full_configs, full_quiescent) = alg2_exact_report.unwrap_or((0, 0));
+    let spec = RingSpec::oriented(vec![3, 5, 2, 4, 1, 6, 7]);
+    let make = || {
+        (0..spec.len())
+            .map(|i| Alg2Node::new(spec.id(i), spec.cw_port(i)))
+            .collect::<Vec<Alg2Node>>()
+    };
+    let ck_path = scratch.join(format!("co-ring-e22-{}.ck", std::process::id()));
+    let plan = CheckpointPlan {
+        path: ck_path.clone(),
+        every: 2000,
+        meta: b"e22".to_vec(),
+    };
+    let cut_config = ExploreConfig {
+        jobs: 2,
+        dedup: mmap,
+        limits: ExploreLimits {
+            max_configs: full_configs / 3,
+            ..ExploreLimits::default()
+        },
+        spill_high_water: 64,
+        scratch_dir: Some(scratch.clone()),
+        checkpoint: Some(plan.clone()),
+        ..ExploreConfig::default()
+    };
+    let cut = explore_parallel(&spec.wiring(), make, |_| Ok(()), |_| Ok(()), &cut_config);
+    let start = Instant::now();
+    let resumed = match ExploreCheckpoint::read(&ck_path) {
+        Ok(ck) => {
+            let resume_config = ExploreConfig {
+                jobs: 2,
+                dedup: mmap,
+                spill_high_water: 64,
+                scratch_dir: Some(scratch.clone()),
+                checkpoint: Some(plan),
+                resume: Some(ck),
+                ..ExploreConfig::default()
+            };
+            Some(explore_parallel(
+                &spec.wiring(),
+                make,
+                |_| Ok(()),
+                |_| Ok(()),
+                &resume_config,
+            ))
+        }
+        Err(_) => None,
+    };
+    let secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&ck_path);
+    let resume_ok = resumed.as_ref().is_some_and(|r| {
+        !cut.complete
+            && r.complete
+            && r.configs == full_configs
+            && r.quiescent_configs == full_quiescent
+    });
+    all_ok &= resume_ok;
+    if let Some(r) = resumed {
+        t.row(vec![
+            "alg2 n=7 cut+resume".into(),
+            "mmap".into(),
+            r.configs.to_string(),
+            r.quiescent_configs.to_string(),
+            r.visited_heap_bytes.to_string(),
+            r.visited_file_bytes.to_string(),
+            format!("{:.1}", r.visited_bytes as f64 / r.configs as f64),
+            format!("{:.0}", r.configs as f64 / secs.max(1e-9)),
+            r.complete.to_string(),
+            resume_ok.to_string(),
+        ]);
+    }
+
+    t.set_verdict(if all_ok {
+        "mmap matches exact bit-for-bit with zero heap-resident index bytes, and the \
+         killed run resumes from its checkpoint to the uninterrupted totals"
+    } else {
+        "UNEXPECTED: a backend diverged from exact, or the resumed run missed the \
+         uninterrupted totals"
+    });
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2236,7 +2451,7 @@ mod tests {
         for e in Experiment::ALL {
             assert_eq!(Experiment::parse(&e.to_string()), Some(e));
         }
-        assert_eq!(Experiment::parse("e22"), None);
+        assert_eq!(Experiment::parse("e23"), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # `co-bench` — the experiment harness
 //!
 //! Regenerates every quantitative claim of the paper as a table
-//! (experiments E0–E21, indexed in `DESIGN.md` §5). Each experiment is a
+//! (experiments E0–E22, indexed in `DESIGN.md` §5). Each experiment is a
 //! pure function returning a [`Table`]; the `tables` binary prints them
 //! (optionally fanning the catalogue across a worker pool, see
 //! [`parallel`]) and the [`harness`] benches measure the wall-clock cost of

@@ -134,13 +134,13 @@ fn main() -> ExitCode {
             "--exp" => {
                 i += 1;
                 let Some(name) = args.get(i) else {
-                    eprintln!("--exp requires an argument (e0..e21)");
+                    eprintln!("--exp requires an argument (e0..e22)");
                     return ExitCode::FAILURE;
                 };
                 match Experiment::parse(name) {
                     Some(e) => selected.push(e),
                     None => {
-                        eprintln!("unknown experiment {name}; expected e0..e21");
+                        eprintln!("unknown experiment {name}; expected e0..e22");
                         return ExitCode::FAILURE;
                     }
                 }

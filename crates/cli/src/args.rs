@@ -102,7 +102,7 @@ pub enum Command {
     },
     /// Regenerate the paper's experiment tables (the co-bench catalogue).
     Tables {
-        /// Experiments to run (empty = all of E0–E21).
+        /// Experiments to run (empty = all of E0–E22).
         exps: Vec<co_bench::Experiment>,
         /// Worker threads per experiment grid (0 = one per core).
         jobs: usize,
@@ -154,6 +154,16 @@ pub enum Command {
         jobs: usize,
         /// Fingerprint dedup backend.
         dedup: co_net::DedupKind,
+        /// Write resumable checkpoints to this path.
+        checkpoint: Option<std::path::PathBuf>,
+        /// Admitted configurations between checkpoint writes.
+        checkpoint_every: usize,
+        /// Resume from a checkpoint previously written by `--checkpoint`.
+        resume: Option<std::path::PathBuf>,
+        /// Frontier spill-to-disk high-water mark (0 = off).
+        spill: usize,
+        /// Directory for scratch files (mmap tables, spill files).
+        scratch_dir: Option<std::path::PathBuf>,
     },
     /// Print the protocol registry as a name × capabilities table.
     Protocols,
@@ -402,6 +412,11 @@ impl Cli {
         let mut schedule: Option<RecordedSchedule> = None;
         let mut max_configs = 2_000_000usize;
         let mut dedup = co_net::DedupKind::Exact;
+        let mut checkpoint: Option<std::path::PathBuf> = None;
+        let mut checkpoint_every = 100_000usize;
+        let mut resume: Option<std::path::PathBuf> = None;
+        let mut spill = 0usize;
+        let mut scratch_dir: Option<std::path::PathBuf> = None;
 
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, ParseError> {
@@ -488,7 +503,7 @@ impl Cli {
                 "--exp" => {
                     let name = value("--exp")?;
                     exps.push(co_bench::Experiment::parse(name).ok_or_else(|| {
-                        err(format!("unknown experiment '{name}'; expected e0..e21"))
+                        err(format!("unknown experiment '{name}'; expected e0..e22"))
                     })?);
                 }
                 "--jobs" => {
@@ -550,13 +565,27 @@ impl Cli {
                         .map_err(|_| err("--max-configs must be an integer"))?;
                 }
                 "--dedup" => {
-                    let name = value("--dedup")?;
-                    dedup = co_net::DedupKind::parse(name).ok_or_else(|| {
-                        err(format!(
-                            "unknown dedup backend '{name}'; expected exact|bloom"
-                        ))
-                    })?;
+                    // The error lists the valid kinds from the backend
+                    // itself (registry style), so a new backend extends the
+                    // message with no CLI edit.
+                    dedup = value("--dedup")?.parse().map_err(|e| err(format!("{e}")))?;
                 }
+                "--checkpoint" => checkpoint = Some(value("--checkpoint")?.into()),
+                "--checkpoint-every" => {
+                    checkpoint_every = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| err("--checkpoint-every must be an integer"))?;
+                    if checkpoint_every == 0 {
+                        return Err(err("--checkpoint-every must be positive"));
+                    }
+                }
+                "--resume" => resume = Some(value("--resume")?.into()),
+                "--spill" => {
+                    spill = value("--spill")?
+                        .parse()
+                        .map_err(|_| err("--spill must be an integer (0 = off)"))?;
+                }
+                "--scratch-dir" => scratch_dir = Some(value("--scratch-dir")?.into()),
                 "--graph" => graph = GraphSpec::parse(value("--graph")?)?,
                 "--root" => {
                     root = value("--root")?
@@ -631,6 +660,11 @@ impl Cli {
                 max_configs,
                 jobs: jobs.unwrap_or(1),
                 dedup,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                spill,
+                scratch_dir,
             },
             "protocols" => Command::Protocols,
             "help" | "--help" | "-h" => Command::Help,
@@ -659,7 +693,7 @@ COMMANDS:
   solitude    Definition 21: print solitude patterns per ID
   baseline    Run a classical content-carrying baseline
   echo        Flood-echo wave on a general graph (§7 groundwork)
-  tables      Regenerate the paper's experiment tables (E0..E21)
+  tables      Regenerate the paper's experiment tables (E0..E22)
   fleet       Run a fleet of independent concurrent ring elections
   record      Run once, printing a replayable delivery schedule
   replay      Deterministically re-execute a recorded schedule
@@ -702,7 +736,19 @@ OPTIONS:
   --schedule S        replay: schedule from 'record' — channel picks,
                       'batch:'-prefixed when recorded under --batch on
   --max-configs N     explore: configuration cap (default 2000000)
-  --dedup B           explore: fingerprint backend, exact|bloom (default exact)
+  --dedup B           explore: fingerprint backend, exact|bloom|mmap[:BUDGET]
+                      (default exact; mmap keeps the table in files —
+                      BUDGET accepts k/M/G suffixes, e.g. mmap:512M)
+  --checkpoint PATH   explore: write a resumable checkpoint to PATH
+                      periodically and at the end of the run
+  --checkpoint-every N  explore: configurations between checkpoints
+                      (default 100000)
+  --resume PATH       explore: continue from a checkpoint written by
+                      --checkpoint (same protocol/ids/batch/dedup required)
+  --spill N           explore: spill frontier items beyond N per worker to
+                      disk (default 0 = off)
+  --scratch-dir DIR   explore: directory for mmap tables and spill files
+                      (default system temp dir)
 "
     )
 }
@@ -810,6 +856,11 @@ mod tests {
                 max_configs: 500,
                 jobs: 1,
                 dedup: co_net::DedupKind::Exact,
+                checkpoint: None,
+                checkpoint_every: 100_000,
+                resume: None,
+                spill: 0,
+                scratch_dir: None,
             }
         );
 
@@ -821,9 +872,79 @@ mod tests {
                 max_configs: 2_000_000,
                 jobs: 8,
                 dedup: co_net::DedupKind::Bloom,
+                checkpoint: None,
+                checkpoint_every: 100_000,
+                resume: None,
+                spill: 0,
+                scratch_dir: None,
             }
         );
         assert!(Cli::parse(["explore", "--dedup", "cuckoo"]).is_err());
+    }
+
+    #[test]
+    fn parses_explore_out_of_core_flags() {
+        let cli = Cli::parse([
+            "explore",
+            "--dedup",
+            "mmap:64M",
+            "--checkpoint",
+            "/tmp/run.ck",
+            "--checkpoint-every",
+            "5000",
+            "--spill",
+            "100000",
+            "--scratch-dir",
+            "/tmp/scratch",
+        ])
+        .expect("parses");
+        match cli.command {
+            Command::Explore {
+                dedup,
+                checkpoint,
+                checkpoint_every,
+                resume,
+                spill,
+                scratch_dir,
+                ..
+            } => {
+                assert_eq!(
+                    dedup,
+                    co_net::DedupKind::Mmap {
+                        budget: 64 * 1024 * 1024
+                    }
+                );
+                assert_eq!(
+                    checkpoint.as_deref(),
+                    Some(std::path::Path::new("/tmp/run.ck"))
+                );
+                assert_eq!(checkpoint_every, 5000);
+                assert_eq!(resume, None);
+                assert_eq!(spill, 100_000);
+                assert_eq!(
+                    scratch_dir.as_deref(),
+                    Some(std::path::Path::new("/tmp/scratch"))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cli = Cli::parse(["explore", "--resume", "run.ck"]).expect("parses");
+        match cli.command {
+            Command::Explore { resume, .. } => {
+                assert_eq!(resume.as_deref(), Some(std::path::Path::new("run.ck")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Cli::parse(["explore", "--checkpoint-every", "0"]).is_err());
+        assert!(Cli::parse(["explore", "--spill", "lots"]).is_err());
+    }
+
+    #[test]
+    fn dedup_parse_errors_list_the_backends() {
+        let e = Cli::parse(["explore", "--dedup", "cuckoo"]).unwrap_err();
+        for name in co_net::DedupKind::NAMES {
+            assert!(e.to_string().contains(name), "{name} missing: {e}");
+        }
     }
 
     #[test]

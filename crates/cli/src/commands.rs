@@ -9,7 +9,7 @@ use co_core::lower_bound::solitude_pattern_alg2;
 use co_core::registry::{Capability, DriveOpts, RegistryError};
 use co_core::{runner, IdScheme, Role};
 use co_json::{array, object, Value};
-use co_net::explore::{ExploreConfig, ExploreLimits};
+use co_net::explore::{CheckpointPlan, ExploreCheckpoint, ExploreConfig, ExploreLimits};
 use co_net::{shrink_schedule, RingSpec, RunReport, Schedule, SchedulerKind};
 
 fn mode_name(batch: bool) -> &'static str {
@@ -94,7 +94,25 @@ pub fn run(cli: &Cli) -> CommandOutput {
             max_configs,
             jobs,
             dedup,
-        } => explore_cmd(&cli.opts, *protocol, *max_configs, *jobs, *dedup),
+            checkpoint,
+            checkpoint_every,
+            resume,
+            spill,
+            scratch_dir,
+        } => explore_cmd(
+            &cli.opts,
+            *protocol,
+            *max_configs,
+            *jobs,
+            *dedup,
+            &ExploreIo {
+                checkpoint: checkpoint.clone(),
+                checkpoint_every: *checkpoint_every,
+                resume: resume.clone(),
+                spill: *spill,
+                scratch_dir: scratch_dir.clone(),
+            },
+        ),
         Command::Protocols => protocols_cmd(),
     }
 }
@@ -311,18 +329,69 @@ fn shrink(opts: &CommonOpts, protocol: ProtocolChoice) -> CommandOutput {
     ok(text, json)
 }
 
+/// Out-of-core flags of `explore`, bundled so the driver call stays tidy.
+struct ExploreIo {
+    checkpoint: Option<std::path::PathBuf>,
+    checkpoint_every: usize,
+    resume: Option<std::path::PathBuf>,
+    spill: usize,
+    scratch_dir: Option<std::path::PathBuf>,
+}
+
+fn explore_error(msg: String) -> CommandOutput {
+    let json = object([
+        ("error", Value::from("explore")),
+        ("message", Value::from(msg.clone())),
+    ]);
+    CommandOutput {
+        text: format!("error: {msg}\n"),
+        json,
+        code: 1,
+    }
+}
+
 fn explore_cmd(
     opts: &CommonOpts,
     protocol: ProtocolChoice,
     max_configs: usize,
     jobs: usize,
     dedup: co_net::DedupKind,
+    io: &ExploreIo,
 ) -> CommandOutput {
     let driver = match protocols().explore(protocol.name()) {
         Ok(driver) => driver,
         Err(e) => return registry_error(&e),
     };
     let spec = RingSpec::oriented(opts.ids.clone());
+    // Instance identity stored in (and checked against) checkpoints: a
+    // checkpoint resumes the *same* exploration, so the protocol, ring,
+    // and dedup backend must all match.
+    let meta = format!(
+        "co-ring explore v1|{protocol}|{ids}|{dedup}",
+        ids = opts
+            .ids
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let resume = match &io.resume {
+        None => None,
+        Some(path) => match ExploreCheckpoint::read(path) {
+            Ok(ck) => {
+                if ck.meta != meta.as_bytes() {
+                    return explore_error(format!(
+                        "checkpoint {} was written for '{}', this run is '{meta}'; \
+                         pass the same --protocol/--ids/--dedup to resume",
+                        path.display(),
+                        String::from_utf8_lossy(&ck.meta),
+                    ));
+                }
+                Some(ck)
+            }
+            Err(e) => return explore_error(e),
+        },
+    };
     let config = ExploreConfig {
         limits: ExploreLimits {
             max_configs,
@@ -330,6 +399,14 @@ fn explore_cmd(
         },
         jobs,
         dedup,
+        spill_high_water: io.spill,
+        scratch_dir: io.scratch_dir.clone(),
+        checkpoint: io.checkpoint.as_ref().map(|path| CheckpointPlan {
+            path: path.clone(),
+            every: io.checkpoint_every,
+            meta: meta.clone().into_bytes(),
+        }),
+        resume,
         ..ExploreConfig::default()
     };
     let report = driver.run(&spec, &config);
@@ -337,13 +414,18 @@ fn explore_cmd(
         "exhaustive exploration of {protocol} on {spec}\n\
          workers: {} | dedup: {}\n\
          configurations: {} ({} quiescent) | complete: {}\n\
-         dedup index: {} bytes\n",
+         dedup index: {} bytes ({} heap + {} file)\n\
+         spilled frontier items: {} | checkpoints written: {}\n",
         config.jobs,
         config.dedup,
         report.configs,
         report.quiescent_configs,
         report.complete,
         report.visited_bytes,
+        report.visited_heap_bytes,
+        report.visited_file_bytes,
+        report.spilled_jobs,
+        report.checkpoints_written,
     );
     let json = object([
         ("protocol", Value::from(protocol.to_string())),
@@ -353,6 +435,13 @@ fn explore_cmd(
         ("quiescent_configs", Value::from(report.quiescent_configs)),
         ("complete", Value::from(report.complete)),
         ("visited_bytes", Value::from(report.visited_bytes)),
+        ("visited_heap_bytes", Value::from(report.visited_heap_bytes)),
+        ("visited_file_bytes", Value::from(report.visited_file_bytes)),
+        ("spilled_jobs", Value::from(report.spilled_jobs)),
+        (
+            "checkpoints_written",
+            Value::from(report.checkpoints_written),
+        ),
         ("violations", Value::from(report.violations.len())),
     ]);
     ok(text, json)

@@ -259,6 +259,10 @@ fn replay_driver<D: RingProtocol>(
     }
 }
 
+/// The one seam between the registry and the explorer. The out-of-core
+/// machinery (mmap dedup tables, frontier spill, checkpoint/resume) rides
+/// entirely inside [`ExploreConfig`], so this signature — and every
+/// registered protocol — is untouched by where the visited set lives.
 fn explore_driver<D>(spec: &RingSpec, config: &ExploreConfig) -> ExploreReport
 where
     D: RingProtocol<Msg = Pulse>,

@@ -62,17 +62,20 @@
 //! assert!(report.quiescent_configs >= 1);
 //! ```
 
-use crate::dedup::{DedupKind, ShardedIndex};
+use crate::dedup::{unique_name, DedupKind, ShardedIndex};
 use crate::engine::QueueBackend;
 use crate::faults::FaultPlan;
 use crate::message::Pulse;
 use crate::port::Port;
 use crate::sched::FifoScheduler;
 use crate::sim::{Context, Protocol, SimSnapshot, Simulation};
-use crate::snapshot::{Fingerprint, Snapshot};
+use crate::snapshot::{put_bytes, put_str, put_u32, put_u64, ByteReader, Fingerprint, Snapshot};
 use crate::topology::{ChannelId, Wiring};
 use std::collections::{HashSet, VecDeque};
+use std::fs::{File, OpenOptions};
 use std::hash::Hash;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -114,8 +117,19 @@ pub struct ExploreReport {
     pub violations: Vec<String>,
     /// Whether the state space was fully explored within the limits.
     pub complete: bool,
-    /// Bytes of visited-set storage used by the deduplication index.
+    /// Total bytes of visited-set storage used by the deduplication index
+    /// (`visited_heap_bytes + visited_file_bytes`); the
+    /// [`ExploreLimits::max_state_bytes`] budget applies to this total.
     pub visited_bytes: usize,
+    /// Heap-resident bytes of the deduplication index (exact, Bloom).
+    pub visited_heap_bytes: usize,
+    /// File-backed bytes of the deduplication index (the mmap backend's
+    /// table files) — the out-of-core share of the footprint.
+    pub visited_file_bytes: usize,
+    /// Frontier items that were spilled to disk at some point of the run.
+    pub spilled_jobs: usize,
+    /// Checkpoint files written (including the final one).
+    pub checkpoints_written: usize,
 }
 
 /// A configuration handed to the predicates.
@@ -255,6 +269,10 @@ where
         violations,
         complete,
         visited_bytes: visited.len() * BYTES_PER_CONFIG,
+        visited_heap_bytes: visited.len() * BYTES_PER_CONFIG,
+        visited_file_bytes: 0,
+        spilled_jobs: 0,
+        checkpoints_written: 0,
     }
 }
 
@@ -302,6 +320,27 @@ pub struct ExploreConfig {
     /// exhaustive safety; batched exploration for reachability and
     /// quiescence questions at scale.
     pub batch: bool,
+    /// Frontier spill-to-disk high-water mark, in items per worker shard
+    /// (`0` disables spilling). When a worker's shard grows past this mark,
+    /// its *coldest* items (the shard front — the ones LIFO processing
+    /// would touch last) are written to a per-worker spill file as
+    /// channel-pick replay paths and paged back in LIFO order once the
+    /// in-memory shard drains. Spilled items still count as pending work,
+    /// so termination and state counts are unaffected.
+    pub spill_high_water: usize,
+    /// Directory for scratch files (mmap dedup tables, frontier spill
+    /// files); `None` means the system temp dir. Each run creates unique
+    /// subdirectories there and removes them when it finishes.
+    pub scratch_dir: Option<PathBuf>,
+    /// Periodic checkpointing: persist frontier + dedup state + counters to
+    /// [`CheckpointPlan::path`] every [`CheckpointPlan::every`] admitted
+    /// configurations, and once more when the run stops for any reason.
+    pub checkpoint: Option<CheckpointPlan>,
+    /// Resume from a previously written checkpoint instead of the initial
+    /// configuration. The caller is responsible for checking
+    /// [`ExploreCheckpoint::meta`] describes the same instance; the
+    /// explorer itself asserts the dedup backend matches.
+    pub resume: Option<ExploreCheckpoint>,
 }
 
 impl Default for ExploreConfig {
@@ -315,8 +354,284 @@ impl Default for ExploreConfig {
             faults: FaultPlan::new(),
             backend: QueueBackend::Counter,
             batch: false,
+            spill_high_water: 0,
+            scratch_dir: None,
+            checkpoint: None,
+            resume: None,
         }
     }
+}
+
+/// Periodic checkpointing policy for [`explore_parallel`].
+#[derive(Clone, Debug)]
+pub struct CheckpointPlan {
+    /// Where to write the checkpoint file (atomically: a `.tmp` sibling is
+    /// written, fsynced, and renamed over `path`).
+    pub path: PathBuf,
+    /// Admitted configurations between checkpoint writes.
+    pub every: usize,
+    /// Opaque instance-identity blob stored verbatim in the checkpoint.
+    /// On resume the *caller* compares it against the current instance
+    /// (protocol, ids, batch mode, …) before handing the checkpoint to the
+    /// explorer — the explorer treats it as bytes.
+    pub meta: Vec<u8>,
+}
+
+/// One pending frontier configuration, persisted as its replay path: the
+/// sequence of channel picks that reaches it from the deterministic started
+/// initial configuration. Replaying the picks (in the run's delivery mode,
+/// with its fault plan) reconstructs the exact simulation state, so generic
+/// protocol state never needs to be byte-serialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontierItem {
+    /// Delivery depth of the configuration (for the `max_depth` limit).
+    pub depth: usize,
+    /// Channel indices to deliver, in order, from the initial configuration.
+    pub picks: Vec<u32>,
+}
+
+/// A resumable exploration checkpoint: everything [`explore_parallel`]
+/// needs to continue a run as if it had never stopped — the visited-set
+/// shards, the frontier (as replay paths), and the report counters.
+///
+/// Re-convergence argument: the explorer maintains the invariant that every
+/// admitted configuration is either already fully expanded or present in
+/// the frontier (a popped item is always expanded to completion, and a
+/// successor is pushed before any stop condition is honoured). A checkpoint
+/// therefore partitions the admitted set into "done" (counted in
+/// `quiescent`/`violations`) and "frontier" (persisted as paths); resuming
+/// processes each frontier configuration exactly once, so the final
+/// `configs`/`quiescent_configs`/violation set equal an uninterrupted
+/// run's, regardless of where the run was cut.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExploreCheckpoint {
+    /// Caller-supplied instance identity (see [`CheckpointPlan::meta`]).
+    pub meta: Vec<u8>,
+    /// Canonical name of the dedup backend the run used.
+    pub dedup: String,
+    /// Configurations admitted so far.
+    pub admitted: usize,
+    /// Quiescent configurations counted so far.
+    pub quiescent: usize,
+    /// Frontier items spilled to disk so far (report bookkeeping).
+    pub spilled: usize,
+    /// Whether a `max_depth` limit pruned subtrees before this checkpoint
+    /// (permanent: those subtrees are unrecoverable, so a resumed run can
+    /// never report `complete`).
+    pub pruned: bool,
+    /// Violations found so far.
+    pub violations: Vec<String>,
+    /// Serialized dedup shards ([`ShardedIndex::save_shards`]).
+    pub shards: Vec<Vec<u8>>,
+    /// Pending configurations, as replay paths.
+    pub frontier: Vec<FrontierItem>,
+}
+
+const CK_MAGIC: &[u8; 8] = b"CORINGCK";
+const CK_VERSION: u32 = 1;
+
+impl ExploreCheckpoint {
+    /// Whether the checkpointed run had finished (empty frontier). Resuming
+    /// a finished checkpoint is an idempotent no-op that reproduces the
+    /// final report.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Serializes to the on-disk format (see DESIGN.md §13).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CK_MAGIC);
+        put_u32(&mut out, CK_VERSION);
+        put_bytes(&mut out, &self.meta);
+        put_str(&mut out, &self.dedup);
+        put_u64(&mut out, self.admitted as u64);
+        put_u64(&mut out, self.quiescent as u64);
+        put_u64(&mut out, self.spilled as u64);
+        put_u32(&mut out, u32::from(self.pruned));
+        put_u64(&mut out, self.violations.len() as u64);
+        for v in &self.violations {
+            put_str(&mut out, v);
+        }
+        put_u64(&mut out, self.shards.len() as u64);
+        for blob in &self.shards {
+            put_bytes(&mut out, blob);
+        }
+        put_u64(&mut out, self.frontier.len() as u64);
+        for item in &self.frontier {
+            put_u64(&mut out, item.depth as u64);
+            put_u64(&mut out, item.picks.len() as u64);
+            for &pick in &item.picks {
+                put_u32(&mut out, pick);
+            }
+        }
+        out
+    }
+
+    /// Parses the on-disk format back; rejects wrong magic/version and any
+    /// truncation or trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<ExploreCheckpoint, String> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(8)? != CK_MAGIC {
+            return Err("not a co-ring exploration checkpoint (bad magic)".into());
+        }
+        let version = r.u32()?;
+        if version != CK_VERSION {
+            return Err(format!(
+                "checkpoint version {version}, this build reads {CK_VERSION}"
+            ));
+        }
+        let meta = r.bytes()?.to_vec();
+        let dedup = r.string()?;
+        let admitted = r.len()?;
+        let quiescent = r.len()?;
+        let spilled = r.len()?;
+        let pruned = r.u32()? != 0;
+        let violations = (0..r.len()?)
+            .map(|_| r.string())
+            .collect::<Result<Vec<_>, _>>()?;
+        let shards = (0..r.len()?)
+            .map(|_| r.bytes().map(<[u8]>::to_vec))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut frontier = Vec::new();
+        for _ in 0..r.len()? {
+            let depth = r.len()?;
+            let picks = (0..r.len()?).map(|_| r.u32()).collect::<Result<_, _>>()?;
+            frontier.push(FrontierItem { depth, picks });
+        }
+        r.finish()?;
+        Ok(ExploreCheckpoint {
+            meta,
+            dedup,
+            admitted,
+            quiescent,
+            spilled,
+            pruned,
+            violations,
+            shards,
+            frontier,
+        })
+    }
+
+    /// Reads and parses a checkpoint file.
+    pub fn read(path: &Path) -> Result<ExploreCheckpoint, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        ExploreCheckpoint::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the checkpoint atomically: a `.tmp` sibling is written,
+    /// fsynced, then renamed over `path` — a kill at any point leaves
+    /// either the previous checkpoint or this one, never a torn file.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), String> {
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let fail = |op: &str, e: std::io::Error| format!("{op} {}: {e}", tmp.display());
+        let mut file = File::create(&tmp).map_err(|e| fail("create", e))?;
+        std::io::Write::write_all(&mut file, &self.encode()).map_err(|e| fail("write", e))?;
+        file.sync_all().map_err(|e| fail("sync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+    }
+}
+
+/// Per-worker frontier spill file: length-prefixed `(depth, picks)` records
+/// appended at the end, paged back LIFO by truncating. The offsets stack
+/// lives in memory (8 B per spilled item); the paths live on disk.
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    offsets: Vec<u64>,
+    end: u64,
+}
+
+impl SpillFile {
+    fn create(dir: &Path, worker: usize) -> SpillFile {
+        let path = dir.join(format!("spill-{worker}.bin"));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .expect("spill file creation failed");
+        SpillFile {
+            file,
+            path,
+            offsets: Vec::new(),
+            end: 0,
+        }
+    }
+
+    fn push(&mut self, depth: usize, picks: &[u32]) {
+        let mut rec = Vec::with_capacity(16 + picks.len() * 4);
+        put_u64(&mut rec, depth as u64);
+        put_u64(&mut rec, picks.len() as u64);
+        for &p in picks {
+            put_u32(&mut rec, p);
+        }
+        self.file
+            .write_all_at(&rec, self.end)
+            .expect("spill write failed");
+        self.offsets.push(self.end);
+        self.end += rec.len() as u64;
+    }
+
+    fn record_at(&self, off: u64) -> (usize, Vec<u32>) {
+        let mut hdr = [0u8; 16];
+        self.file
+            .read_exact_at(&mut hdr, off)
+            .expect("spill read failed");
+        let depth = u64::from_le_bytes(hdr[..8].try_into().expect("8B")) as usize;
+        let count = u64::from_le_bytes(hdr[8..].try_into().expect("8B")) as usize;
+        let mut buf = vec![0u8; count * 4];
+        self.file
+            .read_exact_at(&mut buf, off + 16)
+            .expect("spill read failed");
+        let picks = buf
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4B")))
+            .collect();
+        (depth, picks)
+    }
+
+    /// Pops the most recently spilled item (LIFO) and truncates it away.
+    fn pop(&mut self) -> Option<(usize, Vec<u32>)> {
+        let off = self.offsets.pop()?;
+        let rec = self.record_at(off);
+        self.file.set_len(off).expect("spill truncate failed");
+        self.end = off;
+        Some(rec)
+    }
+
+    /// Reads every spilled item without consuming (checkpoint collection).
+    fn items(&self) -> Vec<FrontierItem> {
+        self.offsets
+            .iter()
+            .map(|&off| {
+                let (depth, picks) = self.record_at(off);
+                FrontierItem { depth, picks }
+            })
+            .collect()
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One frontier entry: the snapshot to expand (or `None` for items loaded
+/// from a checkpoint/spill file, which are rematerialized by replaying
+/// `path` from the initial configuration), its depth, and — when paths are
+/// being tracked for spill/checkpoint — its replay path.
+struct Job<S> {
+    snap: Option<S>,
+    depth: usize,
+    path: Vec<u32>,
 }
 
 /// Resolves `0` to the number of available cores.
@@ -357,23 +672,23 @@ where
 /// Work-stealing, frontier-sharded parallel version of [`explore`].
 ///
 /// A fixed pool of `config.jobs` workers (scoped std threads) each runs the
-/// same DFS loop as the sequential explorer over its own frontier shard of
-/// `(SimSnapshot, depth)` items, stealing from other shards when its own
-/// runs dry. Every worker owns a private [`Simulation`] it restores
-/// checkpoints into, so only snapshots — plain data — cross threads.
-/// Deduplication goes through a [`ShardedIndex`] ([`crate::dedup::FP_SHARDS`]
-/// locks keyed by fingerprint prefix) with the backend chosen by
-/// `config.dedup`: `exact` reproduces the sequential explorer's visited set
-/// bit-for-bit, `bloom` trades a measured false-positive budget for fixed
-/// memory.
+/// same DFS loop as the sequential explorer over its own frontier shard,
+/// stealing from other shards when its own runs dry. Every worker owns a
+/// private [`Simulation`] it restores checkpoints into, so only snapshots —
+/// plain data — cross threads. Deduplication goes through a
+/// [`ShardedIndex`] ([`crate::dedup::FP_SHARDS`] locks keyed by fingerprint
+/// prefix) with the backend chosen by `config.dedup`: `exact` reproduces
+/// the sequential explorer's visited set bit-for-bit, `bloom` trades a
+/// measured false-positive budget for fixed memory, `mmap` keeps the exact
+/// semantics but stores the table in files so RAM stops being the bound.
 ///
 /// Guarantees, asserted by differential tests against [`explore`]:
 ///
-/// * with the exact backend and no limits hit, `configs`,
-///   `quiescent_configs`, `visited_bytes`, and the violation verdict are
-///   identical to the sequential explorer for every worker count —
-///   a successor is pushed only by the worker that *admitted* its
-///   fingerprint, so each configuration is processed exactly once;
+/// * with the exact or mmap backend and no limits hit, `configs`,
+///   `quiescent_configs`, and the violation verdict are identical to the
+///   sequential explorer for every worker count — a successor is pushed
+///   only by the worker that *admitted* its fingerprint, so each
+///   configuration is processed exactly once;
 /// * with the Bloom backend, a false positive can only prune a subtree
 ///   (under-count states), never fabricate one: reported violations are
 ///   always real;
@@ -381,9 +696,19 @@ where
 ///   then extended per [`FaultPlan::horizon`] so dedup stays sound while
 ///   faults can still fire.
 ///
-/// When limits are hit the run stops early with `complete = false`; because
-/// workers race to the limit, `configs` may overshoot `max_configs` by up to
-/// one per worker.
+/// Out-of-core extensions (see [`ExploreConfig`]): frontier spill-to-disk
+/// past `spill_high_water`, periodic resumable checkpoints via
+/// `checkpoint`/`resume`. The run is processed in *legs*: when a
+/// checkpoint is due, workers finish the item in hand, park, a checkpoint
+/// is written atomically, and the pool resumes — a popped item is always
+/// fully expanded and every admitted-but-unexpanded configuration sits in
+/// the frontier, so a resumed run provably converges to the same counts
+/// as an uninterrupted one (see [`ExploreCheckpoint`]).
+///
+/// When limits are hit the run stops early with `complete = false`.
+/// Because every worker finishes expanding its current item (the
+/// resume-convergence invariant), `configs` may overshoot `max_configs` by
+/// up to one branching factor per worker.
 pub fn explore_parallel<P, FM, FS, FQ>(
     wiring: &Wiring,
     make_nodes: FM,
@@ -401,8 +726,11 @@ where
     let jobs = effective_jobs(config.jobs);
     let limits = config.limits;
     let horizon = config.faults.horizon();
+    // Replay paths are only tracked when something might persist them.
+    let track_paths = config.spill_high_water > 0 || config.checkpoint.is_some();
 
-    // Seed: the started initial configuration.
+    // Seed: the started initial configuration — also the replay origin for
+    // every spilled or checkpointed frontier item.
     let nodes = make_nodes();
     assert_eq!(nodes.len(), wiring.len(), "one protocol instance per node");
     let mut seed_sim: Simulation<Pulse, P> = Simulation::with_backend(
@@ -413,150 +741,359 @@ where
     );
     seed_sim.set_faults(config.faults.clone());
     seed_sim.start();
+    let seed_snap = seed_sim.snapshot();
 
-    let index = ShardedIndex::new(config.dedup, config.bloom_capacity, config.bloom_fp_budget);
-    index.insert(config_fingerprint(&seed_sim, horizon));
-    if index.bytes() > limits.max_state_bytes {
-        // A preallocating backend can blow the byte budget before the first
-        // delivery; report the same "budget starved" shape the sequential
-        // explorer would.
-        return ExploreReport {
-            configs: index.admitted(),
-            quiescent_configs: 0,
-            violations: Vec::new(),
-            complete: false,
-            visited_bytes: index.bytes(),
-        };
-    }
+    let index = ShardedIndex::with_dir(
+        config.dedup,
+        config.bloom_capacity,
+        config.bloom_fp_budget,
+        config.scratch_dir.as_deref(),
+    );
 
     // One frontier shard per worker; each worker pops its own back (LIFO,
     // depth-first) and steals from other shards' fronts (oldest first,
     // which tends to hand over large subtrees).
-    type Frontier<P> = Mutex<VecDeque<(SimSnapshot<Pulse, P>, usize)>>;
+    type Frontier<P> = Mutex<VecDeque<Job<SimSnapshot<Pulse, P>>>>;
     let shards: Vec<Frontier<P>> = (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
-    shards[0]
-        .lock()
-        .expect("fresh shard")
-        .push_back((seed_sim.snapshot(), 0));
 
-    // In-flight item count: incremented before a push, decremented after an
-    // item is fully processed. Zero with all shards empty means done.
-    let pending = AtomicUsize::new(1);
+    // In-flight item count: incremented before a push (including spilled
+    // items), decremented after an item is fully processed. Zero with all
+    // shards and spill files empty means done.
+    let pending = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
-    let truncated = AtomicBool::new(false);
+    let pause = AtomicBool::new(false);
+    let pruned = AtomicBool::new(false);
     let quiescent = AtomicUsize::new(0);
+    let spilled_total = AtomicUsize::new(0);
     let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
-    std::thread::scope(|scope| {
-        for me in 0..jobs {
-            let shards = &shards;
-            let index = &index;
-            let pending = &pending;
-            let stop = &stop;
-            let truncated = &truncated;
-            let quiescent = &quiescent;
-            let violations = &violations;
-            let make_nodes = &make_nodes;
-            let safety = &safety;
-            let at_quiescence = &at_quiescence;
-            let faults = &config.faults;
-            let backend = config.backend;
-            let batch = config.batch;
-            scope.spawn(move || {
-                let mut sim: Simulation<Pulse, P> = Simulation::with_backend(
-                    wiring.clone(),
-                    make_nodes(),
-                    Box::new(FifoScheduler::new()),
-                    backend,
-                );
-                sim.set_faults(faults.clone());
-                sim.start();
-                loop {
-                    if stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    // Own shard first (LIFO — depth-first), then steal from
-                    // the front of the others. Each lock is taken and
-                    // released in its own statement: holding the own-shard
-                    // lock while probing a victim would deadlock two workers
-                    // stealing from each other.
-                    let mut item = shards[me].lock().expect("shard poisoned").pop_back();
-                    if item.is_none() {
-                        for d in 1..jobs {
-                            item = shards[(me + d) % jobs]
-                                .lock()
-                                .expect("shard poisoned")
-                                .pop_front();
-                            if item.is_some() {
-                                break;
-                            }
-                        }
-                    }
-                    let Some((snapshot, depth)) = item else {
-                        if pending.load(Ordering::Acquire) == 0 {
+    if let Some(ck) = &config.resume {
+        assert_eq!(
+            ck.dedup,
+            config.dedup.to_string(),
+            "resume requires the checkpoint's dedup backend"
+        );
+        index
+            .load_shards(&ck.shards, ck.admitted)
+            .expect("checkpoint dedup shards must load");
+        quiescent.store(ck.quiescent, Ordering::Relaxed);
+        spilled_total.store(ck.spilled, Ordering::Relaxed);
+        pruned.store(ck.pruned, Ordering::Relaxed);
+        *violations.lock().expect("fresh mutex") = ck.violations.clone();
+        pending.store(ck.frontier.len(), Ordering::Release);
+        for (i, item) in ck.frontier.iter().enumerate() {
+            shards[i % jobs]
+                .lock()
+                .expect("fresh shard")
+                .push_back(Job {
+                    snap: None,
+                    depth: item.depth,
+                    path: item.picks.clone(),
+                });
+        }
+    } else {
+        index.insert(config_fingerprint(&seed_sim, horizon));
+        if index.bytes().total() > limits.max_state_bytes {
+            // A preallocating backend can blow the byte budget before the
+            // first delivery; report the same "budget starved" shape the
+            // sequential explorer would.
+            let bytes = index.bytes();
+            return ExploreReport {
+                configs: index.admitted(),
+                quiescent_configs: 0,
+                violations: Vec::new(),
+                complete: false,
+                visited_bytes: bytes.total(),
+                visited_heap_bytes: bytes.heap,
+                visited_file_bytes: bytes.file,
+                spilled_jobs: 0,
+                checkpoints_written: 0,
+            };
+        }
+        pending.store(1, Ordering::Release);
+        shards[0].lock().expect("fresh shard").push_back(Job {
+            snap: Some(seed_snap.clone()),
+            depth: 0,
+            path: Vec::new(),
+        });
+    }
+
+    // Spill files live in their own unique subdirectory; one file per
+    // worker, created lazily on first spill.
+    let spill_dir: Option<PathBuf> = (config.spill_high_water > 0).then(|| {
+        let root = config
+            .scratch_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = root.join(unique_name("co-ring-spill"));
+        std::fs::create_dir_all(&dir).expect("spill dir creation failed");
+        dir
+    });
+    let spills: Vec<Mutex<Option<SpillFile>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+
+    let mut checkpoints_written = 0usize;
+    loop {
+        // One leg: run workers until the frontier drains, a limit trips, or
+        // a checkpoint comes due (`pause`). Each leg re-spawns the scoped
+        // pool; legs are long (`checkpoint.every` admissions), so the spawn
+        // cost is noise.
+        let leg_target = config
+            .checkpoint
+            .as_ref()
+            .filter(|plan| plan.every > 0)
+            .map(|plan| index.admitted() + plan.every);
+        pause.store(false, Ordering::Release);
+        std::thread::scope(|scope| {
+            for me in 0..jobs {
+                let shards = &shards;
+                let spills = &spills;
+                let spill_dir = spill_dir.as_deref();
+                let index = &index;
+                let pending = &pending;
+                let stop = &stop;
+                let pause = &pause;
+                let pruned = &pruned;
+                let quiescent = &quiescent;
+                let spilled_total = &spilled_total;
+                let violations = &violations;
+                let make_nodes = &make_nodes;
+                let safety = &safety;
+                let at_quiescence = &at_quiescence;
+                let faults = &config.faults;
+                let backend = config.backend;
+                let batch = config.batch;
+                let spill_high_water = config.spill_high_water;
+                let my_seed = seed_snap.clone();
+                scope.spawn(move || {
+                    let mut sim: Simulation<Pulse, P> = Simulation::with_backend(
+                        wiring.clone(),
+                        make_nodes(),
+                        Box::new(FifoScheduler::new()),
+                        backend,
+                    );
+                    sim.set_faults(faults.clone());
+                    sim.start();
+                    loop {
+                        if stop.load(Ordering::Acquire) || pause.load(Ordering::Acquire) {
                             break;
                         }
-                        std::thread::yield_now();
-                        continue;
-                    };
-                    sim.restore(&snapshot);
-                    let state = state_of(&sim);
-                    if let Err(e) = safety(&state) {
-                        note_violation(
-                            &mut violations.lock().expect("violations poisoned"),
-                            format!("safety: {e}"),
-                        );
-                    }
-                    if state.is_quiescent() {
-                        quiescent.fetch_add(1, Ordering::Relaxed);
-                        if let Err(e) = at_quiescence(&state) {
-                            note_violation(
-                                &mut violations.lock().expect("violations poisoned"),
-                                format!("at quiescence: {e}"),
-                            );
+                        // Own shard first (LIFO — depth-first), then steal
+                        // from the front of the others, then page back from
+                        // spill files (own first). Each lock is taken and
+                        // released in its own statement: holding the
+                        // own-shard lock while probing a victim would
+                        // deadlock two workers stealing from each other.
+                        let mut item = shards[me].lock().expect("shard poisoned").pop_back();
+                        if item.is_none() {
+                            for d in 1..jobs {
+                                item = shards[(me + d) % jobs]
+                                    .lock()
+                                    .expect("shard poisoned")
+                                    .pop_front();
+                                if item.is_some() {
+                                    break;
+                                }
+                            }
                         }
-                    } else if depth >= limits.max_depth {
-                        truncated.store(true, Ordering::Release);
-                    } else {
-                        for channel in sim.ready_channels() {
-                            sim.restore(&snapshot);
-                            if batch {
-                                sim.step_channel_batch(channel, u64::MAX)
-                                    .expect("ready channel has a message");
-                            } else {
-                                sim.step_channel(channel)
-                                    .expect("ready channel has a message");
+                        if item.is_none() && spill_high_water > 0 {
+                            for d in 0..jobs {
+                                let mut guard =
+                                    spills[(me + d) % jobs].lock().expect("spill poisoned");
+                                if let Some((depth, picks)) =
+                                    guard.as_mut().and_then(SpillFile::pop)
+                                {
+                                    item = Some(Job {
+                                        snap: None,
+                                        depth,
+                                        path: picks,
+                                    });
+                                    break;
+                                }
                             }
-                            let fp = config_fingerprint(&sim, horizon);
-                            if !index.insert(fp) {
-                                continue;
-                            }
-                            if index.admitted() > limits.max_configs
-                                || index.bytes() > limits.max_state_bytes
-                            {
-                                truncated.store(true, Ordering::Release);
-                                stop.store(true, Ordering::Release);
+                        }
+                        let Some(Job { snap, depth, path }) = item else {
+                            if pending.load(Ordering::Acquire) == 0 {
                                 break;
                             }
-                            pending.fetch_add(1, Ordering::AcqRel);
-                            shards[me]
-                                .lock()
-                                .expect("shard poisoned")
-                                .push_back((sim.snapshot(), depth + 1));
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        // Rematerialize path-only items (spilled or resumed)
+                        // by replaying their channel picks from the seed.
+                        // Faults key on the global send sequence, which the
+                        // replay reproduces exactly.
+                        let snapshot = match snap {
+                            Some(s) => s,
+                            None => {
+                                sim.restore(&my_seed);
+                                for &pick in &path {
+                                    let channel = ChannelId::from_index(pick as usize);
+                                    if batch {
+                                        sim.step_channel_batch(channel, u64::MAX)
+                                            .expect("replayed channel has a message");
+                                    } else {
+                                        sim.step_channel(channel)
+                                            .expect("replayed channel has a message");
+                                    }
+                                }
+                                sim.snapshot()
+                            }
+                        };
+                        sim.restore(&snapshot);
+                        let state = state_of(&sim);
+                        if let Err(e) = safety(&state) {
+                            note_violation(
+                                &mut violations.lock().expect("violations poisoned"),
+                                format!("safety: {e}"),
+                            );
+                        }
+                        if state.is_quiescent() {
+                            quiescent.fetch_add(1, Ordering::Relaxed);
+                            if let Err(e) = at_quiescence(&state) {
+                                note_violation(
+                                    &mut violations.lock().expect("violations poisoned"),
+                                    format!("at quiescence: {e}"),
+                                );
+                            }
+                        } else if depth >= limits.max_depth {
+                            // Depth pruning is permanent: the skipped
+                            // subtree is unrecoverable, unlike a transient
+                            // budget stop whose frontier stays intact.
+                            pruned.store(true, Ordering::Release);
+                        } else {
+                            for channel in sim.ready_channels() {
+                                sim.restore(&snapshot);
+                                if batch {
+                                    sim.step_channel_batch(channel, u64::MAX)
+                                        .expect("ready channel has a message");
+                                } else {
+                                    sim.step_channel(channel)
+                                        .expect("ready channel has a message");
+                                }
+                                let fp = config_fingerprint(&sim, horizon);
+                                if !index.insert(fp) {
+                                    continue;
+                                }
+                                // Invariant (resume convergence): an
+                                // admitted successor is pushed before any
+                                // stop condition is honoured, and the
+                                // current item is expanded to completion —
+                                // so admitted = processed ∪ frontier at
+                                // every checkpoint.
+                                let succ_path = if track_paths {
+                                    let mut p = path.clone();
+                                    p.push(channel.index() as u32);
+                                    p
+                                } else {
+                                    Vec::new()
+                                };
+                                pending.fetch_add(1, Ordering::AcqRel);
+                                let spill_me = {
+                                    let mut shard = shards[me].lock().expect("shard poisoned");
+                                    shard.push_back(Job {
+                                        snap: Some(sim.snapshot()),
+                                        depth: depth + 1,
+                                        path: succ_path,
+                                    });
+                                    // High water: evict the coldest item
+                                    // (shard front — the one LIFO order
+                                    // touches last) to disk.
+                                    (spill_high_water > 0 && shard.len() > spill_high_water)
+                                        .then(|| shard.pop_front())
+                                        .flatten()
+                                };
+                                if let Some(cold) = spill_me {
+                                    let mut guard = spills[me].lock().expect("spill poisoned");
+                                    guard
+                                        .get_or_insert_with(|| {
+                                            SpillFile::create(
+                                                spill_dir.expect("spill dir exists"),
+                                                me,
+                                            )
+                                        })
+                                        .push(cold.depth, &cold.path);
+                                    spilled_total.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if index.admitted() > limits.max_configs
+                                    || index.bytes().total() > limits.max_state_bytes
+                                {
+                                    stop.store(true, Ordering::Release);
+                                }
+                            }
+                        }
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        if let Some(target) = leg_target {
+                            if index.admitted() >= target {
+                                pause.store(true, Ordering::Release);
+                            }
                         }
                     }
-                    pending.fetch_sub(1, Ordering::AcqRel);
-                }
-            });
-        }
-    });
+                });
+            }
+        });
 
+        // A checkpoint is written after *every* leg — including the final
+        // one, whose (possibly empty) frontier makes resuming idempotent.
+        if let Some(plan) = &config.checkpoint {
+            let mut frontier: Vec<FrontierItem> = Vec::new();
+            for shard in &shards {
+                for job in shard.lock().expect("shard poisoned").iter() {
+                    frontier.push(FrontierItem {
+                        depth: job.depth,
+                        picks: job.path.clone(),
+                    });
+                }
+            }
+            for spill in &spills {
+                if let Some(sf) = spill.lock().expect("spill poisoned").as_ref() {
+                    frontier.extend(sf.items());
+                }
+            }
+            debug_assert_eq!(
+                frontier.len(),
+                pending.load(Ordering::Acquire),
+                "every pending item must be in a shard or a spill file"
+            );
+            let ck = ExploreCheckpoint {
+                meta: plan.meta.clone(),
+                dedup: config.dedup.to_string(),
+                admitted: index.admitted(),
+                quiescent: quiescent.load(Ordering::Relaxed),
+                spilled: spilled_total.load(Ordering::Relaxed),
+                pruned: pruned.load(Ordering::Acquire),
+                violations: violations.lock().expect("violations poisoned").clone(),
+                shards: index.save_shards(),
+                frontier,
+            };
+            ck.write_atomic(&plan.path)
+                .expect("checkpoint write failed");
+            checkpoints_written += 1;
+        }
+        if stop.load(Ordering::Acquire)
+            || pending.load(Ordering::Acquire) == 0
+            || config.checkpoint.is_none()
+        {
+            break;
+        }
+    }
+
+    // Spill hygiene: files delete themselves on drop; the subdir goes last.
+    drop(spills);
+    if let Some(dir) = spill_dir {
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    let bytes = index.bytes();
     ExploreReport {
         configs: index.admitted(),
         quiescent_configs: quiescent.into_inner(),
         violations: violations.into_inner().expect("violations poisoned"),
-        complete: !truncated.into_inner(),
-        visited_bytes: index.bytes(),
+        complete: !pruned.into_inner() && !stop.into_inner(),
+        visited_bytes: bytes.total(),
+        visited_heap_bytes: bytes.heap,
+        visited_file_bytes: bytes.file,
+        spilled_jobs: spilled_total.into_inner(),
+        checkpoints_written,
     }
 }
 
@@ -698,6 +1235,10 @@ where
         violations,
         complete,
         visited_bytes: visited.len() * bytes_per_config,
+        visited_heap_bytes: visited.len() * bytes_per_config,
+        visited_file_bytes: 0,
+        spilled_jobs: 0,
+        checkpoints_written: 0,
     }
 }
 
@@ -1151,7 +1692,334 @@ mod tests {
         );
         // Memory is the preallocated filter, independent of states visited.
         let empty_budget = ShardedIndex::new(DedupKind::Bloom, 4_096, 1e-4).bytes();
-        assert_eq!(bloom.visited_bytes, empty_budget);
+        assert_eq!(bloom.visited_bytes, empty_budget.total());
+        assert_eq!(bloom.visited_file_bytes, 0);
+    }
+
+    #[test]
+    fn parallel_mmap_matches_sequential_out_of_core() {
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let sequential = explore(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            ExploreLimits::default(),
+        );
+        let dir = std::env::temp_dir().join(unique_name("co-ring-test-mmap"));
+        std::fs::create_dir_all(&dir).expect("test scratch dir");
+        for jobs in [1, 4] {
+            let mmap = explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                mini_safety,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs,
+                    dedup: DedupKind::Mmap { budget: 1 << 16 },
+                    scratch_dir: Some(dir.clone()),
+                    ..ExploreConfig::default()
+                },
+            );
+            // State-space identity with the exact backend: the mmap table
+            // is a set, not a filter.
+            assert_eq!(mmap.configs, sequential.configs, "jobs={jobs}");
+            assert_eq!(
+                mmap.quiescent_configs, sequential.quiescent_configs,
+                "jobs={jobs}"
+            );
+            assert!(mmap.complete);
+            assert!(mmap.violations.is_empty(), "{:?}", mmap.violations);
+            // The footprint is file-backed, not heap.
+            assert_eq!(mmap.visited_heap_bytes, 0);
+            assert!(mmap.visited_file_bytes > 0);
+            assert_eq!(mmap.visited_bytes, mmap.visited_file_bytes);
+        }
+        // All per-run scratch subdirs were removed on drop.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("scratch dir readable")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn spilled_frontier_explores_the_same_state_space() {
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let plain = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 2,
+                ..ExploreConfig::default()
+            },
+        );
+        let dir = std::env::temp_dir().join(unique_name("co-ring-test-spill"));
+        std::fs::create_dir_all(&dir).expect("test scratch dir");
+        let spilled = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 2,
+                // A tiny high-water mark forces heavy spill traffic.
+                spill_high_water: 2,
+                scratch_dir: Some(dir.clone()),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(
+            spilled.spilled_jobs > 0,
+            "a high-water mark of 2 must force spills"
+        );
+        assert_eq!(spilled.configs, plain.configs);
+        assert_eq!(spilled.quiescent_configs, plain.quiescent_configs);
+        assert!(spilled.complete);
+        assert!(spilled.violations.is_empty(), "{:?}", spilled.violations);
+        // Spill files and their subdir are gone.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("scratch dir readable")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    fn sorted(mut v: Vec<String>) -> Vec<String> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn checkpoint_kill_and_resume_reproduces_the_uninterrupted_run() {
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        // A safety predicate with a handful of distinct, state-derived
+        // messages (well under the 16-message cap, so the *set* is
+        // discovery-order-independent): flag every node whose counter
+        // passes through its own id.
+        let spicy = |s: &ExploreState<MiniAlg1>| -> Result<(), String> {
+            mini_safety(s)?;
+            match s.nodes.iter().find(|n| n.rho == n.id && n.rho > 0) {
+                Some(n) => Err(format!("rho hit id {}", n.id)),
+                None => Ok(()),
+            }
+        };
+        let uninterrupted = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            spicy,
+            mini_quiescence,
+            &ExploreConfig {
+                jobs: 2,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(uninterrupted.complete);
+        assert!(!uninterrupted.violations.is_empty());
+
+        let dir = std::env::temp_dir().join(unique_name("co-ring-test-ck"));
+        std::fs::create_dir_all(&dir).expect("test scratch dir");
+        let ck_path = dir.join("explore.ck");
+        for kind in [DedupKind::Exact, DedupKind::Mmap { budget: 1 << 16 }] {
+            // "Kill" the run mid-flight: a max_configs cut plays the role of
+            // the interruption — the frontier at the stop is intact, and the
+            // final checkpoint captures it.
+            let cut = explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                spicy,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs: 2,
+                    dedup: kind,
+                    scratch_dir: Some(dir.clone()),
+                    limits: ExploreLimits {
+                        max_configs: uninterrupted.configs / 3,
+                        ..ExploreLimits::default()
+                    },
+                    checkpoint: Some(CheckpointPlan {
+                        path: ck_path.clone(),
+                        every: 20,
+                        meta: b"mini".to_vec(),
+                    }),
+                    ..ExploreConfig::default()
+                },
+            );
+            assert!(!cut.complete, "{kind:?}: the cut must bite");
+            assert!(cut.checkpoints_written >= 1, "{kind:?}");
+
+            let ck = ExploreCheckpoint::read(&ck_path).expect("checkpoint reads back");
+            assert_eq!(ck.meta, b"mini".to_vec());
+            assert_eq!(ck.dedup, kind.to_string());
+            assert!(!ck.is_finished(), "{kind:?}: frontier must survive the cut");
+
+            // Resume with full limits: the run must re-converge exactly.
+            let resumed = explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                spicy,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs: 2,
+                    dedup: kind,
+                    scratch_dir: Some(dir.clone()),
+                    checkpoint: Some(CheckpointPlan {
+                        path: ck_path.clone(),
+                        every: 20,
+                        meta: b"mini".to_vec(),
+                    }),
+                    resume: Some(ck),
+                    ..ExploreConfig::default()
+                },
+            );
+            assert_eq!(resumed.configs, uninterrupted.configs, "{kind:?}");
+            assert_eq!(
+                resumed.quiescent_configs, uninterrupted.quiescent_configs,
+                "{kind:?}"
+            );
+            assert!(resumed.complete, "{kind:?}");
+            // Violation discovery order is nondeterministic across workers;
+            // the *set* must match byte-for-byte.
+            assert_eq!(
+                sorted(resumed.violations.clone()),
+                sorted(uninterrupted.violations.clone()),
+                "{kind:?}"
+            );
+
+            // The final checkpoint is finished; resuming it is idempotent.
+            let done = ExploreCheckpoint::read(&ck_path).expect("final checkpoint");
+            assert!(done.is_finished(), "{kind:?}");
+            let again = explore_parallel(
+                &spec.wiring(),
+                mini_ring,
+                spicy,
+                mini_quiescence,
+                &ExploreConfig {
+                    jobs: 2,
+                    dedup: kind,
+                    scratch_dir: Some(dir.clone()),
+                    resume: Some(done),
+                    ..ExploreConfig::default()
+                },
+            );
+            assert_eq!(again.configs, uninterrupted.configs, "{kind:?}");
+            assert_eq!(
+                again.quiescent_configs, uninterrupted.quiescent_configs,
+                "{kind:?}"
+            );
+            std::fs::remove_file(&ck_path).expect("checkpoint file exists");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_checkpoint_resume_stays_deterministic() {
+        // Replay-based resume must reproduce fault firings exactly: faults
+        // key on the global send sequence, which the channel-pick replay
+        // regenerates.
+        let spec = RingSpec::oriented(vec![1, 3, 2]);
+        let faults = FaultPlan::new().drop_seq(4);
+        let base = ExploreConfig {
+            jobs: 2,
+            faults: faults.clone(),
+            ..ExploreConfig::default()
+        };
+        let uninterrupted = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &base,
+        );
+        assert!(uninterrupted.complete);
+        assert!(!uninterrupted.violations.is_empty());
+
+        let dir = std::env::temp_dir().join(unique_name("co-ring-test-fck"));
+        std::fs::create_dir_all(&dir).expect("test scratch dir");
+        let ck_path = dir.join("explore.ck");
+        let cut = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                limits: ExploreLimits {
+                    max_configs: uninterrupted.configs / 2,
+                    ..ExploreLimits::default()
+                },
+                checkpoint: Some(CheckpointPlan {
+                    path: ck_path.clone(),
+                    every: 25,
+                    meta: Vec::new(),
+                }),
+                spill_high_water: 2,
+                scratch_dir: Some(dir.clone()),
+                ..base.clone()
+            },
+        );
+        assert!(!cut.complete);
+        let ck = ExploreCheckpoint::read(&ck_path).expect("checkpoint reads back");
+        let resumed = explore_parallel(
+            &spec.wiring(),
+            mini_ring,
+            mini_safety,
+            mini_quiescence,
+            &ExploreConfig {
+                spill_high_water: 2,
+                scratch_dir: Some(dir.clone()),
+                resume: Some(ck),
+                ..base
+            },
+        );
+        assert_eq!(resumed.configs, uninterrupted.configs);
+        assert_eq!(resumed.quiescent_configs, uninterrupted.quiescent_configs);
+        assert!(resumed.complete);
+        assert_eq!(
+            sorted(resumed.violations.clone()),
+            sorted(uninterrupted.violations.clone())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_encoding_roundtrips_and_rejects_corruption() {
+        let ck = ExploreCheckpoint {
+            meta: b"alg1|n=4".to_vec(),
+            dedup: "mmap:65536".to_string(),
+            admitted: 12_345,
+            quiescent: 17,
+            spilled: 3,
+            pruned: true,
+            violations: vec!["safety: boom".to_string()],
+            shards: vec![vec![1, 2, 3], Vec::new()],
+            frontier: vec![
+                FrontierItem {
+                    depth: 2,
+                    picks: vec![0, 5, 3],
+                },
+                FrontierItem {
+                    depth: 0,
+                    picks: Vec::new(),
+                },
+            ],
+        };
+        let bytes = ck.encode();
+        assert_eq!(ExploreCheckpoint::decode(&bytes).expect("roundtrip"), ck);
+        // Truncation, trailing garbage, bad magic, bad version all fail.
+        assert!(ExploreCheckpoint::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(ExploreCheckpoint::decode(&longer).is_err());
+        let mut magic = bytes.clone();
+        magic[0] ^= 0xff;
+        assert!(ExploreCheckpoint::decode(&magic).is_err());
+        let mut version = bytes;
+        version[8] = 99;
+        assert!(ExploreCheckpoint::decode(&version)
+            .expect_err("version check")
+            .contains("version"));
     }
 
     #[test]
@@ -1201,9 +2069,11 @@ mod tests {
             },
         );
         assert!(!report.complete);
-        // Workers race to the limit: at most one overshoot per worker.
+        // Workers race to the limit and always finish expanding the item in
+        // hand (the resume-convergence invariant), so the overshoot is
+        // bounded by one branching factor (here ≤ 4 channels) per worker.
         assert!(
-            report.configs <= 16 + jobs + 1,
+            report.configs <= 16 + jobs * 4,
             "configs={}",
             report.configs
         );

@@ -83,7 +83,9 @@ pub mod topology;
 pub mod trace;
 
 pub use clock::{LatencyModel, LatencyPlan, VirtualClock};
-pub use dedup::{DedupKind, FingerprintStore, ShardedIndex};
+pub use dedup::{
+    DedupBytes, DedupKind, FingerprintStore, MmapStore, ParseDedupError, ShardedIndex,
+};
 pub use engine::{
     CoreSnapshot, EngineBatch, EngineError, EngineEvent, EngineStep, EventCore, EventHandler,
     FaultKind, Observer, QueueBackend, QueueStore, RunMetrics, Topology,

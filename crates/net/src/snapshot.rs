@@ -15,6 +15,12 @@
 //! * [`Schedule`]: the sequence of channel picks an execution made — enough,
 //!   together with a seed-deterministic protocol, to replay the execution
 //!   byte-for-byte (see `Simulation::replay`).
+//! * a minimal little-endian byte codec ([`put_u64`] / [`put_bytes`] /
+//!   [`ByteReader`]) shared by the on-disk artifacts of the exploration
+//!   stack: fingerprint-store serialization (`dedup`) and resumable
+//!   exploration checkpoints (`explore`). The format is deliberately dumb —
+//!   fixed-width words, length-prefixed blobs, no varints — so the
+//!   checkpoint layout documented in DESIGN.md §13 can be read back by eye.
 
 use crate::topology::ChannelId;
 use std::fmt;
@@ -202,6 +208,104 @@ impl FromStr for Schedule {
     }
 }
 
+/// Appends a `u32` in little-endian byte order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian byte order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed (`u64`) byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked cursor over bytes written with the `put_*` helpers.
+///
+/// Every accessor returns `Err` (with a position) instead of panicking, so a
+/// truncated or corrupted checkpoint file surfaces as a parse error rather
+/// than a crash.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| format!("truncated at byte {} (wanted {n} more)", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn len(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| format!("length overflow at byte {}", self.pos))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, String> {
+        let pos = self.pos;
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| format!("bad UTF-8 at byte {pos}"))
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after byte {}",
+                self.buf.len() - self.pos,
+                self.pos
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +344,32 @@ mod tests {
         assert_eq!(" 0 , 3 , 2 ".parse::<Schedule>().unwrap(), s);
         assert_eq!("".parse::<Schedule>().unwrap(), Schedule::new());
         assert!("0,x".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn byte_codec_roundtrips() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_bytes(&mut buf, &[1, 2, 3]);
+        put_str(&mut buf, "mmap:4096");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.string().unwrap(), "mmap:4096");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn byte_reader_rejects_truncation_and_trailing_garbage() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 9);
+        let mut r = ByteReader::new(&buf);
+        // A length prefix of 9 with no payload behind it must error, not panic.
+        assert!(r.bytes().is_err());
+        let mut r = ByteReader::new(&buf);
+        r.u32().unwrap();
+        assert!(r.finish().is_err(), "4 unread bytes must be flagged");
     }
 }
